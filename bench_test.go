@@ -1,0 +1,382 @@
+// Benchmarks that regenerate every figure and table of the paper's
+// evaluation, one testing.B target each, plus micro-benchmarks of the
+// algorithmic hot paths. Key result values are attached as custom
+// metrics so `go test -bench` output doubles as the experiment log:
+//
+//	go test -bench=Fig2 -benchmem        # Fig. 2 series
+//	go test -bench=. -benchmem           # everything
+package nocvi_test
+
+import (
+	"testing"
+
+	"nocvi/internal/bench"
+	"nocvi/internal/core"
+	"nocvi/internal/experiments"
+	"nocvi/internal/floorplan"
+	"nocvi/internal/graph"
+	"nocvi/internal/model"
+	"nocvi/internal/netlist"
+	"nocvi/internal/partition"
+	"nocvi/internal/sim"
+	"nocvi/internal/viplace"
+	"nocvi/internal/wormhole"
+)
+
+// BenchmarkFig2PowerVsIslands regenerates the Fig. 2 sweep (island count
+// vs NoC dynamic power for both partitionings) and reports the anchor
+// points as metrics (mW).
+func BenchmarkFig2PowerVsIslands(b *testing.B) {
+	lib := model.Default65nm()
+	var pts []experiments.CurvePoint
+	for i := 0; i < b.N; i++ {
+		var err error
+		pts, err = experiments.Curves(lib, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, p := range pts {
+		switch {
+		case p.Islands == 1 && p.Method == viplace.MethodLogical:
+			b.ReportMetric(p.PowerMW, "mW_ref_1isl")
+		case p.Islands == 6 && p.Method == viplace.MethodLogical:
+			b.ReportMetric(p.PowerMW, "mW_logical_6isl")
+		case p.Islands == 6 && p.Method == viplace.MethodCommunication:
+			b.ReportMetric(p.PowerMW, "mW_comm_6isl")
+		case p.Islands == 26 && p.Method == viplace.MethodLogical:
+			b.ReportMetric(p.PowerMW, "mW_26isl")
+		}
+	}
+}
+
+// BenchmarkFig3LatencyVsIslands regenerates the Fig. 3 sweep (island
+// count vs mean zero-load latency) and reports the anchors (cycles).
+func BenchmarkFig3LatencyVsIslands(b *testing.B) {
+	lib := model.Default65nm()
+	var pts []experiments.CurvePoint
+	for i := 0; i < b.N; i++ {
+		var err error
+		pts, err = experiments.Curves(lib, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, p := range pts {
+		switch {
+		case p.Islands == 1 && p.Method == viplace.MethodLogical:
+			b.ReportMetric(p.LatencyCycles, "cyc_ref_1isl")
+		case p.Islands == 6 && p.Method == viplace.MethodLogical:
+			b.ReportMetric(p.LatencyCycles, "cyc_logical_6isl")
+		case p.Islands == 6 && p.Method == viplace.MethodCommunication:
+			b.ReportMetric(p.LatencyCycles, "cyc_comm_6isl")
+		case p.Islands == 26 && p.Method == viplace.MethodLogical:
+			b.ReportMetric(p.LatencyCycles, "cyc_26isl")
+		}
+	}
+}
+
+// BenchmarkFig4TopologySynthesis regenerates the Fig. 4 artifact (the
+// 6-VI logical D26 topology).
+func BenchmarkFig4TopologySynthesis(b *testing.B) {
+	lib := model.Default65nm()
+	for i := 0; i < b.N; i++ {
+		dot, txt, err := experiments.Fig4(lib)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(dot) == 0 || len(txt) == 0 {
+			b.Fatal("empty artifact")
+		}
+	}
+}
+
+// BenchmarkFig5Floorplan regenerates the Fig. 5 artifact (the floorplan
+// of the same design).
+func BenchmarkFig5Floorplan(b *testing.B) {
+	lib := model.Default65nm()
+	for i := 0; i < b.N; i++ {
+		svg, txt, err := experiments.Fig5(lib)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(svg) == 0 || len(txt) == 0 {
+			b.Fatal("empty artifact")
+		}
+	}
+}
+
+// BenchmarkTab1Overheads regenerates the overhead table across the
+// benchmark suite and reports the suite averages (the paper's 3% / 0.5%
+// claims) as metrics.
+func BenchmarkTab1Overheads(b *testing.B) {
+	lib := model.Default65nm()
+	var rows []experiments.OverheadRow
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = experiments.Tab1(lib)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	p, a := experiments.Tab1Averages(rows)
+	b.ReportMetric(p, "pct_power_overhead")
+	b.ReportMetric(a, "pct_area_overhead")
+}
+
+// BenchmarkTab2ShutdownSavings regenerates the shutdown-savings table
+// and reports the standby saving (the >=25% headroom) as a metric.
+func BenchmarkTab2ShutdownSavings(b *testing.B) {
+	lib := model.Default65nm()
+	var rows []experiments.ShutdownRow
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = experiments.Tab2(lib)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(rows[len(rows)-1].SavingsPct, "pct_standby_saving")
+}
+
+// BenchmarkAblationAlpha regenerates the alpha-weight ablation.
+func BenchmarkAblationAlpha(b *testing.B) {
+	lib := model.Default65nm()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.AblAlpha(lib); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationIntermediate regenerates the intermediate-island
+// ablation at the 26-island extreme.
+func BenchmarkAblationIntermediate(b *testing.B) {
+	lib := model.Default65nm()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.AblMid(lib); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationLinkWidth regenerates the link-width ablation.
+func BenchmarkAblationLinkWidth(b *testing.B) {
+	lib := model.Default65nm()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.AblWidth(lib); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- micro-benchmarks of the algorithmic hot paths ---
+
+// BenchmarkSynthesizeD26 measures one full Algorithm 1 run on the
+// 26-core case study (6 logical islands, intermediate island allowed).
+func BenchmarkSynthesizeD26(b *testing.B) {
+	spec, err := bench.D26Islands(viplace.MethodLogical, 6)
+	if err != nil {
+		b.Fatal(err)
+	}
+	lib := model.Default65nm()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.Synthesize(spec, lib, core.Options{
+			AllowIntermediate:       true,
+			MaxIntermediateSwitches: 3,
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPartitionKWay measures balanced min-cut partitioning of a
+// 64-vertex communication graph into 8 parts.
+func BenchmarkPartitionKWay(b *testing.B) {
+	g := graph.NewUndirected(64)
+	s := uint64(42)
+	for i := 0; i < 256; i++ {
+		s = s*6364136223846793005 + 1442695040888963407
+		u := int((s >> 33) % 64)
+		v := int((s >> 13) % 64)
+		if u != v {
+			g.AddEdge(u, v, float64(s%100)+1)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := partition.KWay(g, 8, partition.Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFloorplanPlace measures floorplanning the synthesized D26.
+func BenchmarkFloorplanPlace(b *testing.B) {
+	spec, err := bench.D26Islands(viplace.MethodLogical, 6)
+	if err != nil {
+		b.Fatal(err)
+	}
+	res, err := core.Synthesize(spec, model.Default65nm(), core.Options{MaxDesignPoints: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	top := res.Best().Top
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := floorplan.Place(top, floorplan.Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSimulatorD26 measures a 20 us traffic simulation of the
+// synthesized D26 network.
+func BenchmarkSimulatorD26(b *testing.B) {
+	spec, err := bench.D26Islands(viplace.MethodLogical, 6)
+	if err != nil {
+		b.Fatal(err)
+	}
+	res, err := core.Synthesize(spec, model.Default65nm(), core.Options{MaxDesignPoints: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	top := res.Best().Top
+	b.ResetTimer()
+	var packets int
+	for i := 0; i < b.N; i++ {
+		r, err := sim.Run(top, sim.Config{DurationNs: 20000})
+		if err != nil {
+			b.Fatal(err)
+		}
+		packets = r.Sent
+	}
+	b.ReportMetric(float64(packets), "packets")
+}
+
+// BenchmarkSynthesizeScaling measures how the synthesis runtime scales
+// with SoC size (the paper: "the exploration of the design points for
+// all the benchmarks took only a few hours on a 2 GHz Linux machine";
+// this reproduction completes each SoC in milliseconds).
+func BenchmarkSynthesizeScaling(b *testing.B) {
+	lib := model.Default65nm()
+	for _, name := range []string{"d16_industrial", "d26_media", "d38_settop"} {
+		spec, err := bench.Islanded(name)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := core.Synthesize(spec, lib, core.Options{
+					AllowIntermediate:       true,
+					MaxIntermediateSwitches: 3,
+				}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkWormholeD26 measures the flit-level engine.
+func BenchmarkWormholeD26(b *testing.B) {
+	spec, err := bench.D26Islands(viplace.MethodLogical, 6)
+	if err != nil {
+		b.Fatal(err)
+	}
+	res, err := core.Synthesize(spec, model.Default65nm(), core.Options{MaxDesignPoints: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	top := res.Best().Top
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r, err := wormhole.Run(top, wormhole.Config{PacketsPerFlow: 8})
+		if err != nil || r.Deadlocked {
+			b.Fatalf("%v deadlock=%v", err, r.Deadlocked)
+		}
+	}
+}
+
+// BenchmarkVerilogGeneration measures RTL emission for the D26 design.
+func BenchmarkVerilogGeneration(b *testing.B) {
+	spec, err := bench.D26Islands(viplace.MethodLogical, 6)
+	if err != nil {
+		b.Fatal(err)
+	}
+	res, err := core.Synthesize(spec, model.Default65nm(), core.Options{MaxDesignPoints: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	top := res.Best().Top
+	b.ResetTimer()
+	var n int
+	for i := 0; i < b.N; i++ {
+		v, err := netlist.Generate(top, netlist.Config{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		n = len(v)
+	}
+	b.ReportMetric(float64(n), "bytes")
+}
+
+// BenchmarkTab3UseCases regenerates the multi-use-case table and reports
+// the lightest mode's NoC power as a metric.
+func BenchmarkTab3UseCases(b *testing.B) {
+	lib := model.Default65nm()
+	var rows []experiments.ModeRow
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = experiments.Tab3(lib)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(rows[len(rows)-1].NoCDynMW, "mW_lightest_mode")
+}
+
+// BenchmarkCmpMesh regenerates the custom-vs-mesh comparison and reports
+// the mesh's shutdown violations (the paper's motivation).
+func BenchmarkCmpMesh(b *testing.B) {
+	lib := model.Default65nm()
+	var rows []experiments.CmpRow
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = experiments.CmpMesh(lib)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(rows[1].ShutdownViolations), "mesh_shutdown_violations")
+}
+
+// BenchmarkCmpFault regenerates the single-link-failure sweep.
+func BenchmarkCmpFault(b *testing.B) {
+	lib := model.Default65nm()
+	var rows []experiments.FaultRow
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = experiments.CmpFault(lib)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(rows[0].RecoverablePct, "pct_custom_recoverable")
+}
+
+// BenchmarkAblationDVS regenerates the per-island supply-scaling
+// ablation and reports the DVS power as a metric.
+func BenchmarkAblationDVS(b *testing.B) {
+	lib := model.Default65nm()
+	var rows []experiments.AblationRow
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = experiments.AblDVS(lib)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(rows[1].PowerMW, "mW_with_dvs")
+}

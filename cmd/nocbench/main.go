@@ -1,0 +1,181 @@
+// Command nocbench regenerates the paper's figures and tables from the
+// reproduction. Each experiment is selected with -exp:
+//
+//	nocbench -exp fig2       island count vs NoC dynamic power (Fig. 2)
+//	nocbench -exp fig3       island count vs zero-load latency (Fig. 3)
+//	nocbench -exp fig4       the 6-VI logical topology, DOT + text (Fig. 4)
+//	nocbench -exp fig5       its floorplan, SVG + ASCII (Fig. 5)
+//	nocbench -exp tab1       shutdown-support overhead across the suite
+//	nocbench -exp tab2       island-shutdown power savings scenarios
+//	nocbench -exp abl-alpha  ablation: VCG weight alpha
+//	nocbench -exp abl-mid    ablation: intermediate NoC island on/off
+//	nocbench -exp abl-width  ablation: link data width
+//	nocbench -exp all        everything above
+//
+// With -out DIR the figure artifacts (DOT/SVG) are also written to
+// files; tables always go to stdout.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"nocvi/internal/experiments"
+	"nocvi/internal/model"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment to run (fig2|fig3|fig4|fig5|tab1|tab2|abl-alpha|abl-mid|abl-part|abl-buffer|abl-dvs|abl-width|all)")
+	out := flag.String("out", "", "directory to write DOT/SVG artifacts to (optional)")
+	width := flag.Int("width", 32, "NoC link data width in bits")
+	flag.Parse()
+
+	lib := model.Default65nm()
+	lib.LinkWidthBits = *width
+	start := time.Now()
+	if err := run(*exp, *out, lib); err != nil {
+		fmt.Fprintln(os.Stderr, "nocbench:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("\n[%s completed in %v]\n", *exp, time.Since(start).Round(time.Millisecond))
+}
+
+func run(exp, out string, lib *model.Library) error {
+	all := exp == "all"
+	if all || exp == "fig2" || exp == "fig3" {
+		pts, err := experiments.Curves(lib, nil)
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiments.FormatCurves(pts))
+	}
+	if all || exp == "fig4" {
+		dot, txt, err := experiments.Fig4(lib)
+		if err != nil {
+			return err
+		}
+		fmt.Println("Fig.4 — synthesized topology, D26 with 6 logical VIs")
+		fmt.Println(txt)
+		if err := save(out, "fig4_topology.dot", dot); err != nil {
+			return err
+		}
+	}
+	if all || exp == "fig5" {
+		svg, txt, err := experiments.Fig5(lib)
+		if err != nil {
+			return err
+		}
+		fmt.Println("Fig.5 — floorplan, D26 with 6 logical VIs")
+		fmt.Println(txt)
+		if err := save(out, "fig5_floorplan.svg", svg); err != nil {
+			return err
+		}
+	}
+	if all || exp == "tab1" {
+		rows, err := experiments.Tab1(lib)
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiments.FormatTab1(rows))
+	}
+	if all || exp == "tab2" {
+		rows, err := experiments.Tab2(lib)
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiments.FormatTab2(rows))
+	}
+	if all || exp == "tab3" {
+		rows, err := experiments.Tab3(lib)
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiments.FormatTab3(rows))
+	}
+	if all || exp == "load" {
+		rows, err := experiments.LoadSweep(lib, nil)
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiments.FormatLoadSweep(rows))
+	}
+	if all || exp == "cmp-mesh" {
+		rows, err := experiments.CmpMesh(lib)
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiments.FormatCmpMesh(rows))
+	}
+	if all || exp == "cmp-fault" {
+		rows, err := experiments.CmpFault(lib)
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiments.FormatCmpFault(rows))
+	}
+	if all || exp == "abl-alpha" {
+		rows, err := experiments.AblAlpha(lib)
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiments.FormatAblation("Ablation — VCG weight alpha (D26, single island: partitioning-dominated)", rows))
+	}
+	if all || exp == "abl-mid" {
+		rows, err := experiments.AblMid(lib)
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiments.FormatAblation("Ablation — intermediate NoC island (D26, 26 VIs)", rows))
+	}
+	if all || exp == "abl-part" {
+		rows, err := experiments.AblPartitioner(lib)
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiments.FormatAblation("Ablation — greedy vs spectral communication partitioning (D26)", rows))
+	}
+	if all || exp == "abl-buffer" {
+		rows, err := experiments.AblBuffer(lib)
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiments.FormatAblation("Ablation — wormhole buffer depth (D26, flit-level engine; latency in cycles, links column = packets delivered)", rows))
+	}
+	if all || exp == "abl-dvs" {
+		rows, err := experiments.AblDVS(lib)
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiments.FormatAblation("Ablation — per-island NoC supply scaling (D26, 6 logical VIs)", rows))
+	}
+	if all || exp == "abl-width" {
+		rows, err := experiments.AblWidth(lib)
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiments.FormatAblation("Ablation — link data width (D26, 6 logical VIs)", rows))
+	}
+	switch exp {
+	case "all", "fig2", "fig3", "fig4", "fig5", "tab1", "tab2", "tab3", "load", "cmp-mesh", "cmp-fault", "abl-alpha", "abl-mid", "abl-part", "abl-buffer", "abl-dvs", "abl-width":
+		return nil
+	}
+	return fmt.Errorf("unknown experiment %q", exp)
+}
+
+func save(dir, name, content string) error {
+	if dir == "" {
+		return nil
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("[wrote %s]\n", path)
+	return nil
+}

@@ -1,0 +1,52 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"nocvi/internal/model"
+)
+
+func TestRunSingleExperiments(t *testing.T) {
+	lib := model.Default65nm()
+	// The cheap experiments run individually; fig2/fig3 and tab1 are
+	// covered by the internal/experiments tests and the root benches.
+	for _, exp := range []string{"fig4", "fig5", "tab2", "tab3", "cmp-mesh", "abl-mid", "abl-buffer", "abl-dvs"} {
+		if err := run(exp, "", lib); err != nil {
+			t.Fatalf("%s: %v", exp, err)
+		}
+	}
+}
+
+func TestRunWritesArtifacts(t *testing.T) {
+	dir := t.TempDir()
+	lib := model.Default65nm()
+	if err := run("fig4", dir, lib); err != nil {
+		t.Fatal(err)
+	}
+	if err := run("fig5", dir, lib); err != nil {
+		t.Fatal(err)
+	}
+	dot, err := os.ReadFile(filepath.Join(dir, "fig4_topology.dot"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(dot), "digraph") {
+		t.Fatal("fig4 artifact not DOT")
+	}
+	svg, err := os.ReadFile(filepath.Join(dir, "fig5_floorplan.svg"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(svg), "<svg") {
+		t.Fatal("fig5 artifact not SVG")
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	if err := run("bogus", "", model.Default65nm()); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+}

@@ -1,0 +1,85 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunBenchmarkWithArtifacts(t *testing.T) {
+	dir := t.TempDir()
+	cfg := runConfig{
+		benchName: "d16_industrial",
+		method:    "logical",
+		mid:       true,
+		width:     32,
+		dotPath:   filepath.Join(dir, "t.dot"),
+		svgPath:   filepath.Join(dir, "t.svg"),
+		jsonPath:  filepath.Join(dir, "t.json"),
+		verify:    true,
+	}
+	if err := run(cfg); err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range []string{"t.dot", "t.svg", "t.json"} {
+		data, err := os.ReadFile(filepath.Join(dir, f))
+		if err != nil {
+			t.Fatalf("%s: %v", f, err)
+		}
+		if len(data) == 0 {
+			t.Fatalf("%s empty", f)
+		}
+	}
+}
+
+func TestRunVerilogExport(t *testing.T) {
+	dir := t.TempDir()
+	cfg := runConfig{
+		benchName:   "d16_industrial",
+		method:      "communication",
+		islands:     3,
+		mid:         true,
+		width:       32,
+		verilogPath: filepath.Join(dir, "noc.v"),
+	}
+	if err := run(cfg); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(cfg.verilogPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "module noc_top") {
+		t.Fatal("netlist missing noc_top")
+	}
+}
+
+func TestRunSpecRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	specPath := filepath.Join(dir, "spec.json")
+	// Dump a benchmark as a template.
+	if err := run(runConfig{benchName: "d16_industrial", method: "logical", saveSpec: specPath, width: 32}); err != nil {
+		t.Fatal(err)
+	}
+	// Load and synthesize it.
+	if err := run(runConfig{specPath: specPath, method: "logical", mid: true, width: 32}); err != nil {
+		t.Fatal(err)
+	}
+	// Repartition a loaded spec.
+	if err := run(runConfig{specPath: specPath, method: "spectral", islands: 3, width: 32}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run(runConfig{benchName: "missing", width: 32}); err == nil {
+		t.Fatal("unknown benchmark accepted")
+	}
+	if err := run(runConfig{specPath: "/nonexistent/spec.json", width: 32}); err == nil {
+		t.Fatal("missing spec accepted")
+	}
+	if err := run(runConfig{benchName: "d16_industrial", method: "bogus", islands: 3, width: 32}); err == nil {
+		t.Fatal("unknown method accepted")
+	}
+}

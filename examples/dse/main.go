@@ -1,0 +1,102 @@
+// Design-space exploration: the paper's flow "produces several design
+// points ... the designer can then choose the best design point from
+// the trade-off curves obtained". This example sweeps a set-top-box SoC,
+// prints the full power/latency cloud and its Pareto front, and picks
+// the knee point.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"nocvi"
+)
+
+func main() {
+	spec, err := nocvi.Benchmark("d38_settop")
+	if err != nil {
+		log.Fatal(err)
+	}
+	lib := nocvi.DefaultLibrary()
+	res, err := nocvi.Synthesize(spec, lib, nocvi.Options{
+		AllowIntermediate:       true,
+		MaxIntermediateSwitches: 3,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("%s: %d cores, %d islands — explored %d configurations, %d valid design points\n\n",
+		spec.Name, len(spec.Cores), len(spec.Islands), res.Explored, res.Feasible)
+
+	front := nocvi.ParetoFront(res)
+	onFront := map[int]bool{}
+	for _, p := range front {
+		onFront[p.Index] = true
+	}
+
+	fmt.Println("design points (* = on the Pareto front):")
+	fmt.Println("    mW    cycles  switches  mid  links  wireviol")
+	for i := range res.Points {
+		dp := &res.Points[i]
+		mark := "  "
+		if onFront[i] {
+			mark = " *"
+		}
+		fmt.Printf("%s %7.2f %7.2f %7d %5d %6d %8d\n",
+			mark, dp.NoCPower.DynW()*1e3, dp.MeanLatencyCycles,
+			dp.Top.TotalSwitchCount(), dp.MidSwitches, len(dp.Top.Links), dp.WireViolations)
+	}
+
+	fmt.Printf("\nPareto front has %d of %d points:\n", len(front), len(res.Points))
+	for _, p := range front {
+		fmt.Printf("  %7.2f mW @ %5.2f cycles (point %d)\n", p.X*1e3, p.Y, p.Index)
+	}
+
+	// Knee: normalized closest-to-utopia pick.
+	knee := pickKnee(front)
+	dp := &res.Points[knee.Index]
+	fmt.Printf("\nknee point: %.2f mW @ %.2f cycles — %d switches (%d indirect), %d links\n",
+		knee.X*1e3, knee.Y, dp.Top.TotalSwitchCount(), dp.Top.IndirectSwitchCount(), len(dp.Top.Links))
+
+	// The extremes of the front are the min-power and min-latency
+	// points the Result selectors return.
+	fmt.Printf("min power point: %.2f mW; min latency point: %.2f cycles\n",
+		res.Best().NoCPower.DynW()*1e3, res.BestLatency().MeanLatencyCycles)
+}
+
+// pickKnee returns the front point closest to the utopia corner after
+// normalizing both axes.
+func pickKnee(front []nocvi.ParetoPoint) nocvi.ParetoPoint {
+	minX, maxX := front[0].X, front[0].X
+	minY, maxY := front[0].Y, front[0].Y
+	for _, p := range front {
+		if p.X < minX {
+			minX = p.X
+		}
+		if p.X > maxX {
+			maxX = p.X
+		}
+		if p.Y < minY {
+			minY = p.Y
+		}
+		if p.Y > maxY {
+			maxY = p.Y
+		}
+	}
+	dx, dy := maxX-minX, maxY-minY
+	if dx == 0 {
+		dx = 1
+	}
+	if dy == 0 {
+		dy = 1
+	}
+	best, bestD := front[0], 1e308
+	for _, p := range front {
+		nx, ny := (p.X-minX)/dx, (p.Y-minY)/dy
+		if d := nx*nx + ny*ny; d < bestD {
+			best, bestD = p, d
+		}
+	}
+	return best
+}

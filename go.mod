@@ -1,0 +1,3 @@
+module nocvi
+
+go 1.22

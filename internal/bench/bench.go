@@ -1,0 +1,448 @@
+// Package bench provides the SoC benchmark suite the experiments run on.
+//
+// The centerpiece is D26, a reconstruction of the paper's 26-core mobile
+// communication / multimedia SoC: "several processors, DSPs, caches, DMA
+// controller, integrated memory, video decoder engines and a multitude
+// of peripheral I/O ports". The original benchmark is proprietary; the
+// reconstruction mirrors its published structure — a handful of
+// high-bandwidth cache/memory flows, a media pipeline, and many
+// low-bandwidth peripheral flows — which is what the figures depend on.
+//
+// Five further benchmarks (set-top box, automotive, tablet, industrial,
+// base-station) stand in for the paper's "variety of SoC benchmarks"
+// used for the 3% power / 0.5% area overhead averages. They are produced
+// by a deterministic generator that wires each SoC around its memory
+// hubs with class-appropriate bandwidths.
+package bench
+
+import (
+	"fmt"
+
+	"nocvi/internal/soc"
+	"nocvi/internal/viplace"
+)
+
+// mb is one megabyte/second in bytes/second.
+const mb = 1e6
+
+// core is a compact core descriptor used by the tables below.
+type ipCore struct {
+	name  string
+	class soc.CoreClass
+	area  float64 // mm^2
+	dynW  float64
+	leakW float64
+}
+
+// flow is a compact flow descriptor.
+type flow struct {
+	src, dst string
+	mbps     float64
+	lat      float64 // cycles, 0 = unconstrained
+}
+
+// build assembles a Spec from tables; all cores in one always-on island
+// (island assignment is an input to synthesis and applied separately).
+func build(name string, cores []ipCore, flows []flow) *soc.Spec {
+	s := &soc.Spec{
+		Name:     name,
+		Islands:  []soc.Island{{ID: 0, Name: "chip", VoltageV: 1.0}},
+		IslandOf: make([]soc.IslandID, len(cores)),
+	}
+	idx := make(map[string]soc.CoreID, len(cores))
+	for i, c := range cores {
+		id := soc.CoreID(i)
+		idx[c.name] = id
+		s.Cores = append(s.Cores, soc.Core{
+			ID: id, Name: c.name, Class: c.class,
+			AreaMM2: c.area, FreqHz: 200e6,
+			DynPowerW: c.dynW, LeakPowerW: c.leakW,
+		})
+	}
+	for _, f := range flows {
+		src, ok := idx[f.src]
+		if !ok {
+			panic(fmt.Sprintf("bench: unknown core %q in %s", f.src, name))
+		}
+		dst, ok := idx[f.dst]
+		if !ok {
+			panic(fmt.Sprintf("bench: unknown core %q in %s", f.dst, name))
+		}
+		s.Flows = append(s.Flows, soc.Flow{
+			Src: src, Dst: dst, BandwidthBps: f.mbps * mb, MaxLatencyCycles: f.lat,
+		})
+	}
+	if err := s.Validate(); err != nil {
+		panic(fmt.Sprintf("bench: %s invalid: %v", name, err))
+	}
+	return s
+}
+
+// D26 returns the 26-core mobile communication and multimedia SoC,
+// flat (single island). Use viplace or D26Islands to assign islands.
+func D26() *soc.Spec {
+	cores := []ipCore{
+		{"cpu0", soc.ClassCPU, 4.0, 0.280, 0.090},    // application ARM
+		{"cpu1", soc.ClassCPU, 2.5, 0.160, 0.055},    // modem/control ARM
+		{"l2c", soc.ClassCache, 5.0, 0.110, 0.075},   // L2 cache of cpu0
+		{"dspm0", soc.ClassCache, 2.0, 0.050, 0.030}, // DSP0 local memory
+		{"dspm1", soc.ClassCache, 2.0, 0.050, 0.030}, // DSP1 local memory
+		{"dsp0", soc.ClassDSP, 3.0, 0.190, 0.060},
+		{"dsp1", soc.ClassDSP, 3.0, 0.190, 0.060},
+		{"dram0", soc.ClassMemCtrl, 1.6, 0.120, 0.025}, // external DDR port 0
+		{"dram1", soc.ClassMemCtrl, 1.6, 0.120, 0.025}, // external DDR port 1
+		{"sram0", soc.ClassMemory, 3.5, 0.060, 0.055},  // shared on-chip SRAM
+		{"sram1", soc.ClassMemory, 3.5, 0.060, 0.055},
+		{"rom", soc.ClassMemory, 1.0, 0.010, 0.012},
+		{"dma", soc.ClassDMA, 0.8, 0.060, 0.015},
+		{"vdec", soc.ClassAccel, 3.2, 0.170, 0.050}, // video decoder engine
+		{"venc", soc.ClassAccel, 3.4, 0.180, 0.055}, // video encoder engine
+		{"imgp", soc.ClassAccel, 2.2, 0.110, 0.035}, // imaging pipeline
+		{"disp", soc.ClassAccel, 1.5, 0.080, 0.022}, // display controller
+		{"cam", soc.ClassAccel, 1.2, 0.070, 0.018},  // camera interface
+		{"gfx", soc.ClassAccel, 2.8, 0.150, 0.045},  // 2D/3D graphics
+		{"aud", soc.ClassAccel, 0.9, 0.030, 0.010},  // audio engine
+		{"usb", soc.ClassIO, 0.7, 0.040, 0.012},
+		{"radio", soc.ClassIO, 1.8, 0.130, 0.030}, // RF/baseband interface
+		{"uart", soc.ClassPeripheral, 0.2, 0.004, 0.002},
+		{"spi", soc.ClassPeripheral, 0.2, 0.004, 0.002},
+		{"i2c", soc.ClassPeripheral, 0.2, 0.004, 0.002},
+		{"key", soc.ClassPeripheral, 0.3, 0.003, 0.002},
+	}
+	flows := []flow{
+		// CPU subsystem: cache traffic dominates the chip.
+		{"cpu0", "l2c", 250, 12}, {"l2c", "cpu0", 250, 12},
+		{"l2c", "dram0", 200, 16}, {"dram0", "l2c", 150, 16},
+		{"cpu1", "sram0", 100, 12}, {"sram0", "cpu1", 100, 12},
+		{"rom", "cpu0", 5, 40}, {"rom", "cpu1", 3, 40},
+		// DSP subsystem with local memories.
+		{"dsp0", "dspm0", 150, 12}, {"dspm0", "dsp0", 150, 12},
+		{"dsp1", "dspm1", 150, 12}, {"dspm1", "dsp1", 150, 12},
+		{"dspm0", "dram1", 75, 20}, {"dram1", "dspm0", 50, 20},
+		{"dspm1", "sram1", 60, 20}, {"sram1", "dspm1", 40, 20},
+		// DMA fabric.
+		{"dram0", "dma", 100, 24}, {"dma", "sram0", 100, 24},
+		{"dma", "usb", 25, 40}, {"dma", "radio", 40, 30},
+		// Media pipeline: camera -> encode, dram -> decode -> display.
+		{"dram1", "vdec", 125, 20}, {"vdec", "imgp", 50, 30},
+		{"imgp", "disp", 75, 30}, {"dram0", "disp", 90, 20},
+		{"cam", "venc", 60, 30}, {"cam", "dram1", 40, 24},
+		{"venc", "dram1", 50, 24}, {"venc", "usb", 10, 40},
+		{"sram1", "gfx", 50, 30}, {"gfx", "disp", 40, 30},
+		// Audio and modem paths.
+		{"sram0", "aud", 8, 40}, {"aud", "spi", 3, 60},
+		{"radio", "cpu1", 12, 30}, {"cpu1", "radio", 12, 30},
+		{"usb", "dram0", 20, 40}, {"dram0", "usb", 15, 40},
+		// Control-plane peripherals.
+		{"cpu1", "uart", 0.5, 0}, {"cpu0", "i2c", 0.3, 0},
+		{"key", "cpu0", 0.1, 0}, {"cpu0", "disp", 2, 40},
+		{"cpu0", "vdec", 2, 40}, {"cpu0", "venc", 2, 40},
+	}
+	return build("d26_media", cores, flows)
+}
+
+// D26Islands returns D26 partitioned into n voltage islands with the
+// given strategy.
+func D26Islands(method viplace.Method, n int) (*soc.Spec, error) {
+	return viplace.Partition(D26(), method, n)
+}
+
+// lcg is the deterministic generator behind the synthetic suite.
+type lcg struct{ s uint64 }
+
+func (l *lcg) next() uint64 {
+	l.s = l.s*6364136223846793005 + 1442695040888963407
+	return l.s >> 11
+}
+
+func (l *lcg) intn(n int) int { return int(l.next() % uint64(n)) }
+
+func (l *lcg) rangef(lo, hi float64) float64 {
+	return lo + (hi-lo)*float64(l.next()%10000)/10000
+}
+
+// synth generates a benchmark around its memory hubs: every compute core
+// talks to 1-2 hubs at class-appropriate bandwidth, accelerators chain
+// into pipelines, peripherals trickle to the CPUs.
+func synth(name string, seed uint64, counts map[soc.CoreClass]int) *soc.Spec {
+	r := &lcg{s: seed}
+	var cores []ipCore
+	add := func(class soc.CoreClass, prefix string, n int, area, dynW, leakFrac float64) {
+		for i := 0; i < n; i++ {
+			a := area * r.rangef(0.7, 1.3)
+			d := dynW * r.rangef(0.7, 1.3)
+			cores = append(cores, ipCore{
+				name: fmt.Sprintf("%s%d", prefix, i), class: class,
+				area: a, dynW: d, leakW: d * leakFrac,
+			})
+		}
+	}
+	add(soc.ClassCPU, "cpu", counts[soc.ClassCPU], 3.0, 0.22, 0.33)
+	add(soc.ClassCache, "cache", counts[soc.ClassCache], 2.5, 0.07, 0.6)
+	add(soc.ClassDSP, "dsp", counts[soc.ClassDSP], 2.8, 0.18, 0.3)
+	add(soc.ClassMemCtrl, "dram", counts[soc.ClassMemCtrl], 1.5, 0.11, 0.2)
+	add(soc.ClassMemory, "sram", counts[soc.ClassMemory], 3.0, 0.05, 0.9)
+	add(soc.ClassDMA, "dma", counts[soc.ClassDMA], 0.8, 0.05, 0.25)
+	add(soc.ClassAccel, "acc", counts[soc.ClassAccel], 2.4, 0.13, 0.3)
+	add(soc.ClassIO, "io", counts[soc.ClassIO], 0.9, 0.05, 0.28)
+	add(soc.ClassPeripheral, "per", counts[soc.ClassPeripheral], 0.25, 0.004, 0.5)
+
+	// Hubs: memory controllers and SRAMs.
+	var hubs []int
+	var cpus []int
+	var accels []int
+	for i, c := range cores {
+		switch c.class {
+		case soc.ClassMemCtrl, soc.ClassMemory:
+			hubs = append(hubs, i)
+		case soc.ClassCPU:
+			cpus = append(cpus, i)
+		case soc.ClassAccel:
+			accels = append(accels, i)
+		}
+	}
+	if len(hubs) == 0 || len(cpus) == 0 {
+		panic("bench: synthetic SoC needs at least one hub and one cpu")
+	}
+
+	var flows []flow
+	seen := map[[2]string]bool{}
+	addFlow := func(src, dst string, mbps, lat float64) {
+		if src == dst || mbps <= 0 {
+			return
+		}
+		k := [2]string{src, dst}
+		if seen[k] {
+			return
+		}
+		seen[k] = true
+		flows = append(flows, flow{src, dst, mbps, lat})
+	}
+	hubName := func() string { return cores[hubs[r.intn(len(hubs))]].name }
+
+	cacheIdx := 0
+	for i, c := range cores {
+		switch c.class {
+		case soc.ClassCPU:
+			// CPU to its cache (if available) or a hub, heavy both ways.
+			target := hubName()
+			for j, cc := range cores {
+				if cc.class == soc.ClassCache && j >= cacheIdx {
+					target = cc.name
+					cacheIdx = j + 1
+					break
+				}
+			}
+			bw := r.rangef(150, 300)
+			addFlow(c.name, target, bw, 12)
+			addFlow(target, c.name, bw, 12)
+			if target != cores[hubs[0]].name {
+				addFlow(target, hubName(), bw*0.6, 16)
+			}
+		case soc.ClassDSP:
+			h := hubName()
+			bw := r.rangef(80, 180)
+			addFlow(c.name, h, bw, 16)
+			addFlow(h, c.name, bw*0.8, 16)
+		case soc.ClassAccel:
+			h := hubName()
+			addFlow(h, c.name, r.rangef(50, 150), 24)
+			// pipeline to the next accelerator
+			for _, j := range accels {
+				if j > i {
+					addFlow(c.name, cores[j].name, r.rangef(30, 90), 30)
+					break
+				}
+			}
+			addFlow(c.name, hubName(), r.rangef(20, 80), 24)
+		case soc.ClassDMA:
+			addFlow(hubName(), c.name, r.rangef(60, 120), 24)
+			addFlow(c.name, hubName(), r.rangef(60, 120), 24)
+		case soc.ClassIO:
+			h := hubName()
+			addFlow(c.name, h, r.rangef(10, 60), 40)
+			addFlow(h, c.name, r.rangef(10, 40), 40)
+		case soc.ClassPeripheral:
+			cpu := cores[cpus[r.intn(len(cpus))]].name
+			addFlow(cpu, c.name, r.rangef(0.1, 2), 0)
+		}
+	}
+	return build(name, cores, flows)
+}
+
+// Entry describes one suite benchmark and its default island structure.
+type Entry struct {
+	Name string
+	// Islands is the island count used for the overhead table; Method
+	// is the partitioning strategy.
+	Islands int
+	Method  viplace.Method
+
+	spec func() *soc.Spec
+}
+
+// entries is the benchmark registry.
+var entries = []Entry{
+	{Name: "d26_media", Islands: 6, Method: viplace.MethodLogical, spec: D26},
+	{Name: "d38_settop", Islands: 6, Method: viplace.MethodLogical, spec: func() *soc.Spec {
+		return synth("d38_settop", 38001, map[soc.CoreClass]int{
+			soc.ClassCPU: 3, soc.ClassCache: 3, soc.ClassDSP: 4, soc.ClassMemCtrl: 2,
+			soc.ClassMemory: 4, soc.ClassDMA: 2, soc.ClassAccel: 10, soc.ClassIO: 4,
+			soc.ClassPeripheral: 6,
+		})
+	}},
+	{Name: "d35_tablet", Islands: 5, Method: viplace.MethodLogical, spec: func() *soc.Spec {
+		return synth("d35_tablet", 35002, map[soc.CoreClass]int{
+			soc.ClassCPU: 4, soc.ClassCache: 4, soc.ClassDSP: 2, soc.ClassMemCtrl: 2,
+			soc.ClassMemory: 3, soc.ClassDMA: 1, soc.ClassAccel: 9, soc.ClassIO: 4,
+			soc.ClassPeripheral: 6,
+		})
+	}},
+	{Name: "d30_basestation", Islands: 5, Method: viplace.MethodCommunication, spec: func() *soc.Spec {
+		return synth("d30_basestation", 30003, map[soc.CoreClass]int{
+			soc.ClassCPU: 2, soc.ClassCache: 2, soc.ClassDSP: 8, soc.ClassMemCtrl: 2,
+			soc.ClassMemory: 6, soc.ClassDMA: 2, soc.ClassAccel: 4, soc.ClassIO: 2,
+			soc.ClassPeripheral: 2,
+		})
+	}},
+	{Name: "d24_auto", Islands: 4, Method: viplace.MethodLogical, spec: func() *soc.Spec {
+		return synth("d24_auto", 24004, map[soc.CoreClass]int{
+			soc.ClassCPU: 3, soc.ClassCache: 2, soc.ClassDSP: 2, soc.ClassMemCtrl: 1,
+			soc.ClassMemory: 3, soc.ClassDMA: 1, soc.ClassAccel: 5, soc.ClassIO: 4,
+			soc.ClassPeripheral: 3,
+		})
+	}},
+	{Name: "d16_industrial", Islands: 4, Method: viplace.MethodCommunication, spec: func() *soc.Spec {
+		return synth("d16_industrial", 16005, map[soc.CoreClass]int{
+			soc.ClassCPU: 2, soc.ClassCache: 1, soc.ClassDSP: 1, soc.ClassMemCtrl: 1,
+			soc.ClassMemory: 2, soc.ClassDMA: 1, soc.ClassAccel: 3, soc.ClassIO: 3,
+			soc.ClassPeripheral: 2,
+		})
+	}},
+	{Name: "d48_network", Islands: 7, Method: viplace.MethodCommunication, spec: func() *soc.Spec {
+		return synth("d48_network", 48006, map[soc.CoreClass]int{
+			soc.ClassCPU: 4, soc.ClassCache: 4, soc.ClassDSP: 6, soc.ClassMemCtrl: 3,
+			soc.ClassMemory: 8, soc.ClassDMA: 3, soc.ClassAccel: 10, soc.ClassIO: 6,
+			soc.ClassPeripheral: 4,
+		})
+	}},
+	{Name: "d20_wearable", Islands: 4, Method: viplace.MethodLogical, spec: func() *soc.Spec {
+		return synth("d20_wearable", 20007, map[soc.CoreClass]int{
+			soc.ClassCPU: 1, soc.ClassCache: 1, soc.ClassDSP: 1, soc.ClassMemCtrl: 1,
+			soc.ClassMemory: 3, soc.ClassDMA: 1, soc.ClassAccel: 5, soc.ClassIO: 3,
+			soc.ClassPeripheral: 4,
+		})
+	}},
+}
+
+// Names lists the suite benchmarks in registry order.
+func Names() []string {
+	out := make([]string, len(entries))
+	for i, e := range entries {
+		out[i] = e.Name
+	}
+	return out
+}
+
+// Flat returns the named benchmark with all cores in one island.
+func Flat(name string) (*soc.Spec, error) {
+	for _, e := range entries {
+		if e.Name == name {
+			return e.spec(), nil
+		}
+	}
+	return nil, fmt.Errorf("bench: unknown benchmark %q (have %v)", name, Names())
+}
+
+// Islanded returns the named benchmark with its registry-default island
+// assignment applied.
+func Islanded(name string) (*soc.Spec, error) {
+	for _, e := range entries {
+		if e.Name == name {
+			flat := e.spec()
+			return viplace.Partition(flat, e.Method, e.Islands)
+		}
+	}
+	return nil, fmt.Errorf("bench: unknown benchmark %q (have %v)", name, Names())
+}
+
+// Entries exposes the registry (copies, safe to range).
+func Entries() []Entry { return append([]Entry(nil), entries...) }
+
+// Example returns the small 3-island teaching SoC used by Fig. 1-style
+// illustrations and the quickstart.
+func Example() *soc.Spec {
+	cores := []ipCore{
+		{"cpu", soc.ClassCPU, 3.0, 0.20, 0.06},
+		{"mem", soc.ClassMemory, 4.0, 0.06, 0.05},
+		{"dsp", soc.ClassDSP, 2.5, 0.15, 0.05},
+		{"acc", soc.ClassAccel, 2.0, 0.10, 0.03},
+		{"io", soc.ClassIO, 0.8, 0.04, 0.01},
+		{"per", soc.ClassPeripheral, 0.3, 0.01, 0.01},
+	}
+	flows := []flow{
+		{"cpu", "mem", 200, 12}, {"mem", "cpu", 200, 12},
+		{"dsp", "mem", 120, 16}, {"mem", "dsp", 80, 16},
+		{"acc", "dsp", 60, 24}, {"mem", "acc", 70, 24},
+		{"io", "mem", 30, 40}, {"cpu", "per", 1, 0},
+		{"io", "acc", 15, 40},
+	}
+	s := build("example6", cores, flows)
+	out, err := viplace.Logical(s, 3)
+	if err != nil {
+		panic(err)
+	}
+	out.Name = "example6"
+	return out
+}
+
+// D26UseCases returns the mobile SoC's operating modes as traffic use
+// cases over the D26 cores: the merged worst case is what the NoC is
+// synthesized for, and each mode leaves parts of the chip idle — the
+// islands that shutdown support exists to gate.
+func D26UseCases() (base *soc.Spec, cases []soc.UseCase) {
+	base = D26()
+	byName := func(n string) soc.CoreID {
+		c, ok := base.CoreByName(n)
+		if !ok {
+			panic("bench: unknown core " + n)
+		}
+		return c.ID
+	}
+	f := func(src, dst string, mbps, lat float64) soc.Flow {
+		return soc.Flow{Src: byName(src), Dst: byName(dst),
+			BandwidthBps: mbps * mb, MaxLatencyCycles: lat}
+	}
+	cases = []soc.UseCase{
+		{
+			// Full tilt: every subsystem active (the spec's own flows).
+			Name:  "kitchen_sink",
+			Flows: append([]soc.Flow(nil), base.Flows...),
+		},
+		{
+			// Video call: camera + encoder + radio + audio; no decode,
+			// no graphics.
+			Name: "video_call",
+			Flows: []soc.Flow{
+				f("cpu0", "l2c", 200, 12), f("l2c", "cpu0", 200, 12),
+				f("l2c", "dram0", 120, 16), f("dram0", "l2c", 100, 16),
+				f("cam", "venc", 60, 30), f("venc", "dram1", 50, 24),
+				f("dram1", "vdec", 60, 20), f("vdec", "imgp", 25, 30),
+				f("imgp", "disp", 40, 30), f("dram0", "disp", 50, 20),
+				f("radio", "cpu1", 12, 30), f("cpu1", "radio", 12, 30),
+				f("cpu1", "sram0", 60, 12), f("sram0", "cpu1", 60, 12),
+				f("sram0", "aud", 8, 40),
+			},
+		},
+		{
+			// Music playback with the screen off: audio path and little
+			// else — the DSP, media and I/O islands can sleep.
+			Name: "music_screen_off",
+			Flows: []soc.Flow{
+				f("cpu1", "sram0", 20, 12), f("sram0", "cpu1", 20, 12),
+				f("sram0", "aud", 8, 40), f("aud", "spi", 3, 60),
+			},
+		},
+	}
+	return base, cases
+}

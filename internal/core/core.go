@@ -1,0 +1,410 @@
+// Package core implements the paper's contribution: Algorithm 1, the
+// custom NoC topology synthesis flow that supports shutdown of voltage
+// islands.
+//
+// The flow, per design point:
+//
+//  1. determine the NoC clock of every island from the heaviest NI link
+//     it must sustain, and from it the maximum feasible switch size
+//     (max_sw_size_j) — bigger crossbars cannot meet higher clocks;
+//  2. derive the minimum switch count per island;
+//  3. sweep the switch count of every island from that minimum up to one
+//     switch per core, partitioning each island's VI communication graph
+//     (VCG) with balanced min-cut so heavily-communicating cores share a
+//     switch;
+//  4. sweep the number of indirect switches in the optional intermediate
+//     NoC island (never shut down);
+//  5. route every flow in decreasing bandwidth order over least-cost
+//     paths that only use switches in the source island, the destination
+//     island, or the intermediate island — the discipline that makes
+//     island shutdown safe by construction;
+//  6. floorplan valid points, compute wire lengths and power, and save
+//     the point for Pareto selection.
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"nocvi/internal/deadlock"
+	"nocvi/internal/floorplan"
+	"nocvi/internal/model"
+	"nocvi/internal/partition"
+	"nocvi/internal/power"
+	"nocvi/internal/route"
+	"nocvi/internal/soc"
+	"nocvi/internal/topology"
+	"nocvi/internal/vcg"
+)
+
+// Options configures the synthesis sweep.
+type Options struct {
+	// Alpha is the VCG bandwidth-vs-latency weight of Definition 1.
+	// Zero selects vcg.DefaultAlpha.
+	Alpha float64
+
+	// AllowIntermediate permits creating the intermediate NoC island
+	// ("we take the availability of power and ground lines for the
+	// intermediate VI as an input").
+	AllowIntermediate bool
+
+	// MaxIntermediateSwitches caps the indirect-switch sweep; zero
+	// derives it from the largest island.
+	MaxIntermediateSwitches int
+
+	// IntermediateVoltage supplies the NoC island; zero selects 1.0 V.
+	IntermediateVoltage float64
+
+	// MaxDesignPoints stops the sweep after this many valid points
+	// (0 = exhaustive).
+	MaxDesignPoints int
+
+	// Router and Floorplan pass through to the respective stages.
+	Router    route.Options
+	Floorplan floorplan.Options
+
+	// Partition passes through to the min-cut partitioner.
+	Partition partition.Options
+
+	// SpectralPartition selects recursive spectral bisection instead of
+	// the Fiduccia–Mattheyses engine for the core-to-switch min-cut
+	// (Algorithm 1 step 11).
+	SpectralPartition bool
+
+	// AutoVoltage scales each island's NoC supply down to the lowest
+	// voltage that meets its clock (model.VoltageForFreq) instead of
+	// using the spec island's nominal supply — the voltage-island
+	// benefit applied to the NoC domains themselves.
+	AutoVoltage bool
+}
+
+func (o Options) alpha() float64 {
+	if o.Alpha == 0 {
+		return vcg.DefaultAlpha
+	}
+	return o.Alpha
+}
+
+func (o Options) midVoltage() float64 {
+	if o.IntermediateVoltage <= 0 {
+		return 1.0
+	}
+	return o.IntermediateVoltage
+}
+
+// DesignPoint is one valid synthesized design.
+type DesignPoint struct {
+	Top       *topology.Topology
+	Placement *floorplan.Placement
+
+	// SwitchCounts is the direct switch count per island; MidSwitches
+	// the indirect count in the intermediate NoC island.
+	SwitchCounts []int
+	MidSwitches  int
+
+	// NoCPower is the breakdown after floorplanning (link lengths set).
+	NoCPower power.Breakdown
+
+	// MeanLatencyCycles is the average zero-load latency over all flows
+	// (Fig. 3 metric).
+	MeanLatencyCycles float64
+
+	// NoCAreaMM2 is the silicon cost of the network.
+	NoCAreaMM2 float64
+
+	// WireViolations counts links exceeding the single-cycle wire
+	// budget after placement.
+	WireViolations int
+}
+
+// Result is the outcome of a synthesis run.
+type Result struct {
+	Spec *soc.Spec
+
+	// IslandFreqHz, MaxSwitchSize and MinSwitches record step 1-2
+	// outcomes per island (spec islands only).
+	IslandFreqHz  []float64
+	MaxSwitchSize []int
+	MinSwitches   []int
+
+	// Points holds every valid design point found.
+	Points []DesignPoint
+
+	// Explored counts attempted (switch-count, mid-count) combinations;
+	// Feasible counts those that routed successfully.
+	Explored, Feasible int
+}
+
+// Synthesize runs Algorithm 1 on the spec.
+func Synthesize(spec *soc.Spec, lib *model.Library, opt Options) (*Result, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	if err := lib.Validate(); err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	res := &Result{Spec: spec}
+
+	// Step 1: island NoC clocks and max switch sizes.
+	freqs, maxSizes, err := IslandClocks(spec, lib)
+	if err != nil {
+		return nil, err
+	}
+	res.IslandFreqHz = freqs
+	res.MaxSwitchSize = maxSizes
+
+	// Step 2: minimum switch count per island. A direct switch must
+	// keep one port free for inter-switch links, hence the -1.
+	nIsl := len(spec.Islands)
+	res.MinSwitches = make([]int, nIsl)
+	islandCores := make([][]soc.CoreID, nIsl)
+	for j := 0; j < nIsl; j++ {
+		islandCores[j] = spec.CoresIn(soc.IslandID(j))
+		n := len(islandCores[j])
+		usable := maxSizes[j] - 1
+		if usable < 1 {
+			return nil, fmt.Errorf("core: island %d needs %.0f MHz, too fast for any usable switch",
+				j, freqs[j]/1e6)
+		}
+		res.MinSwitches[j] = (n + usable - 1) / usable
+		if res.MinSwitches[j] < 1 {
+			res.MinSwitches[j] = 1
+		}
+	}
+
+	// Build per-island VCGs once.
+	vcgs, err := vcg.BuildAll(spec, opt.alpha())
+	if err != nil {
+		return nil, err
+	}
+
+	maxCores := 0
+	for j := range islandCores {
+		if len(islandCores[j]) > maxCores {
+			maxCores = len(islandCores[j])
+		}
+	}
+	maxMid := opt.MaxIntermediateSwitches
+	if maxMid <= 0 {
+		maxMid = maxCores
+	}
+	if !opt.AllowIntermediate {
+		maxMid = 0
+	}
+
+	midFreq := lib.FreqGridHz
+	for _, f := range freqs {
+		if f > midFreq {
+			midFreq = f
+		}
+	}
+
+	seen := make(map[string]bool)
+
+	// Steps 4-17: sweep switch counts and intermediate switches.
+	for i := 0; i <= maxCores; i++ {
+		counts := make([]int, nIsl)
+		saturated := true
+		for j := 0; j < nIsl; j++ {
+			k := res.MinSwitches[j] + i
+			if k >= len(islandCores[j]) {
+				k = len(islandCores[j])
+			} else {
+				saturated = false
+			}
+			counts[j] = k
+		}
+		key := fmt.Sprint(counts)
+		if !seen[key] {
+			seen[key] = true
+			// Step 11: min-cut partition every island's VCG.
+			parts, perr := partitionIslands(vcgs, counts, maxSizes, opt)
+			if perr == nil {
+				for m := 0; m <= maxMid; m++ {
+					res.Explored++
+					dp, derr := buildPoint(spec, lib, freqs, counts, parts, m, midFreq, opt)
+					if derr != nil {
+						continue
+					}
+					res.Feasible++
+					res.Points = append(res.Points, *dp)
+					if opt.MaxDesignPoints > 0 && len(res.Points) >= opt.MaxDesignPoints {
+						return res, nil
+					}
+				}
+			}
+		}
+		if saturated {
+			break
+		}
+	}
+	if len(res.Points) == 0 {
+		return res, fmt.Errorf("core: no valid design point for %q (explored %d)", spec.Name, res.Explored)
+	}
+	return res, nil
+}
+
+// IslandClocks implements step 1: the NoC clock of each island is fixed
+// by the heaviest aggregate NI bandwidth of any core in the island (the
+// NI<->switch link must carry all of the core's traffic), quantized to
+// the library clock grid; the max switch size follows from the clock.
+func IslandClocks(spec *soc.Spec, lib *model.Library) (freqs []float64, maxSizes []int, err error) {
+	egress, ingress := spec.AggregateCoreBandwidth()
+	nIsl := len(spec.Islands)
+	freqs = make([]float64, nIsl)
+	maxSizes = make([]int, nIsl)
+	for j := 0; j < nIsl; j++ {
+		var peak float64
+		for _, c := range spec.CoresIn(soc.IslandID(j)) {
+			peak = math.Max(peak, math.Max(egress[c], ingress[c]))
+		}
+		freqs[j] = lib.MinFreqForBandwidth(peak)
+		maxSizes[j] = lib.MaxSwitchSize(freqs[j])
+		if maxSizes[j] == 0 {
+			return nil, nil, fmt.Errorf(
+				"core: island %d requires %.0f MHz which no switch meets; widen links", j, freqs[j]/1e6)
+		}
+		if maxSizes[j] > len(spec.Cores)+nIsl+8 {
+			// Unbounded in practice; clamp for sizing arithmetic.
+			maxSizes[j] = len(spec.Cores) + nIsl + 8
+		}
+	}
+	return freqs, maxSizes, nil
+}
+
+// partitionIslands runs min-cut partitioning of every island VCG into
+// the requested switch counts.
+func partitionIslands(vcgs []*vcg.VCG, counts, maxSizes []int, opt Options) ([][]int, error) {
+	parts := make([][]int, len(vcgs))
+	for j, v := range vcgs {
+		pOpt := opt.Partition
+		cap := maxSizes[j] - 1
+		if pOpt.MaxPartSize == 0 || cap < pOpt.MaxPartSize {
+			pOpt.MaxPartSize = cap
+		}
+		kway := partition.KWay
+		if opt.SpectralPartition {
+			kway = partition.SpectralKWay
+		}
+		p, err := kway(v.Undirected(), counts[j], pOpt)
+		if err != nil {
+			return nil, err
+		}
+		parts[j] = partition.Canonical(p, counts[j])
+	}
+	return parts, nil
+}
+
+// buildPoint constructs, routes, floorplans and costs one candidate
+// design. An error means the point is infeasible.
+func buildPoint(spec *soc.Spec, lib *model.Library, freqs []float64,
+	counts []int, parts [][]int, mid int, midFreq float64, opt Options) (*DesignPoint, error) {
+
+	top := topology.New(spec, lib)
+	for j, f := range freqs {
+		top.SetIslandFreq(soc.IslandID(j), f)
+		if opt.AutoVoltage {
+			top.SetIslandVoltage(soc.IslandID(j), lib.VoltageForFreq(f))
+		}
+	}
+	// Direct switches per island, one per partition.
+	swID := make([][]topology.SwitchID, len(counts))
+	for j, k := range counts {
+		swID[j] = make([]topology.SwitchID, k)
+		for p := 0; p < k; p++ {
+			swID[j][p] = top.AddSwitch(soc.IslandID(j), false)
+		}
+	}
+	for j := range counts {
+		cores := spec.CoresIn(soc.IslandID(j))
+		for i, c := range cores {
+			if err := top.AttachCore(c, swID[j][parts[j][i]]); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if mid > 0 {
+		midV := opt.midVoltage()
+		if opt.AutoVoltage {
+			midV = lib.VoltageForFreq(midFreq)
+		}
+		ni := top.AddNoCIsland(midFreq, midV)
+		for p := 0; p < mid; p++ {
+			top.AddSwitch(ni, true)
+		}
+	}
+
+	// Step 15: route flows in bandwidth order.
+	r := route.New(top, opt.Router)
+	if err := r.RouteAll(); err != nil {
+		return nil, err
+	}
+	// A design point whose routes could deadlock is invalid; the island
+	// discipline makes this rare, but it is verified, not assumed.
+	if err := deadlock.Check(top); err != nil {
+		return nil, err
+	}
+
+	// Floorplan, then validate with real wire lengths.
+	pl, err := floorplan.Place(top, opt.Floorplan)
+	if err != nil {
+		return nil, err
+	}
+	if err := top.Validate(); err != nil {
+		return nil, err
+	}
+
+	dp := &DesignPoint{
+		Top:               top,
+		Placement:         pl,
+		SwitchCounts:      append([]int(nil), counts...),
+		MidSwitches:       mid,
+		NoCPower:          power.NoC(top),
+		MeanLatencyCycles: top.MeanZeroLoadLatency(),
+		NoCAreaMM2:        power.NoCAreaMM2(top),
+		WireViolations:    len(floorplan.WireDelayViolations(top, pl)),
+	}
+	return dp, nil
+}
+
+// Best returns the design point with the lowest NoC dynamic power,
+// preferring points without wire-delay violations. Nil when empty.
+func (r *Result) Best() *DesignPoint {
+	return r.argmin(func(d *DesignPoint) float64 { return d.NoCPower.DynW() })
+}
+
+// BestLatency returns the design point with the lowest mean zero-load
+// latency, preferring points without wire-delay violations.
+func (r *Result) BestLatency() *DesignPoint {
+	return r.argmin(func(d *DesignPoint) float64 { return d.MeanLatencyCycles })
+}
+
+func (r *Result) argmin(metric func(*DesignPoint) float64) *DesignPoint {
+	var best *DesignPoint
+	bestViol := math.MaxInt32
+	bestVal := math.Inf(1)
+	for i := range r.Points {
+		d := &r.Points[i]
+		v := metric(d)
+		if d.WireViolations < bestViol || (d.WireViolations == bestViol && v < bestVal) {
+			best, bestViol, bestVal = d, d.WireViolations, v
+		}
+	}
+	return best
+}
+
+// RefinePlacement re-floorplans the design point with the annealing
+// placement optimizer (island orders that shorten traffic-weighted
+// wires), then refreshes the wire-dependent metrics: link lengths, NoC
+// power and wire-delay violations. iters <= 0 selects the optimizer's
+// default budget.
+func (d *DesignPoint) RefinePlacement(iters int) error {
+	pl, err := floorplan.PlaceOptimized(d.Top, floorplan.Options{}, iters)
+	if err != nil {
+		return err
+	}
+	d.Placement = pl
+	d.NoCPower = power.NoC(d.Top)
+	d.WireViolations = len(floorplan.WireDelayViolations(d.Top, pl))
+	return nil
+}

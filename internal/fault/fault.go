@@ -1,0 +1,136 @@
+// Package fault analyzes single-link-failure recoverability of a
+// synthesized topology, quantifying the paper's related-work argument:
+// rerouting around failed (or shut down) components "does not guarantee
+// the availability of paths" [20]. For every link of the design the
+// analysis removes it and attempts to re-route all affected flows over
+// the *remaining* links only (silicon cannot grow wires after
+// fabrication), under the same island discipline, capacity and latency
+// constraints. The fraction of unrecoverable failures is the number the
+// paper's design-time guarantee avoids paying at run time.
+package fault
+
+import (
+	"fmt"
+
+	"nocvi/internal/route"
+	"nocvi/internal/soc"
+	"nocvi/internal/topology"
+)
+
+// LinkOutcome is the recovery result for one failed link.
+type LinkOutcome struct {
+	Link topology.LinkID
+	// AffectedFlows counts flows whose route used the link.
+	AffectedFlows int
+	// Recovered is true when every affected flow found a new path over
+	// the surviving links within its constraints.
+	Recovered bool
+	// Reason holds the first failure when not recovered.
+	Reason string
+}
+
+// Report summarizes the single-link-failure sweep.
+type Report struct {
+	Links       int
+	Recoverable int
+	Outcomes    []LinkOutcome
+}
+
+// RecoverableFrac returns the fraction of link failures the routing
+// could work around.
+func (r *Report) RecoverableFrac() float64 {
+	if r.Links == 0 {
+		return 1
+	}
+	return float64(r.Recoverable) / float64(r.Links)
+}
+
+// Analyze sweeps every link of the topology.
+func Analyze(top *topology.Topology) (*Report, error) {
+	rep := &Report{Links: len(top.Links)}
+	for _, l := range top.Links {
+		out, err := tryWithout(top, l.ID)
+		if err != nil {
+			return nil, err
+		}
+		if out.Recovered {
+			rep.Recoverable++
+		}
+		rep.Outcomes = append(rep.Outcomes, *out)
+	}
+	return rep, nil
+}
+
+// tryWithout rebuilds the design without the failed link and re-routes
+// everything over the surviving links.
+func tryWithout(orig *topology.Topology, failed topology.LinkID) (*LinkOutcome, error) {
+	out := &LinkOutcome{Link: failed}
+	for ri := range orig.Routes {
+		for _, lid := range orig.Routes[ri].Links {
+			if lid == failed {
+				out.AffectedFlows++
+				break
+			}
+		}
+	}
+
+	// Rebuild: same switches and attachments, all links except the
+	// failed one (traffic reset), no routes yet.
+	top := topology.New(orig.Spec, orig.Lib)
+	for i := 0; i < len(orig.Spec.Islands); i++ {
+		top.SetIslandFreq(soc.IslandID(i), orig.IslandFreqHz[i])
+		top.SetIslandVoltage(soc.IslandID(i), orig.IslandVoltage[i])
+	}
+	if orig.NoCIsland != soc.NoIsland {
+		top.AddNoCIsland(orig.IslandFreqHz[orig.NoCIsland], orig.IslandVoltage[orig.NoCIsland])
+	}
+	for _, s := range orig.Switches {
+		id := top.AddSwitch(s.Island, s.Indirect)
+		if id != s.ID {
+			return nil, fmt.Errorf("fault: switch renumbering (%d vs %d)", id, s.ID)
+		}
+	}
+	for c, sw := range orig.SwitchOf {
+		if sw < 0 {
+			continue
+		}
+		if err := top.AttachCore(soc.CoreID(c), sw); err != nil {
+			return nil, err
+		}
+	}
+	for _, l := range orig.Links {
+		if l.ID == failed {
+			continue
+		}
+		if _, err := top.AddLink(l.From, l.To); err != nil {
+			return nil, err
+		}
+	}
+
+	r := route.New(top, route.Options{NoNewLinks: true})
+	if err := r.RouteAll(); err != nil {
+		out.Recovered = false
+		out.Reason = err.Error()
+		return out, nil
+	}
+	if err := top.Validate(); err != nil {
+		out.Recovered = false
+		out.Reason = err.Error()
+		return out, nil
+	}
+	out.Recovered = true
+	return out, nil
+}
+
+// Format renders the report.
+func (r *Report) Format() string {
+	s := fmt.Sprintf("single-link-failure sweep: %d/%d recoverable (%.0f%%)\n",
+		r.Recoverable, r.Links, r.RecoverableFrac()*100)
+	for _, o := range r.Outcomes {
+		if !o.Recovered {
+			s += fmt.Sprintf("  link %d UNRECOVERABLE (%d flows affected): %s\n",
+				o.Link, o.AffectedFlows, o.Reason)
+		}
+	}
+	return s
+}

@@ -1,0 +1,496 @@
+// Package graph provides small, allocation-conscious directed and
+// undirected weighted graph types together with the algorithms the
+// synthesis flow needs: Dijkstra shortest paths with per-query edge
+// costs, breadth-first reachability, connected components, and simple
+// degree/weight bookkeeping.
+//
+// Vertices are dense integers in [0, N). The synthesis engine maps cores
+// and switches onto these indices.
+package graph
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+)
+
+// Edge is a directed edge with a weight (bandwidth, cost, ...).
+type Edge struct {
+	From, To int
+	Weight   float64
+}
+
+// Directed is a directed multigraph-free weighted graph with O(1)
+// adjacency iteration. Adding an edge that already exists accumulates its
+// weight, which matches how communication graphs merge parallel flows.
+type Directed struct {
+	n   int
+	adj [][]halfEdge // outgoing
+	in  [][]halfEdge // incoming
+	m   int
+}
+
+type halfEdge struct {
+	to int
+	w  float64
+}
+
+// NewDirected creates a directed graph with n vertices and no edges.
+func NewDirected(n int) *Directed {
+	if n < 0 {
+		panic("graph: negative vertex count")
+	}
+	return &Directed{n: n, adj: make([][]halfEdge, n), in: make([][]halfEdge, n)}
+}
+
+// N returns the number of vertices.
+func (g *Directed) N() int { return g.n }
+
+// M returns the number of distinct directed edges.
+func (g *Directed) M() int { return g.m }
+
+// AddEdge inserts the edge u->v with weight w, accumulating the weight if
+// the edge already exists. Self loops are rejected.
+func (g *Directed) AddEdge(u, v int, w float64) {
+	g.check(u)
+	g.check(v)
+	if u == v {
+		panic(fmt.Sprintf("graph: self loop on %d", u))
+	}
+	for i := range g.adj[u] {
+		if g.adj[u][i].to == v {
+			g.adj[u][i].w += w
+			for j := range g.in[v] {
+				if g.in[v][j].to == u {
+					g.in[v][j].w += w
+					break
+				}
+			}
+			return
+		}
+	}
+	g.adj[u] = append(g.adj[u], halfEdge{to: v, w: w})
+	g.in[v] = append(g.in[v], halfEdge{to: u, w: w})
+	g.m++
+}
+
+// HasEdge reports whether u->v exists.
+func (g *Directed) HasEdge(u, v int) bool {
+	g.check(u)
+	g.check(v)
+	for _, e := range g.adj[u] {
+		if e.to == v {
+			return true
+		}
+	}
+	return false
+}
+
+// Weight returns the weight of u->v, or 0 when absent.
+func (g *Directed) Weight(u, v int) float64 {
+	g.check(u)
+	g.check(v)
+	for _, e := range g.adj[u] {
+		if e.to == v {
+			return e.w
+		}
+	}
+	return 0
+}
+
+// Succ calls fn for every outgoing edge of u.
+func (g *Directed) Succ(u int, fn func(v int, w float64)) {
+	g.check(u)
+	for _, e := range g.adj[u] {
+		fn(e.to, e.w)
+	}
+}
+
+// Pred calls fn for every incoming edge of u.
+func (g *Directed) Pred(u int, fn func(v int, w float64)) {
+	g.check(u)
+	for _, e := range g.in[u] {
+		fn(e.to, e.w)
+	}
+}
+
+// OutDegree returns the number of outgoing edges of u.
+func (g *Directed) OutDegree(u int) int { g.check(u); return len(g.adj[u]) }
+
+// InDegree returns the number of incoming edges of u.
+func (g *Directed) InDegree(u int) int { g.check(u); return len(g.in[u]) }
+
+// Edges returns all edges in deterministic (source, insertion) order.
+func (g *Directed) Edges() []Edge {
+	out := make([]Edge, 0, g.m)
+	for u := 0; u < g.n; u++ {
+		for _, e := range g.adj[u] {
+			out = append(out, Edge{From: u, To: e.to, Weight: e.w})
+		}
+	}
+	return out
+}
+
+// TotalWeight sums the weights of all edges.
+func (g *Directed) TotalWeight() float64 {
+	var sum float64
+	for u := 0; u < g.n; u++ {
+		for _, e := range g.adj[u] {
+			sum += e.w
+		}
+	}
+	return sum
+}
+
+// Undirect returns the undirected view of g: an edge {u,v} with weight
+// w(u->v)+w(v->u). Min-cut partitioning operates on this view.
+func (g *Directed) Undirect() *Undirected {
+	u := NewUndirected(g.n)
+	for _, e := range g.Edges() {
+		u.AddEdge(e.From, e.To, e.Weight)
+	}
+	return u
+}
+
+func (g *Directed) check(u int) {
+	if u < 0 || u >= g.n {
+		panic(fmt.Sprintf("graph: vertex %d out of range [0,%d)", u, g.n))
+	}
+}
+
+// Undirected is an undirected weighted graph. Parallel edge insertions
+// accumulate weight.
+type Undirected struct {
+	n   int
+	adj [][]halfEdge
+	m   int
+}
+
+// NewUndirected creates an undirected graph with n vertices.
+func NewUndirected(n int) *Undirected {
+	if n < 0 {
+		panic("graph: negative vertex count")
+	}
+	return &Undirected{n: n, adj: make([][]halfEdge, n)}
+}
+
+// N returns the number of vertices.
+func (g *Undirected) N() int { return g.n }
+
+// M returns the number of distinct undirected edges.
+func (g *Undirected) M() int { return g.m }
+
+// AddEdge inserts {u,v} with weight w, accumulating if present.
+func (g *Undirected) AddEdge(u, v int, w float64) {
+	if u < 0 || u >= g.n || v < 0 || v >= g.n {
+		panic("graph: vertex out of range")
+	}
+	if u == v {
+		panic(fmt.Sprintf("graph: self loop on %d", u))
+	}
+	for i := range g.adj[u] {
+		if g.adj[u][i].to == v {
+			g.adj[u][i].w += w
+			for j := range g.adj[v] {
+				if g.adj[v][j].to == u {
+					g.adj[v][j].w += w
+					break
+				}
+			}
+			return
+		}
+	}
+	g.adj[u] = append(g.adj[u], halfEdge{to: v, w: w})
+	g.adj[v] = append(g.adj[v], halfEdge{to: u, w: w})
+	g.m++
+}
+
+// Weight returns the weight of {u,v}, 0 when absent.
+func (g *Undirected) Weight(u, v int) float64 {
+	for _, e := range g.adj[u] {
+		if e.to == v {
+			return e.w
+		}
+	}
+	return 0
+}
+
+// Neighbors calls fn for every edge incident to u.
+func (g *Undirected) Neighbors(u int, fn func(v int, w float64)) {
+	for _, e := range g.adj[u] {
+		fn(e.to, e.w)
+	}
+}
+
+// Degree returns the number of edges incident to u.
+func (g *Undirected) Degree(u int) int { return len(g.adj[u]) }
+
+// WeightedDegree returns the total incident edge weight of u.
+func (g *Undirected) WeightedDegree(u int) float64 {
+	var sum float64
+	for _, e := range g.adj[u] {
+		sum += e.w
+	}
+	return sum
+}
+
+// Components returns the connected components as a vertex->component map
+// and the component count. Component IDs are dense and assigned in
+// ascending order of their smallest vertex.
+func (g *Undirected) Components() (comp []int, count int) {
+	comp = make([]int, g.n)
+	for i := range comp {
+		comp[i] = -1
+	}
+	var queue []int
+	for s := 0; s < g.n; s++ {
+		if comp[s] != -1 {
+			continue
+		}
+		comp[s] = count
+		queue = append(queue[:0], s)
+		for len(queue) > 0 {
+			u := queue[len(queue)-1]
+			queue = queue[:len(queue)-1]
+			for _, e := range g.adj[u] {
+				if comp[e.to] == -1 {
+					comp[e.to] = count
+					queue = append(queue, e.to)
+				}
+			}
+		}
+		count++
+	}
+	return comp, count
+}
+
+// CutWeight returns the total weight of edges crossing the given
+// bipartition (part[v] selects the side of v).
+func (g *Undirected) CutWeight(part []bool) float64 {
+	var cut float64
+	for u := 0; u < g.n; u++ {
+		for _, e := range g.adj[u] {
+			if u < e.to && part[u] != part[e.to] {
+				cut += e.w
+			}
+		}
+	}
+	return cut
+}
+
+// Inf is the distance reported by Dijkstra for unreachable vertices.
+var Inf = math.Inf(1)
+
+// CostFunc computes the traversal cost of edge u->v with static weight w.
+// Returning +Inf excludes the edge for the current query.
+type CostFunc func(u, v int, w float64) float64
+
+// pqItem is a priority queue entry for Dijkstra.
+type pqItem struct {
+	v    int
+	dist float64
+}
+
+type pq []pqItem
+
+func (p pq) Len() int            { return len(p) }
+func (p pq) Less(i, j int) bool  { return p[i].dist < p[j].dist }
+func (p pq) Swap(i, j int)       { p[i], p[j] = p[j], p[i] }
+func (p *pq) Push(x interface{}) { *p = append(*p, x.(pqItem)) }
+func (p *pq) Pop() interface{} {
+	old := *p
+	n := len(old)
+	it := old[n-1]
+	*p = old[:n-1]
+	return it
+}
+
+// Dijkstra computes least-cost distances from src over the directed
+// graph, evaluating edge costs through cost (nil means use the static
+// weights). It returns the distance slice and the predecessor slice
+// (-1 for src and unreachable vertices).
+func (g *Directed) Dijkstra(src int, cost CostFunc) (dist []float64, pred []int) {
+	g.check(src)
+	dist = make([]float64, g.n)
+	pred = make([]int, g.n)
+	for i := range dist {
+		dist[i] = Inf
+		pred[i] = -1
+	}
+	dist[src] = 0
+	h := &pq{{v: src, dist: 0}}
+	for h.Len() > 0 {
+		it := heap.Pop(h).(pqItem)
+		if it.dist > dist[it.v] {
+			continue
+		}
+		for _, e := range g.adj[it.v] {
+			c := e.w
+			if cost != nil {
+				c = cost(it.v, e.to, e.w)
+			}
+			if math.IsInf(c, 1) {
+				continue
+			}
+			if c < 0 {
+				panic("graph: negative edge cost in Dijkstra")
+			}
+			if nd := it.dist + c; nd < dist[e.to] {
+				dist[e.to] = nd
+				pred[e.to] = it.v
+				heap.Push(h, pqItem{v: e.to, dist: nd})
+			}
+		}
+	}
+	return dist, pred
+}
+
+// ShortestPath returns the least-cost path src..dst (inclusive) and its
+// cost, or nil and +Inf when unreachable.
+func (g *Directed) ShortestPath(src, dst int, cost CostFunc) ([]int, float64) {
+	dist, pred := g.Dijkstra(src, cost)
+	if math.IsInf(dist[dst], 1) {
+		return nil, Inf
+	}
+	var rev []int
+	for v := dst; v != -1; v = pred[v] {
+		rev = append(rev, v)
+	}
+	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+		rev[i], rev[j] = rev[j], rev[i]
+	}
+	return rev, dist[dst]
+}
+
+// Reachable returns the set of vertices reachable from src (including
+// src) following directed edges.
+func (g *Directed) Reachable(src int) []bool {
+	g.check(src)
+	seen := make([]bool, g.n)
+	seen[src] = true
+	stack := []int{src}
+	for len(stack) > 0 {
+		u := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, e := range g.adj[u] {
+			if !seen[e.to] {
+				seen[e.to] = true
+				stack = append(stack, e.to)
+			}
+		}
+	}
+	return seen
+}
+
+// InducedSubgraph returns the subgraph induced by keep (vertices with
+// keep[v]==true) plus the mapping from new to old vertex indices.
+func (g *Directed) InducedSubgraph(keep []bool) (*Directed, []int) {
+	if len(keep) != g.n {
+		panic("graph: keep mask length mismatch")
+	}
+	var toOld []int
+	toNew := make([]int, g.n)
+	for v := 0; v < g.n; v++ {
+		if keep[v] {
+			toNew[v] = len(toOld)
+			toOld = append(toOld, v)
+		} else {
+			toNew[v] = -1
+		}
+	}
+	sub := NewDirected(len(toOld))
+	for _, e := range g.Edges() {
+		if keep[e.From] && keep[e.To] {
+			sub.AddEdge(toNew[e.From], toNew[e.To], e.Weight)
+		}
+	}
+	return sub, toOld
+}
+
+// HasCycle reports whether the directed graph contains a cycle, using
+// iterative three-color DFS. It also returns one witness cycle (a vertex
+// sequence v0, v1, ..., v0) when found, nil otherwise.
+func (g *Directed) HasCycle() (bool, []int) {
+	const (
+		white = 0
+		gray  = 1
+		black = 2
+	)
+	color := make([]int8, g.n)
+	parent := make([]int, g.n)
+	for i := range parent {
+		parent[i] = -1
+	}
+	type frame struct {
+		v   int
+		idx int
+	}
+	for s := 0; s < g.n; s++ {
+		if color[s] != white {
+			continue
+		}
+		stack := []frame{{v: s}}
+		color[s] = gray
+		for len(stack) > 0 {
+			f := &stack[len(stack)-1]
+			if f.idx < len(g.adj[f.v]) {
+				u := g.adj[f.v][f.idx].to
+				f.idx++
+				switch color[u] {
+				case white:
+					color[u] = gray
+					parent[u] = f.v
+					stack = append(stack, frame{v: u})
+				case gray:
+					// Found a back edge f.v -> u where u is an ancestor of
+					// f.v: the cycle is u -> ... -> f.v -> u. The parent
+					// chain yields the u..f.v path in reverse, so collect
+					// it after the anchor and flip that portion only.
+					cycle := []int{u}
+					for v := f.v; v != u && v != -1; v = parent[v] {
+						cycle = append(cycle, v)
+					}
+					for i, j := 1, len(cycle)-1; i < j; i, j = i+1, j-1 {
+						cycle[i], cycle[j] = cycle[j], cycle[i]
+					}
+					cycle = append(cycle, u)
+					return true, cycle
+				}
+			} else {
+				color[f.v] = black
+				stack = stack[:len(stack)-1]
+			}
+		}
+	}
+	return false, nil
+}
+
+// TopoSort returns a topological order of the vertices, or an error
+// witness (false) when the graph is cyclic.
+func (g *Directed) TopoSort() ([]int, bool) {
+	indeg := make([]int, g.n)
+	for u := 0; u < g.n; u++ {
+		for _, e := range g.adj[u] {
+			indeg[e.to]++
+		}
+	}
+	var queue []int
+	for v := 0; v < g.n; v++ {
+		if indeg[v] == 0 {
+			queue = append(queue, v)
+		}
+	}
+	order := make([]int, 0, g.n)
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		order = append(order, v)
+		for _, e := range g.adj[v] {
+			indeg[e.to]--
+			if indeg[e.to] == 0 {
+				queue = append(queue, e.to)
+			}
+		}
+	}
+	return order, len(order) == g.n
+}

@@ -1,0 +1,276 @@
+package graph
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDirectedBasics(t *testing.T) {
+	g := NewDirected(4)
+	g.AddEdge(0, 1, 2)
+	g.AddEdge(1, 2, 3)
+	g.AddEdge(0, 1, 1) // accumulates
+	if g.N() != 4 || g.M() != 2 {
+		t.Fatalf("N=%d M=%d", g.N(), g.M())
+	}
+	if !g.HasEdge(0, 1) || g.HasEdge(1, 0) {
+		t.Fatal("HasEdge wrong")
+	}
+	if w := g.Weight(0, 1); w != 3 {
+		t.Fatalf("Weight(0,1)=%g, want accumulated 3", w)
+	}
+	if w := g.Weight(2, 3); w != 0 {
+		t.Fatalf("absent edge weight = %g", w)
+	}
+	if g.OutDegree(0) != 1 || g.InDegree(2) != 1 || g.InDegree(0) != 0 {
+		t.Fatal("degree bookkeeping wrong")
+	}
+	if got := g.TotalWeight(); got != 6 {
+		t.Fatalf("TotalWeight=%g", got)
+	}
+	var succ, pred []int
+	g.Succ(0, func(v int, w float64) { succ = append(succ, v) })
+	g.Pred(2, func(v int, w float64) { pred = append(pred, v) })
+	if len(succ) != 1 || succ[0] != 1 || len(pred) != 1 || pred[0] != 1 {
+		t.Fatal("Succ/Pred iteration wrong")
+	}
+}
+
+func TestDirectedPanics(t *testing.T) {
+	g := NewDirected(2)
+	mustPanic(t, func() { g.AddEdge(0, 0, 1) })
+	mustPanic(t, func() { g.AddEdge(0, 5, 1) })
+	mustPanic(t, func() { g.Weight(-1, 0) })
+	mustPanic(t, func() { NewDirected(-1) })
+	mustPanic(t, func() { NewUndirected(-1) })
+	u := NewUndirected(2)
+	mustPanic(t, func() { u.AddEdge(1, 1, 1) })
+}
+
+func mustPanic(t *testing.T, f func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	f()
+}
+
+func TestEdgesDeterministic(t *testing.T) {
+	g := NewDirected(3)
+	g.AddEdge(2, 0, 1)
+	g.AddEdge(0, 2, 1)
+	g.AddEdge(0, 1, 1)
+	e := g.Edges()
+	if len(e) != 3 || e[0].From != 0 || e[0].To != 2 || e[1].To != 1 || e[2].From != 2 {
+		t.Fatalf("edge order not (source, insertion): %+v", e)
+	}
+}
+
+func TestUndirect(t *testing.T) {
+	g := NewDirected(3)
+	g.AddEdge(0, 1, 2)
+	g.AddEdge(1, 0, 3)
+	g.AddEdge(1, 2, 5)
+	u := g.Undirect()
+	if u.M() != 2 {
+		t.Fatalf("undirected M=%d", u.M())
+	}
+	if w := u.Weight(0, 1); w != 5 {
+		t.Fatalf("merged weight = %g, want 5", w)
+	}
+	if u.WeightedDegree(1) != 10 || u.Degree(1) != 2 {
+		t.Fatal("undirected degrees wrong")
+	}
+}
+
+func TestComponents(t *testing.T) {
+	u := NewUndirected(6)
+	u.AddEdge(0, 1, 1)
+	u.AddEdge(1, 2, 1)
+	u.AddEdge(4, 5, 1)
+	comp, n := u.Components()
+	if n != 3 {
+		t.Fatalf("component count = %d, want 3", n)
+	}
+	if comp[0] != comp[2] || comp[3] == comp[0] || comp[4] != comp[5] {
+		t.Fatalf("components = %v", comp)
+	}
+	// dense, ascending by smallest vertex
+	if comp[0] != 0 || comp[3] != 1 || comp[4] != 2 {
+		t.Fatalf("component numbering = %v", comp)
+	}
+}
+
+func TestCutWeight(t *testing.T) {
+	u := NewUndirected(4)
+	u.AddEdge(0, 1, 3)
+	u.AddEdge(2, 3, 4)
+	u.AddEdge(1, 2, 7)
+	cut := u.CutWeight([]bool{false, false, true, true})
+	if cut != 7 {
+		t.Fatalf("cut = %g, want 7", cut)
+	}
+	if c := u.CutWeight([]bool{false, true, false, true}); c != 14 {
+		t.Fatalf("cut = %g, want 14", c)
+	}
+}
+
+func TestDijkstraStatic(t *testing.T) {
+	g := NewDirected(5)
+	g.AddEdge(0, 1, 1)
+	g.AddEdge(1, 2, 1)
+	g.AddEdge(0, 2, 5)
+	g.AddEdge(2, 3, 1)
+	dist, pred := g.Dijkstra(0, nil)
+	if dist[2] != 2 || pred[2] != 1 {
+		t.Fatalf("dist[2]=%g pred=%d", dist[2], pred[2])
+	}
+	if dist[3] != 3 {
+		t.Fatalf("dist[3]=%g", dist[3])
+	}
+	if !math.IsInf(dist[4], 1) || pred[4] != -1 {
+		t.Fatal("unreachable vertex not Inf")
+	}
+}
+
+func TestDijkstraDynamicCost(t *testing.T) {
+	g := NewDirected(3)
+	g.AddEdge(0, 1, 1)
+	g.AddEdge(1, 2, 1)
+	g.AddEdge(0, 2, 1)
+	// forbid the direct edge
+	cost := func(u, v int, w float64) float64 {
+		if u == 0 && v == 2 {
+			return Inf
+		}
+		return w
+	}
+	path, c := g.ShortestPath(0, 2, cost)
+	if c != 2 || len(path) != 3 || path[1] != 1 {
+		t.Fatalf("path=%v cost=%g", path, c)
+	}
+}
+
+func TestDijkstraNegativePanics(t *testing.T) {
+	g := NewDirected(2)
+	g.AddEdge(0, 1, -1)
+	mustPanic(t, func() { g.Dijkstra(0, nil) })
+}
+
+func TestShortestPathUnreachable(t *testing.T) {
+	g := NewDirected(3)
+	g.AddEdge(0, 1, 1)
+	p, c := g.ShortestPath(0, 2, nil)
+	if p != nil || !math.IsInf(c, 1) {
+		t.Fatalf("unreachable: path=%v cost=%g", p, c)
+	}
+	// src == dst
+	p, c = g.ShortestPath(1, 1, nil)
+	if len(p) != 1 || p[0] != 1 || c != 0 {
+		t.Fatalf("trivial path=%v cost=%g", p, c)
+	}
+}
+
+func TestReachable(t *testing.T) {
+	g := NewDirected(4)
+	g.AddEdge(0, 1, 1)
+	g.AddEdge(1, 2, 1)
+	g.AddEdge(3, 0, 1)
+	r := g.Reachable(0)
+	if !r[0] || !r[1] || !r[2] || r[3] {
+		t.Fatalf("reachable = %v", r)
+	}
+}
+
+func TestInducedSubgraph(t *testing.T) {
+	g := NewDirected(4)
+	g.AddEdge(0, 1, 1)
+	g.AddEdge(1, 2, 2)
+	g.AddEdge(2, 3, 3)
+	sub, toOld := g.InducedSubgraph([]bool{true, false, true, true})
+	if sub.N() != 3 || sub.M() != 1 {
+		t.Fatalf("sub N=%d M=%d", sub.N(), sub.M())
+	}
+	if toOld[0] != 0 || toOld[1] != 2 || toOld[2] != 3 {
+		t.Fatalf("toOld=%v", toOld)
+	}
+	if sub.Weight(1, 2) != 3 {
+		t.Fatal("surviving edge lost its weight")
+	}
+	mustPanic(t, func() { g.InducedSubgraph([]bool{true}) })
+}
+
+// Property: Dijkstra distances satisfy the triangle inequality over every
+// edge: dist[v] <= dist[u] + w(u,v).
+func TestDijkstraRelaxationProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := newLCG(seed)
+		n := 2 + int(r.next()%14)
+		g := NewDirected(n)
+		edges := n * 2
+		for i := 0; i < edges; i++ {
+			u := int(r.next() % uint64(n))
+			v := int(r.next() % uint64(n))
+			if u == v {
+				continue
+			}
+			g.AddEdge(u, v, float64(r.next()%1000)/10+0.1)
+		}
+		dist, _ := g.Dijkstra(0, nil)
+		for _, e := range g.Edges() {
+			if !math.IsInf(dist[e.From], 1) && dist[e.To] > dist[e.From]+e.Weight+1e-9 {
+				return false
+			}
+		}
+		// distances also reconstructible: dist[0] == 0
+		return dist[0] == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: cut weight of any bipartition is at most total edge weight,
+// and the cut of the all-false partition is zero.
+func TestCutWeightBounds(t *testing.T) {
+	f := func(seed int64, bits uint16) bool {
+		r := newLCG(seed)
+		n := 2 + int(r.next()%10)
+		u := NewUndirected(n)
+		var total float64
+		for i := 0; i < n*2; i++ {
+			a := int(r.next() % uint64(n))
+			b := int(r.next() % uint64(n))
+			if a == b {
+				continue
+			}
+			w := float64(r.next()%100) + 1
+			u.AddEdge(a, b, w)
+			total += w
+		}
+		part := make([]bool, n)
+		for i := range part {
+			part[i] = bits&(1<<uint(i)) != 0
+		}
+		cut := u.CutWeight(part)
+		zero := u.CutWeight(make([]bool, n))
+		return cut <= total+1e-9 && zero == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// lcg is a tiny deterministic generator for property tests (avoids
+// math/rand seeding boilerplate and keeps tests reproducible).
+type lcg struct{ s uint64 }
+
+func newLCG(seed int64) *lcg { return &lcg{s: uint64(seed)*2862933555777941757 + 3037000493} }
+
+func (l *lcg) next() uint64 {
+	l.s = l.s*6364136223846793005 + 1442695040888963407
+	return l.s >> 11
+}

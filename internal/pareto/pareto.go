@@ -1,0 +1,99 @@
+// Package pareto selects the non-dominated design points of a synthesis
+// run. The paper's flow "produces several design points that meet the
+// application constraints with different switch counts, with each point
+// having different power and performance values. The designer can then
+// choose the best design point from the trade-off curves obtained" —
+// this package computes those trade-off curves.
+package pareto
+
+import "sort"
+
+// Point is a candidate in two minimized objectives (e.g. X = NoC dynamic
+// power, Y = mean zero-load latency). Index refers back to the caller's
+// slice.
+type Point struct {
+	Index int
+	X, Y  float64
+}
+
+// Dominates reports whether a is at least as good as b in both
+// objectives and strictly better in one.
+func Dominates(a, b Point) bool {
+	return a.X <= b.X && a.Y <= b.Y && (a.X < b.X || a.Y < b.Y)
+}
+
+// Front returns the non-dominated subset, sorted by ascending X (and
+// descending Y along the front). Duplicate coordinates keep the earliest
+// index. The input is not modified.
+func Front(points []Point) []Point {
+	if len(points) == 0 {
+		return nil
+	}
+	sorted := append([]Point(nil), points...)
+	sort.SliceStable(sorted, func(i, j int) bool {
+		if sorted[i].X != sorted[j].X {
+			return sorted[i].X < sorted[j].X
+		}
+		if sorted[i].Y != sorted[j].Y {
+			return sorted[i].Y < sorted[j].Y
+		}
+		return sorted[i].Index < sorted[j].Index
+	})
+	var front []Point
+	bestY := 0.0
+	for i, p := range sorted {
+		if i == 0 || p.Y < bestY {
+			// Skip exact duplicates of the previous front point.
+			if len(front) > 0 && front[len(front)-1].X == p.X && front[len(front)-1].Y == p.Y {
+				continue
+			}
+			front = append(front, p)
+			bestY = p.Y
+		}
+	}
+	return front
+}
+
+// Knee returns the front point closest (normalized Euclidean) to the
+// utopia point (min X, min Y) — a common "pick one" heuristic for the
+// designer. It returns the zero Point when the front is empty.
+func Knee(front []Point) Point {
+	if len(front) == 0 {
+		return Point{Index: -1}
+	}
+	minX, maxX := front[0].X, front[0].X
+	minY, maxY := front[0].Y, front[0].Y
+	for _, p := range front {
+		if p.X < minX {
+			minX = p.X
+		}
+		if p.X > maxX {
+			maxX = p.X
+		}
+		if p.Y < minY {
+			minY = p.Y
+		}
+		if p.Y > maxY {
+			maxY = p.Y
+		}
+	}
+	dx := maxX - minX
+	dy := maxY - minY
+	if dx == 0 {
+		dx = 1
+	}
+	if dy == 0 {
+		dy = 1
+	}
+	best := front[0]
+	bestD := 1e308
+	for _, p := range front {
+		nx := (p.X - minX) / dx
+		ny := (p.Y - minY) / dy
+		if d := nx*nx + ny*ny; d < bestD {
+			bestD = d
+			best = p
+		}
+	}
+	return best
+}

@@ -1,0 +1,110 @@
+package pareto
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestFrontBasic(t *testing.T) {
+	pts := []Point{
+		{0, 1, 10}, {1, 2, 5}, {2, 3, 6}, // 2 dominated by 1
+		{3, 4, 1}, {4, 5, 0.5}, {5, 0.5, 20},
+	}
+	f := Front(pts)
+	want := []int{5, 0, 1, 3, 4}
+	if len(f) != len(want) {
+		t.Fatalf("front = %v", f)
+	}
+	for i, p := range f {
+		if p.Index != want[i] {
+			t.Fatalf("front[%d] = %+v, want index %d", i, p, want[i])
+		}
+		if i > 0 && (f[i].X < f[i-1].X || f[i].Y > f[i-1].Y) {
+			t.Fatal("front not monotone")
+		}
+	}
+}
+
+func TestFrontEdgeCases(t *testing.T) {
+	if Front(nil) != nil {
+		t.Fatal("empty front")
+	}
+	one := Front([]Point{{7, 3, 3}})
+	if len(one) != 1 || one[0].Index != 7 {
+		t.Fatal("singleton front")
+	}
+	// exact duplicates collapse to the earliest index
+	dup := Front([]Point{{1, 2, 2}, {0, 2, 2}})
+	if len(dup) != 1 || dup[0].Index != 0 {
+		t.Fatalf("duplicates: %v", dup)
+	}
+}
+
+func TestDominates(t *testing.T) {
+	a := Point{0, 1, 1}
+	b := Point{1, 2, 2}
+	if !Dominates(a, b) || Dominates(b, a) {
+		t.Fatal("dominance wrong")
+	}
+	if Dominates(a, a) {
+		t.Fatal("point dominates itself")
+	}
+	c := Point{2, 0.5, 3}
+	if Dominates(a, c) || Dominates(c, a) {
+		t.Fatal("incomparable pair misjudged")
+	}
+}
+
+func TestKnee(t *testing.T) {
+	front := []Point{{0, 1, 10}, {1, 2, 4}, {2, 8, 1}}
+	k := Knee(front)
+	if k.Index != 1 {
+		t.Fatalf("knee = %+v", k)
+	}
+	if Knee(nil).Index != -1 {
+		t.Fatal("empty knee")
+	}
+	if Knee([]Point{{5, 2, 2}}).Index != 5 {
+		t.Fatal("singleton knee")
+	}
+}
+
+// Property: no front member is dominated by any input point, and every
+// input point is dominated-or-equal by some front member.
+func TestFrontProperty(t *testing.T) {
+	f := func(raw []uint16) bool {
+		if len(raw) == 0 || len(raw) > 64 {
+			return true
+		}
+		pts := make([]Point, len(raw))
+		for i, r := range raw {
+			pts[i] = Point{Index: i, X: float64(r % 97), Y: float64((r / 97) % 89)}
+		}
+		front := Front(pts)
+		inFront := map[int]bool{}
+		for _, fp := range front {
+			inFront[fp.Index] = true
+			for _, p := range pts {
+				if Dominates(p, fp) {
+					return false
+				}
+			}
+		}
+		for _, p := range pts {
+			covered := false
+			for _, fp := range front {
+				if Dominates(fp, p) || (fp.X == p.X && fp.Y == p.Y) {
+					covered = true
+					break
+				}
+			}
+			if !covered {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

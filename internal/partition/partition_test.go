@@ -1,0 +1,233 @@
+package partition
+
+import (
+	"testing"
+	"testing/quick"
+
+	"nocvi/internal/graph"
+)
+
+// twoClusters builds a graph with two dense 4-vertex clusters joined by a
+// single light edge; the optimal bisection is obvious.
+func twoClusters() *graph.Undirected {
+	g := graph.NewUndirected(8)
+	heavy := func(vs []int) {
+		for i := 0; i < len(vs); i++ {
+			for j := i + 1; j < len(vs); j++ {
+				g.AddEdge(vs[i], vs[j], 10)
+			}
+		}
+	}
+	heavy([]int{0, 1, 2, 3})
+	heavy([]int{4, 5, 6, 7})
+	g.AddEdge(3, 4, 1)
+	return g
+}
+
+func TestKWayTwoClusters(t *testing.T) {
+	g := twoClusters()
+	part, err := KWay(g, 2, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	part = Canonical(part, 2)
+	want := []int{0, 0, 0, 0, 1, 1, 1, 1}
+	for v := range want {
+		if part[v] != want[v] {
+			t.Fatalf("part = %v, want %v", part, want)
+		}
+	}
+	if cut := CutWeight(g, part); cut != 1 {
+		t.Fatalf("cut = %g, want 1", cut)
+	}
+}
+
+func TestKWayErrors(t *testing.T) {
+	g := graph.NewUndirected(4)
+	if _, err := KWay(g, 0, Options{}); err == nil {
+		t.Fatal("k=0 accepted")
+	}
+	if _, err := KWay(g, 5, Options{}); err == nil {
+		t.Fatal("k>n accepted")
+	}
+	if _, err := KWay(g, 2, Options{MaxPartSize: 1}); err == nil {
+		t.Fatal("infeasible MaxPartSize accepted")
+	}
+}
+
+func TestKWaySingletonParts(t *testing.T) {
+	g := twoClusters()
+	part, err := KWay(g, 8, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sz := Sizes(part, 8)
+	for p, s := range sz {
+		if s != 1 {
+			t.Fatalf("part %d has size %d, want 1", p, s)
+		}
+	}
+}
+
+func TestKWayK1(t *testing.T) {
+	g := twoClusters()
+	part, err := KWay(g, 1, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range part {
+		if p != 0 {
+			t.Fatal("k=1 must put everything in part 0")
+		}
+	}
+	if CutWeight(g, part) != 0 {
+		t.Fatal("k=1 cut must be 0")
+	}
+}
+
+func TestKWayDisconnected(t *testing.T) {
+	g := graph.NewUndirected(6)
+	g.AddEdge(0, 1, 5)
+	g.AddEdge(2, 3, 5)
+	g.AddEdge(4, 5, 5)
+	part, err := KWay(g, 3, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cut := CutWeight(g, part); cut != 0 {
+		t.Fatalf("three disjoint pairs should cut 0, got %g (part=%v)", cut, part)
+	}
+}
+
+func TestKWayRespectsMaxPartSize(t *testing.T) {
+	g := graph.NewUndirected(9)
+	// star: vertex 0 heavily connected to everything, tempting a huge part
+	for v := 1; v < 9; v++ {
+		g.AddEdge(0, v, 100)
+	}
+	part, err := KWay(g, 3, Options{MaxPartSize: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for p, s := range Sizes(part, 3) {
+		if s > 3 || s < 1 {
+			t.Fatalf("part %d size %d violates [1,3]", p, s)
+		}
+	}
+}
+
+func TestKWayDeterministic(t *testing.T) {
+	g := twoClusters()
+	a, _ := KWay(g, 3, Options{})
+	for i := 0; i < 5; i++ {
+		b, _ := KWay(g, 3, Options{})
+		for v := range a {
+			if a[v] != b[v] {
+				t.Fatalf("run %d differs at vertex %d", i, v)
+			}
+		}
+	}
+}
+
+func TestCanonical(t *testing.T) {
+	part := []int{2, 2, 0, 1, 1}
+	got := Canonical(part, 3)
+	want := []int{0, 0, 1, 2, 2}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Canonical = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestSizesPanicsOnBadPart(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Sizes([]int{0, 3}, 2)
+}
+
+func TestRefinementImprovesGreedySplit(t *testing.T) {
+	// Path graph 0-1-2-3-4-5 with a heavy middle edge. Under the strict
+	// 3/3 balance the optimum is 6 (e.g. {0,1,5} vs {2,3,4}); the naive
+	// contiguous split costs 9. The FM pass must find a 6-cut.
+	g := graph.NewUndirected(6)
+	weights := []float64{5, 1, 9, 1, 5}
+	for i := 0; i < 5; i++ {
+		g.AddEdge(i, i+1, weights[i])
+	}
+	part, err := KWay(g, 2, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cut := CutWeight(g, part)
+	if cut > 6 {
+		t.Fatalf("cut = %g, want the balanced optimum 6", cut)
+	}
+}
+
+// Property: KWay always produces k non-empty parts, respects MaxPartSize,
+// covers every vertex, and its cut never exceeds the total edge weight.
+func TestKWayInvariants(t *testing.T) {
+	f := func(seed int64) bool {
+		r := seed
+		next := func(m int) int {
+			r = r*6364136223846793005 + 1442695040888963407
+			v := int((uint64(r) >> 33) % uint64(m))
+			return v
+		}
+		n := 3 + next(20)
+		g := graph.NewUndirected(n)
+		var total float64
+		for i := 0; i < n*2; i++ {
+			a, b := next(n), next(n)
+			if a == b {
+				continue
+			}
+			w := float64(next(50) + 1)
+			g.AddEdge(a, b, w)
+			total += w
+		}
+		k := 1 + next(n)
+		part, err := KWay(g, k, Options{})
+		if err != nil {
+			return false
+		}
+		sz := Sizes(part, k)
+		maxAllowed := (n + k - 1) / k
+		for _, s := range sz {
+			if s < 1 || s > maxAllowed {
+				return false
+			}
+		}
+		return CutWeight(g, part) <= total+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: on two disjoint equally-sized cliques, 2-way cut is zero.
+func TestKWayCliquePairProperty(t *testing.T) {
+	f := func(szRaw uint8) bool {
+		sz := 2 + int(szRaw%5)
+		g := graph.NewUndirected(2 * sz)
+		for c := 0; c < 2; c++ {
+			for i := 0; i < sz; i++ {
+				for j := i + 1; j < sz; j++ {
+					g.AddEdge(c*sz+i, c*sz+j, 3)
+				}
+			}
+		}
+		part, err := KWay(g, 2, Options{})
+		if err != nil {
+			return false
+		}
+		return CutWeight(g, part) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

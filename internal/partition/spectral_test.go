@@ -1,0 +1,162 @@
+package partition
+
+import (
+	"testing"
+	"testing/quick"
+
+	"nocvi/internal/graph"
+)
+
+func TestSpectralTwoClusters(t *testing.T) {
+	g := twoClusters()
+	part, err := SpectralKWay(g, 2, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	part = Canonical(part, 2)
+	want := []int{0, 0, 0, 0, 1, 1, 1, 1}
+	for v := range want {
+		if part[v] != want[v] {
+			t.Fatalf("part = %v, want %v", part, want)
+		}
+	}
+	if cut := CutWeight(g, part); cut != 1 {
+		t.Fatalf("cut = %g, want 1", cut)
+	}
+}
+
+func TestSpectralErrors(t *testing.T) {
+	g := graph.NewUndirected(4)
+	if _, err := SpectralKWay(g, 0, Options{}); err == nil {
+		t.Fatal("k=0 accepted")
+	}
+	if _, err := SpectralKWay(g, 5, Options{}); err == nil {
+		t.Fatal("k>n accepted")
+	}
+	if _, err := SpectralKWay(g, 2, Options{MaxPartSize: 1}); err == nil {
+		t.Fatal("infeasible cap accepted")
+	}
+}
+
+func TestSpectralEdgeless(t *testing.T) {
+	g := graph.NewUndirected(6)
+	part, err := SpectralKWay(g, 3, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sz := Sizes(part, 3)
+	for p, s := range sz {
+		if s != 2 {
+			t.Fatalf("part %d size %d on edgeless graph", p, s)
+		}
+	}
+}
+
+func TestSpectralDeterministic(t *testing.T) {
+	g := twoClusters()
+	a, _ := SpectralKWay(g, 4, Options{})
+	for i := 0; i < 4; i++ {
+		b, _ := SpectralKWay(g, 4, Options{})
+		for v := range a {
+			if a[v] != b[v] {
+				t.Fatalf("run %d differs at %d", i, v)
+			}
+		}
+	}
+}
+
+// Spectral and FM must agree on an easy ring-of-cliques instance: the
+// cut severs only the light inter-clique edges.
+func TestSpectralRingOfCliques(t *testing.T) {
+	const cliques, size = 4, 4
+	g := graph.NewUndirected(cliques * size)
+	for c := 0; c < cliques; c++ {
+		for i := 0; i < size; i++ {
+			for j := i + 1; j < size; j++ {
+				g.AddEdge(c*size+i, c*size+j, 20)
+			}
+		}
+		// one light edge to the next clique
+		g.AddEdge(c*size, ((c+1)%cliques)*size+1, 1)
+	}
+	part, err := SpectralKWay(g, cliques, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cut := CutWeight(g, part); cut != 4 {
+		t.Fatalf("cut = %g, want the 4 light edges", cut)
+	}
+	// No clique split across parts.
+	for c := 0; c < cliques; c++ {
+		for i := 1; i < size; i++ {
+			if part[c*size+i] != part[c*size] {
+				t.Fatalf("clique %d split: %v", c, part)
+			}
+		}
+	}
+}
+
+// Property: SpectralKWay obeys the same structural invariants as KWay.
+func TestSpectralInvariants(t *testing.T) {
+	f := func(seed int64) bool {
+		r := seed
+		next := func(m int) int {
+			r = r*6364136223846793005 + 1442695040888963407
+			return int((uint64(r) >> 33) % uint64(m))
+		}
+		n := 3 + next(16)
+		g := graph.NewUndirected(n)
+		var total float64
+		for i := 0; i < n*2; i++ {
+			a, b := next(n), next(n)
+			if a == b {
+				continue
+			}
+			w := float64(next(40) + 1)
+			g.AddEdge(a, b, w)
+			total += w
+		}
+		k := 1 + next(n)
+		part, err := SpectralKWay(g, k, Options{})
+		if err != nil {
+			return false
+		}
+		maxAllowed := (n + k - 1) / k
+		for _, s := range Sizes(part, k) {
+			if s < 1 || s > maxAllowed {
+				return false
+			}
+		}
+		return CutWeight(g, part) <= total+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// On structured graphs the spectral cut should be competitive with FM.
+func TestSpectralCompetitiveWithFM(t *testing.T) {
+	const cliques, size = 6, 3
+	g := graph.NewUndirected(cliques * size)
+	for c := 0; c < cliques; c++ {
+		for i := 0; i < size; i++ {
+			for j := i + 1; j < size; j++ {
+				g.AddEdge(c*size+i, c*size+j, 10)
+			}
+		}
+		g.AddEdge(c*size, ((c+1)%cliques)*size, 1)
+		g.AddEdge(c*size+1, ((c+2)%cliques)*size, 1)
+	}
+	fm, err := KWay(g, 3, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp, err := SpectralKWay(g, 3, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fmCut, spCut := CutWeight(g, fm), CutWeight(g, sp)
+	if spCut > fmCut*2 {
+		t.Fatalf("spectral cut %.0f far above FM cut %.0f", spCut, fmCut)
+	}
+}

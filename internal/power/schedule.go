@@ -1,0 +1,79 @@
+package power
+
+import (
+	"fmt"
+
+	"nocvi/internal/topology"
+)
+
+// ScheduleEntry is one operating state of a duty-cycle schedule: a
+// shutdown scenario active for a fraction of the time.
+type ScheduleEntry struct {
+	Scenario Scenario
+	// Frac is the fraction of time spent in this state; all entries of
+	// a schedule must sum to 1 (within tolerance).
+	Frac float64
+}
+
+// Schedule models a device's day: e.g. 5% active (all islands on), 35%
+// media playback (DSP island off), 60% standby (all gateable islands
+// off). The paper's motivation is exactly this arithmetic — a ~3% NoC
+// power overhead while active buys large savings integrated over the
+// schedule.
+type Schedule struct {
+	Entries []ScheduleEntry
+}
+
+// Validate checks the schedule's fractions and scenarios against the
+// topology's islands.
+func (s *Schedule) Validate(top *topology.Topology) error {
+	if len(s.Entries) == 0 {
+		return fmt.Errorf("power: empty schedule")
+	}
+	var sum float64
+	for i, e := range s.Entries {
+		if e.Frac < 0 {
+			return fmt.Errorf("power: schedule entry %d (%s) has negative fraction", i, e.Scenario.Name)
+		}
+		sum += e.Frac
+		for j, off := range e.Scenario.Off {
+			if off && !top.Spec.Islands[j].Shutdownable {
+				return fmt.Errorf("power: schedule entry %q gates non-shutdownable island %d",
+					e.Scenario.Name, j)
+			}
+		}
+	}
+	if sum < 0.999 || sum > 1.001 {
+		return fmt.Errorf("power: schedule fractions sum to %.4f, want 1", sum)
+	}
+	return nil
+}
+
+// AveragePower returns the time-weighted mean system power over the
+// schedule, in watts.
+func AveragePower(top *topology.Topology, s Schedule) (float64, error) {
+	if err := s.Validate(top); err != nil {
+		return 0, err
+	}
+	var avg float64
+	for _, e := range s.Entries {
+		avg += e.Frac * SystemWithShutdown(top, e.Scenario.Off).TotalW()
+	}
+	return avg, nil
+}
+
+// ScheduleSavings compares the schedule against never gating anything:
+// the fraction of energy recovered by island shutdown over the duty
+// cycle. This is the quantity the paper's conclusion weighs the ~3%
+// active overhead against.
+func ScheduleSavings(top *topology.Topology, s Schedule) (alwaysOnW, scheduledW, frac float64, err error) {
+	scheduledW, err = AveragePower(top, s)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	alwaysOnW = SystemPower(top).TotalW()
+	if alwaysOnW <= 0 {
+		return alwaysOnW, scheduledW, 0, nil
+	}
+	return alwaysOnW, scheduledW, (alwaysOnW - scheduledW) / alwaysOnW, nil
+}

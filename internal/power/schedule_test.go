@@ -1,0 +1,72 @@
+package power
+
+import (
+	"math"
+	"testing"
+)
+
+func TestScheduleValidate(t *testing.T) {
+	top := fixture(t)
+	good := Schedule{Entries: []ScheduleEntry{
+		{Scenario: Scenario{Name: "active", Off: []bool{false, false}}, Frac: 0.3},
+		{Scenario: Scenario{Name: "idle", Off: []bool{false, true}}, Frac: 0.7},
+	}}
+	if err := good.Validate(top); err != nil {
+		t.Fatal(err)
+	}
+	bad := []Schedule{
+		{}, // empty
+		{Entries: []ScheduleEntry{{Scenario: Scenario{Off: []bool{false, false}}, Frac: 0.5}}},           // sums to 0.5
+		{Entries: []ScheduleEntry{{Scenario: Scenario{Off: []bool{false, false}}, Frac: -1}, {Frac: 2}}}, // negative
+		{Entries: []ScheduleEntry{{Scenario: Scenario{Name: "x", Off: []bool{true, false}}, Frac: 1}}},   // gates sys
+	}
+	for i, s := range bad {
+		if err := s.Validate(top); err == nil {
+			t.Fatalf("bad schedule %d accepted", i)
+		}
+	}
+}
+
+func TestAveragePowerIsWeightedMean(t *testing.T) {
+	top := fixture(t)
+	on := SystemPower(top).TotalW()
+	off := SystemWithShutdown(top, []bool{false, true}).TotalW()
+	s := Schedule{Entries: []ScheduleEntry{
+		{Scenario: Scenario{Name: "active", Off: []bool{false, false}}, Frac: 0.25},
+		{Scenario: Scenario{Name: "idle", Off: []bool{false, true}}, Frac: 0.75},
+	}}
+	avg, err := AveragePower(top, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 0.25*on + 0.75*off
+	if math.Abs(avg-want) > 1e-12 {
+		t.Fatalf("avg = %g, want %g", avg, want)
+	}
+}
+
+func TestScheduleSavings(t *testing.T) {
+	top := fixture(t)
+	s := Schedule{Entries: []ScheduleEntry{
+		{Scenario: Scenario{Name: "active", Off: []bool{false, false}}, Frac: 0.2},
+		{Scenario: Scenario{Name: "idle", Off: []bool{false, true}}, Frac: 0.8},
+	}}
+	onW, schedW, frac, err := ScheduleSavings(top, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if schedW >= onW || frac <= 0 || frac >= 1 {
+		t.Fatalf("savings degenerate: on=%g sched=%g frac=%g", onW, schedW, frac)
+	}
+	// A 100%-active schedule saves nothing.
+	flat := Schedule{Entries: []ScheduleEntry{
+		{Scenario: Scenario{Name: "active", Off: []bool{false, false}}, Frac: 1},
+	}}
+	_, _, zero, err := ScheduleSavings(top, flat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if zero != 0 {
+		t.Fatalf("always-on schedule saved %g", zero)
+	}
+}

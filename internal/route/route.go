@@ -1,0 +1,318 @@
+// Package route implements step 15 of Algorithm 1: computing least-cost
+// paths for the inter-switch traffic flows, opening links on demand.
+//
+// Flows are processed in decreasing bandwidth order. For each flow the
+// router runs Dijkstra over the switch graph where every *allowed* switch
+// pair is a candidate edge — existing links are priced at their marginal
+// power, absent links additionally pay the cost of opening (idle power,
+// leakage, and the port they consume). The paper's island discipline
+// restricts candidates: a flow from island S to island D may only touch
+// switches in S, in D, or in the never-shut-down intermediate NoC island
+// M, and may only move "forward" (S→S, S→M, S→D, M→M, M→D, D→D), which
+// both bounds latency and guarantees shutdown safety by construction.
+//
+// A candidate edge is rejected outright when the bandwidth would exceed
+// the link capacity or when opening it would grow either endpoint switch
+// beyond the island's max_sw_size (the frequency-feasibility bound from
+// Algorithm 1 step 1).
+package route
+
+import (
+	"fmt"
+	"math"
+
+	"nocvi/internal/graph"
+	"nocvi/internal/model"
+	"nocvi/internal/soc"
+	"nocvi/internal/topology"
+)
+
+// Options tunes the router's cost function.
+type Options struct {
+	// EstLinkLengthMM is the pre-floorplan estimate of an inter-switch
+	// wire length used in the power term. Zero selects 2 mm.
+	EstLinkLengthMM float64
+
+	// LatencyWeightW converts one cycle of path latency (scaled by the
+	// flow's constraint tightness) into watts for the linear cost
+	// combination. Zero selects 1 mW/cycle.
+	LatencyWeightW float64
+
+	// MaxSwitchSize optionally overrides the per-island switch size
+	// bound (indexed by island ID including the intermediate island).
+	// Nil derives the bounds from each island's clock via the library.
+	MaxSwitchSize []int
+
+	// NoNewLinks restricts routing to links that already exist in the
+	// topology — used to re-route traffic on fabricated silicon (fault
+	// recovery analysis), where wires cannot be added.
+	NoNewLinks bool
+
+	// BalanceLoad adds a congestion-pressure term to existing links
+	// proportional to their projected utilization, spreading traffic
+	// over parallel paths instead of piling onto the first cheapest
+	// one. Costs a little power (less reuse), buys capacity headroom.
+	BalanceLoad bool
+}
+
+func (o Options) estLen() float64 {
+	if o.EstLinkLengthMM <= 0 {
+		return 2.0
+	}
+	return o.EstLinkLengthMM
+}
+
+func (o Options) latW() float64 {
+	if o.LatencyWeightW <= 0 {
+		return 1e-3
+	}
+	return o.LatencyWeightW
+}
+
+// Router routes flows over a topology under construction.
+type Router struct {
+	top    *topology.Topology
+	opt    Options
+	maxSz  []int           // per island
+	minLat float64         // tightest latency constraint of the spec
+	g      *graph.Directed // complete candidate graph over switches
+}
+
+// New creates a router for the given topology. The topology must already
+// contain all switches and core attachments; links and routes are added
+// by the router.
+func New(top *topology.Topology, opt Options) *Router {
+	r := &Router{top: top, opt: opt, minLat: top.Spec.MinLatencyConstraint()}
+	if opt.MaxSwitchSize != nil {
+		r.maxSz = opt.MaxSwitchSize
+	} else {
+		r.maxSz = make([]int, top.NumIslands())
+		for i := range r.maxSz {
+			r.maxSz[i] = top.Lib.MaxSwitchSize(top.IslandFreqHz[i])
+		}
+	}
+	// The candidate graph is complete over the switch set (which is
+	// fixed before routing); per-flow admissibility is enforced by the
+	// cost function, so the graph is built once.
+	n := len(top.Switches)
+	r.g = graph.NewDirected(n)
+	for u := 0; u < n; u++ {
+		for v := 0; v < n; v++ {
+			if u != v {
+				r.g.AddEdge(u, v, 1)
+			}
+		}
+	}
+	return r
+}
+
+// MaxSwitchSizes exposes the per-island bound the router enforces.
+func (r *Router) MaxSwitchSizes() []int { return r.maxSz }
+
+// RouteAll routes every flow of the spec in decreasing bandwidth order,
+// mutating the topology. On failure the topology is left partially
+// routed and the error identifies the first flow that could not be
+// placed; callers treat that as "design point invalid".
+func (r *Router) RouteAll() error {
+	for _, f := range r.top.Spec.SortFlowsByBandwidth() {
+		if err := r.Route(f); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Route finds and commits a path for one flow.
+func (r *Router) Route(f soc.Flow) error {
+	src := r.top.SwitchOf[f.Src]
+	dst := r.top.SwitchOf[f.Dst]
+	if src < 0 || dst < 0 {
+		return fmt.Errorf("route: flow %d->%d has unattached endpoint", f.Src, f.Dst)
+	}
+	if src == dst {
+		return r.top.AddRoute(topology.Route{Flow: f, Switches: []topology.SwitchID{src}})
+	}
+	// First attempt: blended power+latency cost; fall back to a pure
+	// latency objective when the cheap path misses the constraint.
+	path := r.shortest(f, src, dst, false)
+	if path != nil && !r.latencyOK(f, path) {
+		path = nil
+	}
+	if path == nil {
+		path = r.shortest(f, src, dst, true)
+		if path != nil && !r.latencyOK(f, path) {
+			path = nil
+		}
+	}
+	if path == nil {
+		lat := "unconstrained"
+		if f.MaxLatencyCycles > 0 {
+			lat = fmt.Sprintf("lat<=%.0f", f.MaxLatencyCycles)
+		}
+		return fmt.Errorf("route: no feasible path for flow %d->%d (%.0f MB/s, %s)",
+			f.Src, f.Dst, f.BandwidthBps/1e6, lat)
+	}
+	return r.commit(f, path)
+}
+
+// allowed reports whether the directed candidate edge u->v may be used
+// by a flow travelling from srcIsl to dstIsl.
+func (r *Router) allowed(u, v topology.SwitchID, srcIsl, dstIsl soc.IslandID) bool {
+	iu := r.top.Switches[u].Island
+	iv := r.top.Switches[v].Island
+	mid := r.top.NoCIsland
+	in := func(i soc.IslandID) bool { return i == srcIsl || i == dstIsl || (mid != soc.NoIsland && i == mid) }
+	if !in(iu) || !in(iv) {
+		return false
+	}
+	if iu == iv {
+		return true
+	}
+	switch {
+	case iu == srcIsl && (iv == dstIsl || iv == mid):
+		return true
+	case iu == mid && iv == dstIsl:
+		return true
+	}
+	return false
+}
+
+// hopLatency returns the zero-load cycles added by traversing candidate
+// edge u->v (the downstream switch, the link, and the converter when the
+// edge crosses islands).
+func (r *Router) hopLatency(u, v topology.SwitchID) float64 {
+	lat := model.SwitchTraversalCycles + model.LinkTraversalCycles
+	if r.top.Switches[u].Island != r.top.Switches[v].Island {
+		lat += model.FIFOCrossingCycles
+	}
+	return lat
+}
+
+// edgeCost prices candidate edge u->v for a flow of bandwidth bw. It
+// returns +Inf when the edge is unusable (capacity or switch size).
+// latOnly selects the pure-latency fallback objective.
+func (r *Router) edgeCost(u, v topology.SwitchID, f soc.Flow, latOnly bool) float64 {
+	lib := r.top.Lib
+	su, sv := &r.top.Switches[u], &r.top.Switches[v]
+	crossing := su.Island != sv.Island
+	bw := f.BandwidthBps
+
+	lid, exists := r.top.FindLink(u, v)
+	var pressure float64
+	if exists {
+		l := r.top.Links[lid]
+		if l.TrafficBps+bw > l.CapacityBps*(1+1e-9) {
+			return graph.Inf
+		}
+		if r.opt.BalanceLoad && l.CapacityBps > 0 {
+			u := (l.TrafficBps + bw) / l.CapacityBps
+			pressure = u * u // quadratic: near-full links repel strongly
+		}
+	} else if r.opt.NoNewLinks {
+		return graph.Inf
+	} else {
+		// Opening u->v adds an output port at u and an input port at v.
+		inU, outU := r.top.SwitchPorts(u)
+		inV, outV := r.top.SwitchPorts(v)
+		if max(inU, outU+1) > r.maxSz[su.Island] || max(inV+1, outV) > r.maxSz[sv.Island] {
+			return graph.Inf
+		}
+		minF := math.Min(su.FreqHz, sv.FreqHz)
+		if bw > lib.LinkCapacityBps(minF)*(1+1e-9) {
+			return graph.Inf
+		}
+	}
+
+	if latOnly {
+		return r.hopLatency(u, v)
+	}
+
+	// Marginal power of carrying the flow over this hop.
+	vMax := math.Max(su.VoltageV, sv.VoltageV)
+	eBit := lib.SwitchEnergyBase + lib.SwitchEnergyPerPort*float64(r.top.SwitchSize(v))
+	power := bw * 8 * eBit * lib.VoltageScaleDynamic(sv.VoltageV)
+	power += lib.LinkDynPowerW(r.opt.estLen(), vMax, bw)
+	if crossing {
+		power += lib.FIFODynPowerW(su.VoltageV, sv.VoltageV, bw)
+	}
+	if !exists {
+		// One-time cost of the new link: port idle power at both ends,
+		// port + wire leakage, converter leakage when crossing.
+		power += lib.SwitchIdlePerPortHz * (su.FreqHz + sv.FreqHz) * lib.VoltageScaleDynamic(vMax)
+		power += lib.SwitchLeakPowerW(1, su.VoltageV) + lib.SwitchLeakPowerW(1, sv.VoltageV)
+		power += lib.LinkLeakPowerW(r.opt.estLen(), vMax)
+		if crossing {
+			power += lib.FIFOLeakPowerW(su.VoltageV, sv.VoltageV)
+		}
+	}
+
+	// Latency pressure: tighter-constrained flows pay more per cycle,
+	// steering them onto shorter paths.
+	tightness := 0.0
+	if f.MaxLatencyCycles > 0 && r.minLat > 0 {
+		tightness = r.minLat / f.MaxLatencyCycles
+	}
+	return power*(1+pressure) + r.opt.latW()*tightness*r.hopLatency(u, v)
+}
+
+// shortest runs Dijkstra over the candidate switch graph for the flow.
+// It returns the switch path or nil when disconnected.
+func (r *Router) shortest(f soc.Flow, src, dst topology.SwitchID, latOnly bool) []topology.SwitchID {
+	srcIsl := r.top.Spec.IslandOf[f.Src]
+	dstIsl := r.top.Spec.IslandOf[f.Dst]
+	cost := func(u, v int, _ float64) float64 {
+		if !r.allowed(topology.SwitchID(u), topology.SwitchID(v), srcIsl, dstIsl) {
+			return graph.Inf
+		}
+		return r.edgeCost(topology.SwitchID(u), topology.SwitchID(v), f, latOnly)
+	}
+	path, c := r.g.ShortestPath(int(src), int(dst), cost)
+	if math.IsInf(c, 1) {
+		return nil
+	}
+	out := make([]topology.SwitchID, len(path))
+	for i, p := range path {
+		out[i] = topology.SwitchID(p)
+	}
+	return out
+}
+
+// latencyOK checks the flow's zero-load latency constraint on a path.
+func (r *Router) latencyOK(f soc.Flow, path []topology.SwitchID) bool {
+	if f.MaxLatencyCycles <= 0 {
+		return true
+	}
+	lat := 2 * model.LinkTraversalCycles // NI injection + ejection links
+	lat += model.SwitchTraversalCycles * float64(len(path))
+	for i := 1; i < len(path); i++ {
+		lat += model.LinkTraversalCycles
+		if r.top.Switches[path[i-1]].Island != r.top.Switches[path[i]].Island {
+			lat += model.FIFOCrossingCycles
+		}
+	}
+	return lat <= f.MaxLatencyCycles
+}
+
+// commit opens any missing links along the path and records the route.
+func (r *Router) commit(f soc.Flow, path []topology.SwitchID) error {
+	links := make([]topology.LinkID, 0, len(path)-1)
+	for i := 1; i < len(path); i++ {
+		lid, ok := r.top.FindLink(path[i-1], path[i])
+		if !ok {
+			var err error
+			lid, err = r.top.AddLink(path[i-1], path[i])
+			if err != nil {
+				return fmt.Errorf("route: opening link for flow %d->%d: %w", f.Src, f.Dst, err)
+			}
+		}
+		links = append(links, lid)
+	}
+	return r.top.AddRoute(topology.Route{Flow: f, Switches: path, Links: links})
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

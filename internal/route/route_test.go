@@ -1,0 +1,367 @@
+package route
+
+import (
+	"strings"
+	"testing"
+
+	"nocvi/internal/model"
+	"nocvi/internal/soc"
+	"nocvi/internal/topology"
+)
+
+// threeIslandSpec: islands sys(0), media(1, shutdownable), io(2,
+// shutdownable); six cores, traffic between all islands.
+func threeIslandSpec() *soc.Spec {
+	return &soc.Spec{
+		Name: "r6",
+		Cores: []soc.Core{
+			{ID: 0, Name: "cpu"}, {ID: 1, Name: "mem"},
+			{ID: 2, Name: "vid"}, {ID: 3, Name: "aud"},
+			{ID: 4, Name: "usb"}, {ID: 5, Name: "eth"},
+		},
+		Flows: []soc.Flow{
+			{Src: 0, Dst: 1, BandwidthBps: 400e6, MaxLatencyCycles: 12},
+			{Src: 2, Dst: 1, BandwidthBps: 300e6, MaxLatencyCycles: 30},
+			{Src: 4, Dst: 1, BandwidthBps: 50e6, MaxLatencyCycles: 40},
+			{Src: 5, Dst: 2, BandwidthBps: 20e6, MaxLatencyCycles: 40},
+			{Src: 3, Dst: 2, BandwidthBps: 80e6},
+		},
+		Islands: []soc.Island{
+			{ID: 0, Name: "sys", VoltageV: 1.0},
+			{ID: 1, Name: "media", VoltageV: 0.9, Shutdownable: true},
+			{ID: 2, Name: "io", VoltageV: 1.0, Shutdownable: true},
+		},
+		IslandOf: []soc.IslandID{0, 0, 1, 1, 2, 2},
+	}
+}
+
+// build creates a topology with one switch per island and all cores
+// attached; no links yet.
+func build(t *testing.T, spec *soc.Spec, withMid bool) *topology.Topology {
+	t.Helper()
+	lib := model.Default65nm()
+	top := topology.New(spec, lib)
+	for i := range spec.Islands {
+		top.SetIslandFreq(soc.IslandID(i), 200e6)
+	}
+	sws := make([]topology.SwitchID, len(spec.Islands))
+	for i := range spec.Islands {
+		sws[i] = top.AddSwitch(soc.IslandID(i), false)
+	}
+	if withMid {
+		ni := top.AddNoCIsland(200e6, 1.0)
+		top.AddSwitch(ni, true)
+	}
+	for c := range spec.Cores {
+		if err := top.AttachCore(soc.CoreID(c), sws[spec.IslandOf[c]]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return top
+}
+
+func TestRouteAllDirect(t *testing.T) {
+	spec := threeIslandSpec()
+	top := build(t, spec, false)
+	r := New(top, Options{})
+	if err := r.RouteAll(); err != nil {
+		t.Fatal(err)
+	}
+	if err := top.Validate(); err != nil {
+		t.Fatalf("routed topology invalid: %v", err)
+	}
+	if len(top.Routes) != len(spec.Flows) {
+		t.Fatalf("routed %d of %d flows", len(top.Routes), len(spec.Flows))
+	}
+	// flow 2->1 (media->sys) must go directly media switch -> sys switch,
+	// it must NOT pass the io island (shutdown safety by construction).
+	for _, rt := range top.Routes {
+		for _, sw := range rt.Switches {
+			isl := top.Switches[sw].Island
+			srcI, dstI := spec.IslandOf[rt.Flow.Src], spec.IslandOf[rt.Flow.Dst]
+			if isl != srcI && isl != dstI {
+				t.Fatalf("flow %d->%d strays into island %d", rt.Flow.Src, rt.Flow.Dst, isl)
+			}
+		}
+	}
+}
+
+func TestRouteSameSwitch(t *testing.T) {
+	spec := threeIslandSpec()
+	top := build(t, spec, false)
+	r := New(top, Options{})
+	if err := r.Route(spec.Flows[0]); err != nil { // cpu->mem, same switch
+		t.Fatal(err)
+	}
+	if len(top.Routes) != 1 || len(top.Routes[0].Links) != 0 {
+		t.Fatal("same-switch flow should need no links")
+	}
+	if len(top.Links) != 0 {
+		t.Fatal("no links should be opened")
+	}
+}
+
+func TestRouteReusesLinks(t *testing.T) {
+	spec := threeIslandSpec()
+	top := build(t, spec, false)
+	r := New(top, Options{})
+	if err := r.Route(spec.Flows[1]); err != nil { // vid->mem
+		t.Fatal(err)
+	}
+	nLinks := len(top.Links)
+	// aud->vid is intra-island; vid->mem opened media->sys. Another
+	// media->sys flow must reuse it.
+	if err := r.Route(soc.Flow{Src: 3, Dst: 0, BandwidthBps: 10e6}); err != nil {
+		t.Fatal(err)
+	}
+	if len(top.Links) != nLinks {
+		t.Fatalf("link not reused: %d -> %d links", nLinks, len(top.Links))
+	}
+	l := top.Links[0]
+	if l.TrafficBps != 310e6 {
+		t.Fatalf("accumulated traffic = %g", l.TrafficBps)
+	}
+}
+
+func TestRouteViaIntermediate(t *testing.T) {
+	spec := threeIslandSpec()
+	top := build(t, spec, true)
+	// Tiny max switch sizes force multi-hop structure to stay feasible;
+	// here we just check mid routing is *allowed* and safe.
+	r := New(top, Options{})
+	if err := r.RouteAll(); err != nil {
+		t.Fatal(err)
+	}
+	if err := top.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIntermediateUsedWhenDirectForbidden(t *testing.T) {
+	spec := threeIslandSpec()
+	top := build(t, spec, true)
+	// The sys switch has 2 cores; cap its size at 3 so it can accept
+	// exactly one more input port, and pre-grant that port to a link
+	// from the intermediate switch. Both inter-island flows targeting
+	// sys (media->sys and io->sys) must then funnel through the mid
+	// switch, sharing the single mid->sys link.
+	mid := topology.SwitchID(3)
+	if _, err := top.AddLink(mid, 0); err != nil {
+		t.Fatal(err)
+	}
+	sizes := []int{3, 4, 4, 16}
+	r := New(top, Options{MaxSwitchSize: sizes})
+	if err := r.RouteAll(); err != nil {
+		t.Fatal(err)
+	}
+	usedMid := false
+	for _, rt := range top.Routes {
+		for _, sw := range rt.Switches {
+			if top.Switches[sw].Indirect {
+				usedMid = true
+			}
+		}
+	}
+	if !usedMid {
+		t.Fatal("expected the intermediate island to be used under tight size caps")
+	}
+	if err := top.ValidateShutdownSafe(); err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range top.Switches {
+		if sz := top.SwitchSize(s.ID); sz > sizes[s.Island] {
+			t.Fatalf("switch %d size %d exceeds cap %d", s.ID, sz, sizes[s.Island])
+		}
+	}
+}
+
+func TestRouteFailsWhenNoCapacity(t *testing.T) {
+	spec := threeIslandSpec()
+	// One absurd flow beyond any link capacity at 200 MHz (800 MB/s cap).
+	spec.Flows = append(spec.Flows, soc.Flow{Src: 2, Dst: 5, BandwidthBps: 5e9})
+	top := build(t, spec, false)
+	r := New(top, Options{})
+	err := r.RouteAll()
+	if err == nil || !strings.Contains(err.Error(), "no feasible path") {
+		t.Fatalf("over-capacity flow routed: %v", err)
+	}
+}
+
+func TestRouteFailsOnLatency(t *testing.T) {
+	spec := threeIslandSpec()
+	// Inter-island flow with an impossible latency bound: min possible
+	// crossing is 1+2+(1+4)+2+1 = 11 cycles.
+	spec.Flows = []soc.Flow{{Src: 2, Dst: 0, BandwidthBps: 10e6, MaxLatencyCycles: 8}}
+	top := build(t, spec, false)
+	r := New(top, Options{})
+	if err := r.RouteAll(); err == nil {
+		t.Fatal("impossible latency constraint satisfied?!")
+	}
+}
+
+func TestLatencyFallbackPrefersShortPath(t *testing.T) {
+	// Two switches in the source island chained to the destination: the
+	// cheap path may be longer; a tight constraint must force the direct
+	// one. Construct: sys has 2 switches; core0 on swA; mem on swB of
+	// island sys... simpler to assert the blended route meets the bound.
+	spec := threeIslandSpec()
+	spec.Flows = []soc.Flow{{Src: 2, Dst: 0, BandwidthBps: 10e6, MaxLatencyCycles: 11}}
+	top := build(t, spec, true) // mid available but too slow latency-wise
+	r := New(top, Options{})
+	if err := r.RouteAll(); err != nil {
+		t.Fatal(err)
+	}
+	rt := top.Routes[0]
+	if len(rt.Switches) != 2 {
+		t.Fatalf("tight flow took %d switches, want direct 2", len(rt.Switches))
+	}
+	if got := top.ZeroLoadLatencyCycles(&rt); got != 11 {
+		t.Fatalf("latency = %g", got)
+	}
+}
+
+func TestMaxSwitchSizesDerived(t *testing.T) {
+	spec := threeIslandSpec()
+	top := build(t, spec, false)
+	r := New(top, Options{})
+	szs := r.MaxSwitchSizes()
+	if len(szs) != 3 {
+		t.Fatalf("sizes = %v", szs)
+	}
+	lib := top.Lib
+	for i, sz := range szs {
+		if sz != lib.MaxSwitchSize(top.IslandFreqHz[i]) {
+			t.Fatalf("island %d size %d not derived from clock", i, sz)
+		}
+	}
+}
+
+func TestAllowedDiscipline(t *testing.T) {
+	spec := threeIslandSpec()
+	top := build(t, spec, true)
+	r := New(top, Options{})
+	// switches: 0=sys 1=media 2=io 3=mid
+	cases := []struct {
+		u, v     topology.SwitchID
+		src, dst soc.IslandID
+		want     bool
+	}{
+		{1, 0, 1, 0, true},  // media->sys for a media->sys flow
+		{1, 3, 1, 0, true},  // media->mid
+		{3, 0, 1, 0, true},  // mid->sys
+		{0, 3, 1, 0, false}, // backwards: dst island -> mid
+		{3, 1, 1, 0, false}, // backwards: mid -> src island
+		{1, 2, 1, 0, false}, // stray island io
+		{2, 0, 1, 0, false}, // from stray island
+		{0, 0, 0, 0, false}, // self handled elsewhere; u==v not allowed as edge
+	}
+	for i, c := range cases {
+		if c.u == c.v {
+			continue
+		}
+		if got := r.allowed(c.u, c.v, c.src, c.dst); got != c.want {
+			t.Fatalf("case %d: allowed(%d->%d for %d->%d) = %v, want %v", i, c.u, c.v, c.src, c.dst, got, c.want)
+		}
+	}
+}
+
+func TestUnattachedEndpoint(t *testing.T) {
+	spec := threeIslandSpec()
+	lib := model.Default65nm()
+	top := topology.New(spec, lib)
+	top.SetIslandFreq(0, 200e6)
+	top.AddSwitch(0, false)
+	r := New(top, Options{})
+	if err := r.Route(spec.Flows[0]); err == nil {
+		t.Fatal("unattached endpoint not reported")
+	}
+}
+
+func TestNoNewLinks(t *testing.T) {
+	spec := threeIslandSpec()
+	top := build(t, spec, false)
+	r := New(top, Options{NoNewLinks: true})
+	// With zero pre-existing links, only same-switch flows route.
+	if err := r.Route(spec.Flows[0]); err != nil { // cpu->mem same switch
+		t.Fatal(err)
+	}
+	if err := r.Route(spec.Flows[1]); err == nil { // vid->mem needs a link
+		t.Fatal("inter-switch flow routed without any links")
+	}
+	// Pre-open the link and it works.
+	if _, err := top.AddLink(1, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Route(spec.Flows[1]); err != nil {
+		t.Fatal(err)
+	}
+	if len(top.Links) != 1 {
+		t.Fatal("NoNewLinks opened a link")
+	}
+}
+
+func TestBalanceLoadSpreadsTraffic(t *testing.T) {
+	// Source island S (1 core) -> destination island D (1 core), with
+	// two parallel indirect paths via the NoC island. Six equal flows
+	// must spread across both paths with balancing, and may pile onto
+	// one without it.
+	spec := &soc.Spec{
+		Name: "bal",
+		Cores: []soc.Core{
+			{ID: 0, Name: "s0"}, {ID: 1, Name: "s1"}, {ID: 2, Name: "s2"},
+			{ID: 3, Name: "d0"}, {ID: 4, Name: "d1"}, {ID: 5, Name: "d2"},
+		},
+		Flows: []soc.Flow{
+			{Src: 0, Dst: 3, BandwidthBps: 100e6},
+			{Src: 1, Dst: 4, BandwidthBps: 100e6},
+			{Src: 2, Dst: 5, BandwidthBps: 100e6},
+			{Src: 0, Dst: 4, BandwidthBps: 100e6},
+			{Src: 1, Dst: 5, BandwidthBps: 100e6},
+			{Src: 2, Dst: 3, BandwidthBps: 100e6},
+		},
+		Islands: []soc.Island{
+			{ID: 0, Name: "S", VoltageV: 1},
+			{ID: 1, Name: "D", VoltageV: 1},
+		},
+		IslandOf: []soc.IslandID{0, 0, 0, 1, 1, 1},
+	}
+	build := func(balance bool) *topology.Topology {
+		top := topology.New(spec, model.Default65nm())
+		top.SetIslandFreq(0, 200e6)
+		top.SetIslandFreq(1, 200e6)
+		sS := top.AddSwitch(0, false)
+		sD := top.AddSwitch(1, false)
+		ni := top.AddNoCIsland(200e6, 1.0)
+		m1 := top.AddSwitch(ni, true)
+		m2 := top.AddSwitch(ni, true)
+		for c := 0; c < 3; c++ {
+			if err := top.AttachCore(soc.CoreID(c), sS); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for c := 3; c < 6; c++ {
+			if err := top.AttachCore(soc.CoreID(c), sD); err != nil {
+				t.Fatal(err)
+			}
+		}
+		top.AddLink(sS, m1)
+		top.AddLink(m1, sD)
+		top.AddLink(sS, m2)
+		top.AddLink(m2, sD)
+		r := New(top, Options{NoNewLinks: true, BalanceLoad: balance})
+		if err := r.RouteAll(); err != nil {
+			t.Fatal(err)
+		}
+		return top
+	}
+	flat := build(false)
+	bal := build(true)
+	if bal.MaxLinkUtilization() >= flat.MaxLinkUtilization() {
+		t.Fatalf("balancing did not reduce peak utilization: %.2f vs %.2f",
+			bal.MaxLinkUtilization(), flat.MaxLinkUtilization())
+	}
+	// With balancing both mid switches carry traffic.
+	if bal.SwitchTrafficBps(2) == 0 || bal.SwitchTrafficBps(3) == 0 {
+		t.Fatal("balanced routing left one parallel path unused")
+	}
+}

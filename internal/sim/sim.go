@@ -1,0 +1,331 @@
+// Package sim provides a deterministic discrete-event simulator for
+// synthesized NoC topologies. It models each packet's header latency
+// through the network — NI injection link, per-switch pipeline delay,
+// inter-switch links, and the bi-synchronous FIFO penalty on island
+// crossings — together with output-port contention: a port serializes
+// one packet at a time at the link clock (wormhole-style occupation),
+// and packets queue FIFO behind it. Buffers are unbounded, so the
+// simulator measures latency and delivery, not deadlock.
+//
+// Clock domains are honoured in continuous time: every island runs at
+// its own period, links run at the slower of their endpoints, and the
+// converter penalty is paid in cycles of the slower side — matching the
+// GALS architecture of §3.1.
+//
+// The simulator serves two purposes in the reproduction: it validates
+// the analytic zero-load latencies used by the synthesis flow (Fig. 3),
+// and it demonstrates island shutdown — with a shutdown mask applied,
+// all traffic between powered islands still delivers, the property the
+// topology was synthesized to guarantee.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+
+	"nocvi/internal/model"
+	"nocvi/internal/soc"
+	"nocvi/internal/topology"
+)
+
+// Config controls a simulation run.
+type Config struct {
+	// DurationNs is the injection horizon: packets are injected from
+	// t=0 to t=DurationNs, then the network drains. Zero selects 10 µs.
+	DurationNs float64
+
+	// PacketFlits is the packet length in flits; the header sees the
+	// pipeline latency, the tail occupies ports. Zero selects 8.
+	PacketFlits int
+
+	// InjectionScale multiplies every flow's bandwidth (1 = the spec's
+	// rates; raise it to probe saturation). Zero selects 1.
+	InjectionScale float64
+
+	// Off power-gates the marked spec islands: their flows are not
+	// injected and their switches refuse traffic (a routing bug would
+	// surface as an error, not silent delivery).
+	Off []bool
+
+	// SinglePacket injects exactly one packet per flow, spaced far
+	// apart, so every measurement is a true zero-load header latency
+	// (used to validate the analytic Fig. 3 numbers). DurationNs and
+	// InjectionScale are ignored in this mode.
+	SinglePacket bool
+
+	// replay, when set, overrides all injection scheduling with an
+	// explicit packet list (see Replay).
+	replay []replayInjection
+}
+
+func (c Config) duration() float64 {
+	if c.DurationNs <= 0 {
+		return 10_000
+	}
+	return c.DurationNs
+}
+
+func (c Config) flits() int {
+	if c.PacketFlits <= 0 {
+		return 8
+	}
+	return c.PacketFlits
+}
+
+func (c Config) scale() float64 {
+	if c.InjectionScale <= 0 {
+		return 1
+	}
+	return c.InjectionScale
+}
+
+// FlowStats reports one flow's outcome.
+type FlowStats struct {
+	Flow      soc.Flow
+	Active    bool // false when an endpoint island is gated
+	Sent      int
+	Delivered int
+	// MeanLatencyNs and MaxLatencyNs are header latencies source-NI to
+	// destination-NI.
+	MeanLatencyNs float64
+	MaxLatencyNs  float64
+	// MeanLatencyCycles converts the mean to cycles of the source
+	// island's NoC clock.
+	MeanLatencyCycles float64
+}
+
+// Result aggregates a run.
+type Result struct {
+	PerFlow []FlowStats
+	Sent    int
+	Deliver int
+	// MeanLatencyNs is packet-weighted; MeanFlowLatencyCycles averages
+	// per-flow mean cycles (the Fig. 3 aggregation).
+	MeanLatencyNs         float64
+	MeanFlowLatencyCycles float64
+
+	// MaxLatencyNs is the worst header latency observed.
+	MaxLatencyNs float64
+
+	// ThroughputBps is the delivered payload rate over the injection
+	// horizon (bytes/second).
+	ThroughputBps float64
+}
+
+// event is a pending packet injection.
+type event struct {
+	time float64
+	flow int
+	seq  int
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].time != h[j].time {
+		return h[i].time < h[j].time
+	}
+	return h[i].flow < h[j].flow
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}
+
+// Run simulates the topology under the configuration.
+func Run(top *topology.Topology, cfg Config) (*Result, error) {
+	return runInternal(top, cfg, nil)
+}
+
+// runInternal is Run plus an optional per-delivery record callback.
+func runInternal(top *topology.Topology, cfg Config, record func(PacketRecord)) (*Result, error) {
+	if len(top.Routes) != len(top.Spec.Flows) {
+		return nil, fmt.Errorf("sim: topology has %d routes for %d flows; synthesize first",
+			len(top.Routes), len(top.Spec.Flows))
+	}
+	gated := func(isl soc.IslandID) bool {
+		return cfg.Off != nil && int(isl) < len(cfg.Off) && cfg.Off[isl]
+	}
+	// Defensive check: no active route may touch a gated switch.
+	for ri := range top.Routes {
+		r := &top.Routes[ri]
+		if gated(top.Spec.IslandOf[r.Flow.Src]) || gated(top.Spec.IslandOf[r.Flow.Dst]) {
+			continue
+		}
+		for _, sw := range r.Switches {
+			if gated(top.Switches[sw].Island) {
+				return nil, fmt.Errorf("sim: active flow %d->%d routed through gated island %d",
+					r.Flow.Src, r.Flow.Dst, top.Switches[sw].Island)
+			}
+		}
+	}
+
+	period := func(sw topology.SwitchID) float64 { return 1e9 / top.Switches[sw].FreqHz }
+	linkPeriod := func(a, b topology.SwitchID) float64 {
+		return 1e9 / math.Min(top.Switches[a].FreqHz, top.Switches[b].FreqHz)
+	}
+
+	// Output-port free times: injection ports (one per core), link
+	// ports (one per link), ejection ports (one per core).
+	injFree := make([]float64, len(top.Spec.Cores))
+	linkFree := make([]float64, len(top.Links))
+	ejFree := make([]float64, len(top.Spec.Cores))
+
+	res := &Result{PerFlow: make([]FlowStats, len(top.Routes))}
+	var h eventHeap
+	flits := float64(cfg.flits())
+	bytesPerPacket := flits * float64(top.Lib.LinkWidthBits) / 8
+
+	for ri := range top.Routes {
+		r := &top.Routes[ri]
+		fs := &res.PerFlow[ri]
+		fs.Flow = r.Flow
+		if gated(top.Spec.IslandOf[r.Flow.Src]) || gated(top.Spec.IslandOf[r.Flow.Dst]) {
+			continue
+		}
+		fs.Active = true
+		if cfg.replay != nil {
+			continue // injections come from the trace below
+		}
+		if cfg.SinglePacket {
+			// One packet per flow, spaced so nothing ever queues.
+			heap.Push(&h, event{time: float64(ri) * 100_000, flow: ri, seq: 0})
+			continue
+		}
+		rate := r.Flow.BandwidthBps * cfg.scale()
+		interval := bytesPerPacket / rate * 1e9 // ns between packets
+		// Stagger first injections deterministically per flow.
+		first := interval * float64(ri%7) / 7
+		if first >= cfg.duration() {
+			first = 0
+		}
+		heap.Push(&h, event{time: first, flow: ri, seq: 0})
+	}
+
+	for _, inj := range cfg.replay {
+		heap.Push(&h, event{time: inj.time, flow: inj.route})
+	}
+
+	for h.Len() > 0 {
+		ev := heap.Pop(&h).(event)
+		ri := ev.flow
+		r := &top.Routes[ri]
+		fs := &res.PerFlow[ri]
+		fs.Sent++
+		res.Sent++
+
+		src := r.Flow.Src
+		firstSw := r.Switches[0]
+		srcPeriod := period(firstSw)
+
+		// NI injection link: one cycle of the island clock, port
+		// occupied for the serialization time.
+		depart := math.Max(ev.time, injFree[src])
+		injFree[src] = depart + flits*srcPeriod
+		t := depart + model.LinkTraversalCycles*srcPeriod
+
+		// Hop through switches.
+		for i, sw := range r.Switches {
+			t += model.SwitchTraversalCycles * period(sw)
+			if i == len(r.Switches)-1 {
+				break
+			}
+			lid := r.Links[i]
+			l := &top.Links[lid]
+			lp := linkPeriod(l.From, l.To)
+			d := math.Max(t, linkFree[lid])
+			linkFree[lid] = d + flits*lp
+			t = d + model.LinkTraversalCycles*lp
+			if l.CrossesIslands {
+				t += model.FIFOCrossingCycles * lp
+			}
+		}
+
+		// Ejection link to the destination NI.
+		lastSw := r.Switches[len(r.Switches)-1]
+		lp := period(lastSw)
+		d := math.Max(t, ejFree[r.Flow.Dst])
+		ejFree[r.Flow.Dst] = d + flits*lp
+		t = d + model.LinkTraversalCycles*lp
+
+		lat := t - ev.time
+		if record != nil {
+			record(PacketRecord{
+				Src: r.Flow.Src, Dst: r.Flow.Dst,
+				InjectNs: ev.time, ArriveNs: t, LatencyNs: lat,
+			})
+		}
+		fs.Delivered++
+		res.Deliver++
+		fs.MeanLatencyNs += lat
+		if lat > fs.MaxLatencyNs {
+			fs.MaxLatencyNs = lat
+		}
+		if lat > res.MaxLatencyNs {
+			res.MaxLatencyNs = lat
+		}
+		res.MeanLatencyNs += lat
+
+		// Next injection of this flow.
+		if !cfg.SinglePacket && cfg.replay == nil {
+			rate := r.Flow.BandwidthBps * cfg.scale()
+			interval := bytesPerPacket / rate * 1e9
+			next := ev.time + interval
+			if next < cfg.duration() {
+				heap.Push(&h, event{time: next, flow: ri, seq: ev.seq + 1})
+			}
+		}
+	}
+
+	var flowCycleSum float64
+	activeFlows := 0
+	for ri := range res.PerFlow {
+		fs := &res.PerFlow[ri]
+		if fs.Delivered > 0 {
+			fs.MeanLatencyNs /= float64(fs.Delivered)
+			srcIsl := top.Spec.IslandOf[fs.Flow.Src]
+			fs.MeanLatencyCycles = fs.MeanLatencyNs * top.IslandFreqHz[srcIsl] / 1e9
+			flowCycleSum += fs.MeanLatencyCycles
+			activeFlows++
+		}
+	}
+	if res.Deliver > 0 {
+		res.MeanLatencyNs /= float64(res.Deliver)
+	}
+	if activeFlows > 0 {
+		res.MeanFlowLatencyCycles = flowCycleSum / float64(activeFlows)
+	}
+	if !cfg.SinglePacket {
+		res.ThroughputBps = float64(res.Deliver) * bytesPerPacket / (cfg.duration() * 1e-9)
+	}
+	return res, nil
+}
+
+// VerifyShutdownDelivery runs the simulator with the shutdown mask and
+// confirms every flow between powered islands delivers all injected
+// packets. This is the dynamic counterpart of the static
+// topology.ValidateShutdownSafe proof.
+func VerifyShutdownDelivery(top *topology.Topology, off []bool) error {
+	res, err := Run(top, Config{Off: off, DurationNs: 5000})
+	if err != nil {
+		return err
+	}
+	for ri := range res.PerFlow {
+		fs := &res.PerFlow[ri]
+		if fs.Active && fs.Delivered != fs.Sent {
+			return fmt.Errorf("sim: flow %d->%d delivered %d of %d with mask %v",
+				fs.Flow.Src, fs.Flow.Dst, fs.Delivered, fs.Sent, off)
+		}
+		if !fs.Active && fs.Sent > 0 {
+			return fmt.Errorf("sim: gated flow %d->%d injected packets", fs.Flow.Src, fs.Flow.Dst)
+		}
+	}
+	return nil
+}

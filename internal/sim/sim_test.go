@@ -1,0 +1,216 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"nocvi/internal/bench"
+	"nocvi/internal/core"
+	"nocvi/internal/model"
+	"nocvi/internal/soc"
+	"nocvi/internal/topology"
+	"nocvi/internal/viplace"
+)
+
+// synthD26 synthesizes the 6-island logical D26 once for the tests.
+func synthD26(t *testing.T) *topology.Topology {
+	t.Helper()
+	spec, err := bench.D26Islands(viplace.MethodLogical, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := core.Synthesize(spec, model.Default65nm(), core.Options{
+		AllowIntermediate: false,
+		MaxDesignPoints:   1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res.Best().Top
+}
+
+func TestRunDeliversEverything(t *testing.T) {
+	top := synthD26(t)
+	res, err := Run(top, Config{DurationNs: 20000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Sent == 0 || res.Deliver != res.Sent {
+		t.Fatalf("sent=%d delivered=%d", res.Sent, res.Deliver)
+	}
+	for _, fs := range res.PerFlow {
+		if !fs.Active {
+			t.Fatalf("flow %d->%d inactive without mask", fs.Flow.Src, fs.Flow.Dst)
+		}
+		if fs.MeanLatencyNs <= 0 || fs.MaxLatencyNs < fs.MeanLatencyNs {
+			t.Fatalf("latency stats broken: %+v", fs)
+		}
+	}
+	if res.MeanLatencyNs <= 0 || res.MeanFlowLatencyCycles <= 0 {
+		t.Fatal("aggregate stats broken")
+	}
+}
+
+// With uniform island clocks and negligible load, per-flow simulated
+// latency in cycles must match the analytic zero-load latency exactly.
+func TestZeroLoadMatchesAnalytic(t *testing.T) {
+	top := synthD26(t)
+	// Force all islands to the same clock so "cycles" is unambiguous.
+	for i := range top.IslandFreqHz {
+		top.IslandFreqHz[i] = 400e6
+	}
+	for i := range top.Switches {
+		top.Switches[i].FreqHz = 400e6
+	}
+	res, err := Run(top, Config{SinglePacket: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for ri := range res.PerFlow {
+		fs := &res.PerFlow[ri]
+		if fs.Sent != 1 {
+			t.Fatalf("flow %d sent %d packets, want 1", ri, fs.Sent)
+		}
+		want := top.ZeroLoadLatencyCycles(&top.Routes[ri])
+		got := fs.MeanLatencyNs * 400e6 / 1e9
+		if math.Abs(got-want) > 1e-6 {
+			t.Fatalf("flow %d->%d: sim %.3f cycles, analytic %.3f",
+				fs.Flow.Src, fs.Flow.Dst, got, want)
+		}
+	}
+}
+
+func TestContentionRaisesLatency(t *testing.T) {
+	top := synthD26(t)
+	light, err := Run(top, Config{DurationNs: 20000, InjectionScale: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	heavy, err := Run(top, Config{DurationNs: 20000, InjectionScale: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if heavy.MeanLatencyNs <= light.MeanLatencyNs {
+		t.Fatalf("3x load latency %.1f ns not above 0.1x load %.1f ns",
+			heavy.MeanLatencyNs, light.MeanLatencyNs)
+	}
+}
+
+func TestShutdownScenario(t *testing.T) {
+	top := synthD26(t)
+	spec := top.Spec
+	// Gate every shutdownable island one at a time; traffic between the
+	// others must be fully delivered.
+	for i, isl := range spec.Islands {
+		if !isl.Shutdownable {
+			continue
+		}
+		off := make([]bool, len(spec.Islands))
+		off[i] = true
+		if err := VerifyShutdownDelivery(top, off); err != nil {
+			t.Fatalf("island %d (%s): %v", i, isl.Name, err)
+		}
+	}
+	// And all shutdownable islands at once.
+	off := make([]bool, len(spec.Islands))
+	any := false
+	for i, isl := range spec.Islands {
+		if isl.Shutdownable {
+			off[i] = true
+			any = true
+		}
+	}
+	if !any {
+		t.Fatal("D26/logical-6 has no shutdownable island")
+	}
+	if err := VerifyShutdownDelivery(top, off); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGatedRouteDetected(t *testing.T) {
+	// Hand-build a topology that routes through a gated island and
+	// check the simulator refuses it.
+	spec := &soc.Spec{
+		Name: "bad",
+		Cores: []soc.Core{
+			{ID: 0, Name: "a"}, {ID: 1, Name: "b"}, {ID: 2, Name: "c"},
+		},
+		Flows: []soc.Flow{{Src: 0, Dst: 2, BandwidthBps: 10e6}},
+		Islands: []soc.Island{
+			{ID: 0, Name: "i0", VoltageV: 1},
+			{ID: 1, Name: "i1", VoltageV: 1, Shutdownable: true},
+			{ID: 2, Name: "i2", VoltageV: 1},
+		},
+		IslandOf: []soc.IslandID{0, 1, 2},
+	}
+	top := topology.New(spec, model.Default65nm())
+	for i := 0; i < 3; i++ {
+		top.SetIslandFreq(soc.IslandID(i), 200e6)
+	}
+	s0 := top.AddSwitch(0, false)
+	s1 := top.AddSwitch(1, false)
+	s2 := top.AddSwitch(2, false)
+	for c, sw := range map[soc.CoreID]topology.SwitchID{0: s0, 1: s1, 2: s2} {
+		if err := top.AttachCore(c, sw); err != nil {
+			t.Fatal(err)
+		}
+	}
+	l01, _ := top.AddLink(s0, s1)
+	l12, _ := top.AddLink(s1, s2)
+	if err := top.AddRoute(topology.Route{Flow: spec.Flows[0],
+		Switches: []topology.SwitchID{s0, s1, s2}, Links: []topology.LinkID{l01, l12}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Run(top, Config{Off: []bool{false, true, false}}); err == nil {
+		t.Fatal("route through gated island not detected")
+	}
+}
+
+func TestRunRequiresRoutes(t *testing.T) {
+	spec := bench.Example()
+	top := topology.New(spec, model.Default65nm())
+	if _, err := Run(top, Config{}); err == nil {
+		t.Fatal("unrouted topology accepted")
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	top := synthD26(t)
+	a, err := Run(top, Config{DurationNs: 5000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(top, Config{DurationNs: 5000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Sent != b.Sent || a.MeanLatencyNs != b.MeanLatencyNs {
+		t.Fatal("simulation not deterministic")
+	}
+}
+
+func TestCrossIslandSlowerThanIntra(t *testing.T) {
+	top := synthD26(t)
+	res, err := Run(top, Config{DurationNs: 20000, InjectionScale: 0.01})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var intra, inter, ni, nInter float64
+	for _, fs := range res.PerFlow {
+		if top.Spec.IslandOf[fs.Flow.Src] == top.Spec.IslandOf[fs.Flow.Dst] {
+			intra += fs.MeanLatencyCycles
+			ni++
+		} else {
+			inter += fs.MeanLatencyCycles
+			nInter++
+		}
+	}
+	if ni == 0 || nInter == 0 {
+		t.Skip("degenerate partition")
+	}
+	if inter/nInter <= intra/ni {
+		t.Fatalf("island crossings should cost latency: inter %.2f <= intra %.2f",
+			inter/nInter, intra/ni)
+	}
+}

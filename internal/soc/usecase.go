@@ -1,0 +1,123 @@
+package soc
+
+import (
+	"fmt"
+	"sort"
+)
+
+// UseCase is one traffic mode of the SoC: the same cores and islands,
+// a different set of active flows (e.g. "camera recording" exercises
+// the imaging pipeline, "playback" the decoder, "standby" almost
+// nothing). SoCs run one use case at a time; the NoC must be
+// provisioned for all of them.
+type UseCase struct {
+	Name  string
+	Flows []Flow
+}
+
+// Validate checks the use case's flows against the host spec's cores.
+func (u *UseCase) Validate(host *Spec) error {
+	if u.Name == "" {
+		return fmt.Errorf("soc: use case without a name")
+	}
+	seen := map[[2]CoreID]bool{}
+	for i, f := range u.Flows {
+		if f.Src < 0 || int(f.Src) >= len(host.Cores) || f.Dst < 0 || int(f.Dst) >= len(host.Cores) {
+			return fmt.Errorf("soc: use case %q flow %d has out-of-range endpoint", u.Name, i)
+		}
+		if f.Src == f.Dst {
+			return fmt.Errorf("soc: use case %q flow %d is a self loop", u.Name, i)
+		}
+		if f.BandwidthBps <= 0 {
+			return fmt.Errorf("soc: use case %q flow %d has non-positive bandwidth", u.Name, i)
+		}
+		k := [2]CoreID{f.Src, f.Dst}
+		if seen[k] {
+			return fmt.Errorf("soc: use case %q duplicates flow %d->%d", u.Name, f.Src, f.Dst)
+		}
+		seen[k] = true
+	}
+	return nil
+}
+
+// MergeUseCases builds the worst-case synthesis spec over several
+// traffic modes: the flow set is the union over all use cases, each
+// (src,dst) pair carrying its maximum bandwidth and its tightest
+// latency constraint. Synthesizing for the merged spec guarantees every
+// individual mode fits (modes are subsets with smaller-or-equal
+// bandwidths), which is how application-specific NoCs are provisioned
+// for multi-mode SoCs.
+//
+// base supplies the cores and island structure; its own flow list is
+// ignored (pass it as one of the use cases if it represents a mode).
+func MergeUseCases(base *Spec, cases ...UseCase) (*Spec, error) {
+	if len(cases) == 0 {
+		return nil, fmt.Errorf("soc: no use cases to merge")
+	}
+	for i := range cases {
+		if err := cases[i].Validate(base); err != nil {
+			return nil, err
+		}
+	}
+	type agg struct {
+		bw  float64
+		lat float64
+	}
+	merged := map[[2]CoreID]agg{}
+	for _, uc := range cases {
+		for _, f := range uc.Flows {
+			k := [2]CoreID{f.Src, f.Dst}
+			a, ok := merged[k]
+			if !ok {
+				merged[k] = agg{bw: f.BandwidthBps, lat: f.MaxLatencyCycles}
+				continue
+			}
+			if f.BandwidthBps > a.bw {
+				a.bw = f.BandwidthBps
+			}
+			if f.MaxLatencyCycles > 0 && (a.lat == 0 || f.MaxLatencyCycles < a.lat) {
+				a.lat = f.MaxLatencyCycles
+			}
+			merged[k] = a
+		}
+	}
+	out := base.Clone()
+	out.Name = base.Name + "_merged"
+	out.Flows = out.Flows[:0]
+	keys := make([][2]CoreID, 0, len(merged))
+	for k := range merged {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(a, b int) bool {
+		if keys[a][0] != keys[b][0] {
+			return keys[a][0] < keys[b][0]
+		}
+		return keys[a][1] < keys[b][1]
+	})
+	for _, k := range keys {
+		a := merged[k]
+		out.Flows = append(out.Flows, Flow{
+			Src: k[0], Dst: k[1], BandwidthBps: a.bw, MaxLatencyCycles: a.lat,
+		})
+	}
+	if err := out.Validate(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// IdleIslands returns the shutdown mask a mode admits: a shutdownable
+// island whose cores neither source nor sink any of the mode's flows
+// can be gated for the mode's duration.
+func IdleIslands(spec *Spec, mode UseCase) []bool {
+	used := make([]bool, len(spec.Islands))
+	for _, f := range mode.Flows {
+		used[spec.IslandOf[f.Src]] = true
+		used[spec.IslandOf[f.Dst]] = true
+	}
+	off := make([]bool, len(spec.Islands))
+	for i, isl := range spec.Islands {
+		off[i] = isl.Shutdownable && !used[i]
+	}
+	return off
+}

@@ -1,0 +1,104 @@
+package soc
+
+import (
+	"testing"
+)
+
+func ucSpec() *Spec {
+	return &Spec{
+		Name: "uc",
+		Cores: []Core{
+			{ID: 0, Name: "a"}, {ID: 1, Name: "b"}, {ID: 2, Name: "c"}, {ID: 3, Name: "d"},
+		},
+		Flows: []Flow{{Src: 0, Dst: 1, BandwidthBps: 1}},
+		Islands: []Island{
+			{ID: 0, Name: "i0", VoltageV: 1},
+			{ID: 1, Name: "i1", VoltageV: 1, Shutdownable: true},
+		},
+		IslandOf: []IslandID{0, 0, 1, 1},
+	}
+}
+
+func TestMergeUseCases(t *testing.T) {
+	base := ucSpec()
+	a := UseCase{Name: "a", Flows: []Flow{
+		{Src: 0, Dst: 1, BandwidthBps: 100e6, MaxLatencyCycles: 20},
+		{Src: 2, Dst: 3, BandwidthBps: 50e6},
+	}}
+	b := UseCase{Name: "b", Flows: []Flow{
+		{Src: 0, Dst: 1, BandwidthBps: 300e6, MaxLatencyCycles: 30},
+		{Src: 1, Dst: 2, BandwidthBps: 10e6, MaxLatencyCycles: 40},
+	}}
+	m, err := MergeUseCases(base, a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Flows) != 3 {
+		t.Fatalf("merged flows = %d, want union of 3", len(m.Flows))
+	}
+	f, ok := m.FlowBetween(0, 1)
+	if !ok || f.BandwidthBps != 300e6 || f.MaxLatencyCycles != 20 {
+		t.Fatalf("merged 0->1 = %+v, want max bw 300e6 and tightest lat 20", f)
+	}
+	if _, ok := m.FlowBetween(2, 3); !ok {
+		t.Fatal("flow unique to case a lost")
+	}
+	// merged spec ignores base's own flow list semantics but remains valid
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// base untouched
+	if len(base.Flows) != 1 {
+		t.Fatal("MergeUseCases mutated base")
+	}
+}
+
+func TestMergeUseCasesErrors(t *testing.T) {
+	base := ucSpec()
+	if _, err := MergeUseCases(base); err == nil {
+		t.Fatal("no cases accepted")
+	}
+	bad := []UseCase{
+		{Name: "", Flows: []Flow{{Src: 0, Dst: 1, BandwidthBps: 1}}},
+		{Name: "x", Flows: []Flow{{Src: 0, Dst: 9, BandwidthBps: 1}}},
+		{Name: "x", Flows: []Flow{{Src: 0, Dst: 0, BandwidthBps: 1}}},
+		{Name: "x", Flows: []Flow{{Src: 0, Dst: 1, BandwidthBps: 0}}},
+		{Name: "x", Flows: []Flow{{Src: 0, Dst: 1, BandwidthBps: 1}, {Src: 0, Dst: 1, BandwidthBps: 2}}},
+	}
+	for i, uc := range bad {
+		if _, err := MergeUseCases(base, uc); err == nil {
+			t.Fatalf("bad case %d accepted", i)
+		}
+	}
+}
+
+func TestMergeLatencyOfUnconstrained(t *testing.T) {
+	base := ucSpec()
+	a := UseCase{Name: "a", Flows: []Flow{{Src: 0, Dst: 1, BandwidthBps: 1e6}}} // unconstrained
+	b := UseCase{Name: "b", Flows: []Flow{{Src: 0, Dst: 1, BandwidthBps: 2e6, MaxLatencyCycles: 25}}}
+	m, err := MergeUseCases(base, a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, _ := m.FlowBetween(0, 1)
+	if f.MaxLatencyCycles != 25 {
+		t.Fatalf("constraint %g, want the defined one to win", f.MaxLatencyCycles)
+	}
+}
+
+func TestIdleIslands(t *testing.T) {
+	spec := ucSpec()
+	mode := UseCase{Name: "m", Flows: []Flow{{Src: 0, Dst: 1, BandwidthBps: 1e6}}}
+	off := IdleIslands(spec, mode)
+	if off[0] {
+		t.Fatal("island 0 hosts active cores (and is not shutdownable)")
+	}
+	if !off[1] {
+		t.Fatal("island 1 is idle and shutdownable: must be gateable")
+	}
+	// A mode touching island 1 keeps it on.
+	mode2 := UseCase{Name: "m2", Flows: []Flow{{Src: 2, Dst: 3, BandwidthBps: 1e6}}}
+	if IdleIslands(spec, mode2)[1] {
+		t.Fatal("active island marked idle")
+	}
+}

@@ -1,0 +1,132 @@
+// Package specgen produces randomized but well-formed SoC specifications
+// for property-based testing of the synthesis flow. Generated specs are
+// always Validate-clean and constructed to be synthesizable: bandwidths
+// stay within what a 32-bit NoC sustains, and latency constraints leave
+// room for an island crossing (the minimum feasible inter-island path
+// costs 11 cycles, see model's timing constants).
+package specgen
+
+import (
+	"fmt"
+
+	"nocvi/internal/soc"
+)
+
+// Options bounds the generated specs.
+type Options struct {
+	// MaxCores bounds the core count (min 4). Zero selects 18.
+	MaxCores int
+	// MaxIslands bounds the island count (min 1). Zero selects 5.
+	MaxIslands int
+	// MaxFlowMBps bounds per-flow bandwidth. Zero selects 300.
+	MaxFlowMBps float64
+}
+
+func (o Options) maxCores() int {
+	if o.MaxCores < 4 {
+		return 18
+	}
+	return o.MaxCores
+}
+
+func (o Options) maxIslands() int {
+	if o.MaxIslands < 1 {
+		return 5
+	}
+	return o.MaxIslands
+}
+
+func (o Options) maxFlow() float64 {
+	if o.MaxFlowMBps <= 0 {
+		return 300
+	}
+	return o.MaxFlowMBps
+}
+
+type rng struct{ s uint64 }
+
+func (r *rng) next() uint64 {
+	r.s = r.s*6364136223846793005 + 1442695040888963407
+	return r.s >> 11
+}
+
+func (r *rng) intn(n int) int { return int(r.next() % uint64(n)) }
+
+func (r *rng) f(lo, hi float64) float64 {
+	return lo + (hi-lo)*float64(r.next()%100000)/100000
+}
+
+// classes that the generator draws cores from.
+var classes = []soc.CoreClass{
+	soc.ClassCPU, soc.ClassDSP, soc.ClassCache, soc.ClassMemory,
+	soc.ClassMemCtrl, soc.ClassDMA, soc.ClassAccel, soc.ClassPeripheral,
+	soc.ClassIO,
+}
+
+// Random generates a spec from the seed. Identical seeds give identical
+// specs.
+func Random(seed int64, opt Options) *soc.Spec {
+	r := &rng{s: uint64(seed)*2862933555777941757 + 3037000493}
+	nCores := 4 + r.intn(opt.maxCores()-3)
+	nIslands := 1 + r.intn(opt.maxIslands())
+	if nIslands > nCores {
+		nIslands = nCores
+	}
+	s := &soc.Spec{Name: fmt.Sprintf("rand%d", seed)}
+	for i := 0; i < nIslands; i++ {
+		s.Islands = append(s.Islands, soc.Island{
+			ID:   soc.IslandID(i),
+			Name: fmt.Sprintf("isl%d", i),
+			// island 0 always on so every spec has a safe harbor
+			Shutdownable: i > 0 && r.intn(2) == 0,
+			VoltageV:     0.9 + 0.1*float64(r.intn(3)),
+		})
+	}
+	for i := 0; i < nCores; i++ {
+		cl := classes[r.intn(len(classes))]
+		s.Cores = append(s.Cores, soc.Core{
+			ID: soc.CoreID(i), Name: fmt.Sprintf("c%d", i), Class: cl,
+			AreaMM2:    r.f(0.2, 6),
+			FreqHz:     r.f(50, 600) * 1e6,
+			DynPowerW:  r.f(0.005, 0.3),
+			LeakPowerW: r.f(0.001, 0.08),
+		})
+		// Round-robin base assignment guarantees no empty island, then
+		// random shuffling of the remainder.
+		if i < nIslands {
+			s.IslandOf = append(s.IslandOf, soc.IslandID(i))
+		} else {
+			s.IslandOf = append(s.IslandOf, soc.IslandID(r.intn(nIslands)))
+		}
+	}
+	// Flows: each non-first core talks to a random earlier core (so the
+	// communication graph is connected-ish), plus extra random pairs.
+	seen := map[[2]soc.CoreID]bool{}
+	addFlow := func(a, b soc.CoreID) {
+		if a == b || seen[[2]soc.CoreID{a, b}] {
+			return
+		}
+		seen[[2]soc.CoreID{a, b}] = true
+		lat := 0.0
+		// Leave room for one island crossing plus a mid hop: >= 20.
+		if r.intn(3) > 0 {
+			lat = float64(20 + r.intn(40))
+		}
+		s.Flows = append(s.Flows, soc.Flow{
+			Src: a, Dst: b,
+			BandwidthBps:     r.f(0.5, opt.maxFlow()) * 1e6,
+			MaxLatencyCycles: lat,
+		})
+	}
+	for i := 1; i < nCores; i++ {
+		addFlow(soc.CoreID(i), soc.CoreID(r.intn(i)))
+	}
+	extra := r.intn(nCores * 2)
+	for i := 0; i < extra; i++ {
+		addFlow(soc.CoreID(r.intn(nCores)), soc.CoreID(r.intn(nCores)))
+	}
+	if err := s.Validate(); err != nil {
+		panic(fmt.Sprintf("specgen: generated invalid spec: %v", err))
+	}
+	return s
+}

@@ -1,0 +1,70 @@
+package specgen
+
+import (
+	"testing"
+
+	"nocvi/internal/soc"
+)
+
+func TestRandomValidAndDeterministic(t *testing.T) {
+	for seed := int64(0); seed < 50; seed++ {
+		a := Random(seed, Options{})
+		if err := a.Validate(); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		b := Random(seed, Options{})
+		if len(a.Cores) != len(b.Cores) || len(a.Flows) != len(b.Flows) {
+			t.Fatalf("seed %d not deterministic", seed)
+		}
+		for i := range a.Flows {
+			if a.Flows[i] != b.Flows[i] {
+				t.Fatalf("seed %d flow %d differs", seed, i)
+			}
+		}
+	}
+}
+
+func TestRandomRespectsBounds(t *testing.T) {
+	for seed := int64(0); seed < 50; seed++ {
+		s := Random(seed, Options{MaxCores: 8, MaxIslands: 3, MaxFlowMBps: 50})
+		if len(s.Cores) > 8 || len(s.Islands) > 3 {
+			t.Fatalf("seed %d: %d cores %d islands", seed, len(s.Cores), len(s.Islands))
+		}
+		for _, f := range s.Flows {
+			if f.BandwidthBps > 50e6 {
+				t.Fatalf("seed %d: flow bw %g over bound", seed, f.BandwidthBps)
+			}
+			if f.MaxLatencyCycles != 0 && f.MaxLatencyCycles < 20 {
+				t.Fatalf("seed %d: constraint %g leaves no room for crossings", seed, f.MaxLatencyCycles)
+			}
+		}
+	}
+}
+
+func TestRandomIslandZeroAlwaysOn(t *testing.T) {
+	for seed := int64(0); seed < 50; seed++ {
+		s := Random(seed, Options{})
+		if s.Islands[0].Shutdownable {
+			t.Fatalf("seed %d: island 0 must be always-on", seed)
+		}
+		// no empty islands
+		for i := range s.Islands {
+			if len(s.CoresIn(soc.IslandID(i))) == 0 {
+				t.Fatalf("seed %d: island %d empty", seed, i)
+			}
+		}
+	}
+}
+
+func TestRandomVariety(t *testing.T) {
+	sizes := map[int]bool{}
+	islands := map[int]bool{}
+	for seed := int64(0); seed < 40; seed++ {
+		s := Random(seed, Options{})
+		sizes[len(s.Cores)] = true
+		islands[len(s.Islands)] = true
+	}
+	if len(sizes) < 5 || len(islands) < 3 {
+		t.Fatalf("generator not varied: %d core sizes, %d island counts", len(sizes), len(islands))
+	}
+}

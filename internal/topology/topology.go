@@ -1,0 +1,479 @@
+// Package topology defines the output of the synthesis flow: the set of
+// NoC switches per voltage island (plus an optional intermediate NoC
+// island that is never shut down), the network interfaces attaching
+// cores to switches, the inter-switch links (with bi-synchronous FIFOs
+// when they cross islands), and one route per traffic flow.
+//
+// The package also implements the structural validators that make the
+// paper's guarantee checkable: ValidateShutdownSafe proves that gating
+// any shut-downable island never severs a route between two other
+// islands.
+package topology
+
+import (
+	"fmt"
+	"math"
+
+	"nocvi/internal/model"
+	"nocvi/internal/soc"
+)
+
+// SwitchID indexes a switch within a Topology.
+type SwitchID int
+
+// LinkID indexes a directed link within a Topology.
+type LinkID int
+
+// Switch is one NoC crossbar switch. A switch belongs to exactly one
+// voltage island; direct switches host core NIs, indirect switches (in
+// the intermediate NoC island) only connect other switches.
+type Switch struct {
+	ID     SwitchID
+	Island soc.IslandID
+
+	// Indirect marks switches placed in the intermediate NoC island
+	// (Algorithm 1 step 14); they have no attached cores.
+	Indirect bool
+
+	// Cores attached through network interfaces, ascending order.
+	Cores []soc.CoreID
+
+	// FreqHz and VoltageV are inherited from the island's NoC domain.
+	FreqHz   float64
+	VoltageV float64
+}
+
+// Link is a directed switch-to-switch connection. Links that cross
+// voltage islands carry a bi-synchronous FIFO converter at the boundary.
+type Link struct {
+	ID       LinkID
+	From, To SwitchID
+
+	// CrossesIslands is true when From and To sit in different islands;
+	// the link then includes a voltage/frequency converter and costs
+	// model.FIFOCrossingCycles extra latency.
+	CrossesIslands bool
+
+	// TrafficBps is the total bandwidth of the flows routed over the
+	// link (bytes/s); CapacityBps is width × min(freq_src, freq_dst).
+	TrafficBps  float64
+	CapacityBps float64
+
+	// LengthMM is filled in by the floorplanner; before placement it
+	// holds a pessimistic estimate used during path cost evaluation.
+	LengthMM float64
+}
+
+// Route is the path assigned to one traffic flow.
+type Route struct {
+	Flow     soc.Flow
+	Switches []SwitchID // in traversal order; len >= 1
+	Links    []LinkID   // len == len(Switches)-1
+}
+
+// Topology is a complete synthesized NoC design.
+type Topology struct {
+	Spec *soc.Spec
+	Lib  *model.Library
+
+	Switches []Switch
+	Links    []Link
+	Routes   []Route
+
+	// NoCIsland is the ID of the intermediate never-shutdown NoC island
+	// when the design uses one, soc.NoIsland otherwise. When present it
+	// refers to an entry appended to IslandFreqHz/IslandVoltage beyond
+	// the spec's islands.
+	NoCIsland soc.IslandID
+
+	// IslandFreqHz and IslandVoltage give the NoC clock and supply per
+	// island (indexed by island ID; the intermediate island, if any, is
+	// the last entry).
+	IslandFreqHz  []float64
+	IslandVoltage []float64
+
+	// SwitchOf maps each core to the switch hosting its NI.
+	SwitchOf []SwitchID
+}
+
+// New creates an empty topology over the given spec and library, with
+// per-island frequency/voltage tables sized for the spec's islands (the
+// intermediate island is added by AddNoCIsland).
+func New(spec *soc.Spec, lib *model.Library) *Topology {
+	t := &Topology{
+		Spec:          spec,
+		Lib:           lib,
+		NoCIsland:     soc.NoIsland,
+		IslandFreqHz:  make([]float64, len(spec.Islands)),
+		IslandVoltage: make([]float64, len(spec.Islands)),
+		SwitchOf:      make([]SwitchID, len(spec.Cores)),
+	}
+	for i := range t.SwitchOf {
+		t.SwitchOf[i] = -1
+	}
+	for i, isl := range spec.Islands {
+		t.IslandVoltage[i] = isl.VoltageV
+	}
+	return t
+}
+
+// AddNoCIsland declares the intermediate NoC island with the given clock
+// and supply and returns its ID. It can be called at most once.
+func (t *Topology) AddNoCIsland(freqHz, voltage float64) soc.IslandID {
+	if t.NoCIsland != soc.NoIsland {
+		panic("topology: intermediate NoC island already declared")
+	}
+	id := soc.IslandID(len(t.IslandFreqHz))
+	t.NoCIsland = id
+	t.IslandFreqHz = append(t.IslandFreqHz, freqHz)
+	t.IslandVoltage = append(t.IslandVoltage, voltage)
+	return id
+}
+
+// NumIslands returns the number of voltage islands including the
+// intermediate NoC island when present.
+func (t *Topology) NumIslands() int { return len(t.IslandFreqHz) }
+
+// IslandShutdownable reports whether island id may be power gated. The
+// intermediate NoC island never is.
+func (t *Topology) IslandShutdownable(id soc.IslandID) bool {
+	if id == t.NoCIsland {
+		return false
+	}
+	return t.Spec.Islands[id].Shutdownable
+}
+
+// SetIslandFreq records the NoC clock of an island.
+func (t *Topology) SetIslandFreq(id soc.IslandID, freqHz float64) {
+	t.IslandFreqHz[id] = freqHz
+}
+
+// SetIslandVoltage overrides the supply of an island's NoC domain (DVS:
+// slow islands can run below the spec's nominal voltage). Must be
+// called before switches are added to the island.
+func (t *Topology) SetIslandVoltage(id soc.IslandID, v float64) {
+	t.IslandVoltage[id] = v
+}
+
+// AddSwitch appends a switch in the given island and returns its ID.
+// Pass indirect=true only for switches in the intermediate island.
+func (t *Topology) AddSwitch(island soc.IslandID, indirect bool) SwitchID {
+	if int(island) >= len(t.IslandFreqHz) || island < 0 {
+		panic(fmt.Sprintf("topology: switch in unknown island %d", island))
+	}
+	id := SwitchID(len(t.Switches))
+	t.Switches = append(t.Switches, Switch{
+		ID:       id,
+		Island:   island,
+		Indirect: indirect,
+		FreqHz:   t.IslandFreqHz[island],
+		VoltageV: t.IslandVoltage[island],
+	})
+	return id
+}
+
+// AttachCore connects a core's NI to a switch. The switch must be a
+// direct switch in the core's island.
+func (t *Topology) AttachCore(c soc.CoreID, sw SwitchID) error {
+	s := &t.Switches[sw]
+	if s.Indirect {
+		return fmt.Errorf("topology: core %d attached to indirect switch %d", c, sw)
+	}
+	if t.Spec.IslandOf[c] != s.Island {
+		return fmt.Errorf("topology: core %d (island %d) attached to switch %d in island %d",
+			c, t.Spec.IslandOf[c], sw, s.Island)
+	}
+	if t.SwitchOf[c] != -1 {
+		return fmt.Errorf("topology: core %d already attached to switch %d", c, t.SwitchOf[c])
+	}
+	s.Cores = append(s.Cores, c)
+	t.SwitchOf[c] = sw
+	return nil
+}
+
+// FindLink returns the directed link from->to when it exists.
+func (t *Topology) FindLink(from, to SwitchID) (LinkID, bool) {
+	for _, l := range t.Links {
+		if l.From == from && l.To == to {
+			return l.ID, true
+		}
+	}
+	return -1, false
+}
+
+// AddLink opens a new directed link between two switches, computing its
+// capacity from the slower endpoint clock and marking island crossings.
+// Duplicate links are rejected; use FindLink first.
+func (t *Topology) AddLink(from, to SwitchID) (LinkID, error) {
+	if from == to {
+		return -1, fmt.Errorf("topology: self link on switch %d", from)
+	}
+	if _, ok := t.FindLink(from, to); ok {
+		return -1, fmt.Errorf("topology: duplicate link %d->%d", from, to)
+	}
+	fs, ts := t.Switches[from], t.Switches[to]
+	minF := math.Min(fs.FreqHz, ts.FreqHz)
+	id := LinkID(len(t.Links))
+	t.Links = append(t.Links, Link{
+		ID:             id,
+		From:           from,
+		To:             to,
+		CrossesIslands: fs.Island != ts.Island,
+		CapacityBps:    t.Lib.LinkCapacityBps(minF),
+	})
+	return id, nil
+}
+
+// SwitchPorts returns the input and output port counts of a switch:
+// attached cores contribute one input and one output each (their NI),
+// plus one port per incident link direction.
+func (t *Topology) SwitchPorts(sw SwitchID) (in, out int) {
+	s := t.Switches[sw]
+	in, out = len(s.Cores), len(s.Cores)
+	for _, l := range t.Links {
+		if l.To == sw {
+			in++
+		}
+		if l.From == sw {
+			out++
+		}
+	}
+	return in, out
+}
+
+// SwitchSize returns the crossbar dimension of a switch, the larger of
+// its input and output port counts; this is the quantity bounded by
+// max_sw_size in Algorithm 1.
+func (t *Topology) SwitchSize(sw SwitchID) int {
+	in, out := t.SwitchPorts(sw)
+	if in > out {
+		return in
+	}
+	return out
+}
+
+// SwitchTrafficBps returns the aggregate traffic through a switch
+// (bytes/s summed over routed flows that traverse it).
+func (t *Topology) SwitchTrafficBps(sw SwitchID) float64 {
+	var sum float64
+	for _, r := range t.Routes {
+		for _, s := range r.Switches {
+			if s == sw {
+				sum += r.Flow.BandwidthBps
+				break
+			}
+		}
+	}
+	return sum
+}
+
+// ZeroLoadLatencyCycles returns the zero-load latency of a route in NoC
+// cycles: the NI injection link, one switch traversal per hop, one cycle
+// per inter-switch link, the converter penalty per island crossing, and
+// the NI ejection link.
+func (t *Topology) ZeroLoadLatencyCycles(r *Route) float64 {
+	lat := model.LinkTraversalCycles // NI -> first switch
+	for range r.Switches {
+		lat += model.SwitchTraversalCycles
+	}
+	for _, lid := range r.Links {
+		lat += model.LinkTraversalCycles
+		if t.Links[lid].CrossesIslands {
+			lat += model.FIFOCrossingCycles
+		}
+	}
+	lat += model.LinkTraversalCycles // last switch -> NI
+	return lat
+}
+
+// MeanZeroLoadLatency returns the average zero-load latency over all
+// routes (the metric of Fig. 3), or 0 when no routes exist.
+func (t *Topology) MeanZeroLoadLatency() float64 {
+	if len(t.Routes) == 0 {
+		return 0
+	}
+	var sum float64
+	for i := range t.Routes {
+		sum += t.ZeroLoadLatencyCycles(&t.Routes[i])
+	}
+	return sum / float64(len(t.Routes))
+}
+
+// AddRoute records the route for a flow, accounting its bandwidth on
+// every traversed link. The route must already be structurally valid.
+func (t *Topology) AddRoute(r Route) error {
+	if err := t.checkRoute(&r); err != nil {
+		return err
+	}
+	for _, lid := range r.Links {
+		t.Links[lid].TrafficBps += r.Flow.BandwidthBps
+	}
+	t.Routes = append(t.Routes, r)
+	return nil
+}
+
+// checkRoute verifies the structural validity of a route.
+func (t *Topology) checkRoute(r *Route) error {
+	if len(r.Switches) == 0 {
+		return fmt.Errorf("topology: empty route for flow %d->%d", r.Flow.Src, r.Flow.Dst)
+	}
+	if len(r.Links) != len(r.Switches)-1 {
+		return fmt.Errorf("topology: route for %d->%d has %d links for %d switches",
+			r.Flow.Src, r.Flow.Dst, len(r.Links), len(r.Switches))
+	}
+	if t.SwitchOf[r.Flow.Src] != r.Switches[0] {
+		return fmt.Errorf("topology: route for %d->%d starts at switch %d, core is on %d",
+			r.Flow.Src, r.Flow.Dst, r.Switches[0], t.SwitchOf[r.Flow.Src])
+	}
+	if t.SwitchOf[r.Flow.Dst] != r.Switches[len(r.Switches)-1] {
+		return fmt.Errorf("topology: route for %d->%d ends at switch %d, core is on %d",
+			r.Flow.Src, r.Flow.Dst, r.Switches[len(r.Switches)-1], t.SwitchOf[r.Flow.Dst])
+	}
+	for i, lid := range r.Links {
+		if int(lid) >= len(t.Links) || lid < 0 {
+			return fmt.Errorf("topology: route references unknown link %d", lid)
+		}
+		l := t.Links[lid]
+		if l.From != r.Switches[i] || l.To != r.Switches[i+1] {
+			return fmt.Errorf("topology: route link %d does not connect switches %d->%d",
+				lid, r.Switches[i], r.Switches[i+1])
+		}
+	}
+	return nil
+}
+
+// Validate performs full structural validation: every core attached in
+// its own island, all routes well-formed, link capacities respected,
+// switch sizes feasible at their island clock, latency constraints met,
+// and shutdown safety. It returns the first violation found.
+func (t *Topology) Validate() error {
+	for c := range t.Spec.Cores {
+		sw := t.SwitchOf[c]
+		if sw == -1 {
+			return fmt.Errorf("topology: core %d (%s) not attached to any switch", c, t.Spec.Cores[c].Name)
+		}
+		if t.Switches[sw].Island != t.Spec.IslandOf[c] {
+			return fmt.Errorf("topology: core %d attached across islands", c)
+		}
+	}
+	if len(t.Routes) != len(t.Spec.Flows) {
+		return fmt.Errorf("topology: %d routes for %d flows", len(t.Routes), len(t.Spec.Flows))
+	}
+	for i := range t.Routes {
+		if err := t.checkRoute(&t.Routes[i]); err != nil {
+			return err
+		}
+		r := &t.Routes[i]
+		if r.Flow.MaxLatencyCycles > 0 {
+			if lat := t.ZeroLoadLatencyCycles(r); lat > r.Flow.MaxLatencyCycles {
+				return fmt.Errorf("topology: flow %d->%d latency %.1f exceeds constraint %.1f",
+					r.Flow.Src, r.Flow.Dst, lat, r.Flow.MaxLatencyCycles)
+			}
+		}
+	}
+	for _, l := range t.Links {
+		if l.TrafficBps > l.CapacityBps*(1+1e-9) {
+			return fmt.Errorf("topology: link %d->%d overloaded: %.3g > %.3g Bps",
+				l.From, l.To, l.TrafficBps, l.CapacityBps)
+		}
+	}
+	for _, s := range t.Switches {
+		if s.Indirect && len(s.Cores) > 0 {
+			return fmt.Errorf("topology: indirect switch %d has cores attached", s.ID)
+		}
+		if s.Indirect && s.Island != t.NoCIsland {
+			return fmt.Errorf("topology: indirect switch %d outside the NoC island", s.ID)
+		}
+		size := t.SwitchSize(s.ID)
+		if size > 0 && t.Lib.SwitchMaxFreqHz(size) < s.FreqHz-1 {
+			return fmt.Errorf("topology: switch %d size %d cannot run at %.0f MHz",
+				s.ID, size, s.FreqHz/1e6)
+		}
+	}
+	return t.ValidateShutdownSafe()
+}
+
+// ValidateShutdownSafe proves the paper's property: for every
+// shut-downable island X, no route between two endpoints that both lie
+// outside X traverses a switch inside X. (Routes that start or end in X
+// are legitimately lost when X is gated.)
+func (t *Topology) ValidateShutdownSafe() error {
+	for islIdx := range t.Spec.Islands {
+		isl := soc.IslandID(islIdx)
+		if !t.IslandShutdownable(isl) {
+			continue
+		}
+		for ri := range t.Routes {
+			r := &t.Routes[ri]
+			srcIsl := t.Spec.IslandOf[r.Flow.Src]
+			dstIsl := t.Spec.IslandOf[r.Flow.Dst]
+			if srcIsl == isl || dstIsl == isl {
+				continue
+			}
+			for _, sw := range r.Switches {
+				if t.Switches[sw].Island == isl {
+					return fmt.Errorf(
+						"topology: shutting down island %d (%s) would sever flow %d->%d (islands %d->%d) at switch %d",
+						isl, t.Spec.Islands[isl].Name, r.Flow.Src, r.Flow.Dst, srcIsl, dstIsl, sw)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// RoutesThroughIsland returns the indices of routes that traverse at
+// least one switch in the given island.
+func (t *Topology) RoutesThroughIsland(isl soc.IslandID) []int {
+	var out []int
+	for ri := range t.Routes {
+		for _, sw := range t.Routes[ri].Switches {
+			if t.Switches[sw].Island == isl {
+				out = append(out, ri)
+				break
+			}
+		}
+	}
+	return out
+}
+
+// SwitchesIn returns the IDs of switches in the given island.
+func (t *Topology) SwitchesIn(isl soc.IslandID) []SwitchID {
+	var out []SwitchID
+	for _, s := range t.Switches {
+		if s.Island == isl {
+			out = append(out, s.ID)
+		}
+	}
+	return out
+}
+
+// MaxLinkUtilization returns the highest traffic/capacity ratio over all
+// links, or 0 when there are no links.
+func (t *Topology) MaxLinkUtilization() float64 {
+	var max float64
+	for _, l := range t.Links {
+		if l.CapacityBps > 0 {
+			if u := l.TrafficBps / l.CapacityBps; u > max {
+				max = u
+			}
+		}
+	}
+	return max
+}
+
+// TotalSwitchCount and IndirectSwitchCount are simple inventory helpers
+// for reporting design points.
+func (t *Topology) TotalSwitchCount() int { return len(t.Switches) }
+
+// IndirectSwitchCount returns the number of switches in the intermediate
+// NoC island.
+func (t *Topology) IndirectSwitchCount() int {
+	n := 0
+	for _, s := range t.Switches {
+		if s.Indirect {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,337 @@
+package topology
+
+import (
+	"strings"
+	"testing"
+
+	"nocvi/internal/model"
+	"nocvi/internal/soc"
+)
+
+// fixtureSpec: 3 islands, island 1 (media) shutdownable, 5 cores.
+func fixtureSpec() *soc.Spec {
+	return &soc.Spec{
+		Name: "fix",
+		Cores: []soc.Core{
+			{ID: 0, Name: "cpu"},
+			{ID: 1, Name: "mem"},
+			{ID: 2, Name: "vid"},
+			{ID: 3, Name: "aud"},
+			{ID: 4, Name: "usb"},
+		},
+		Flows: []soc.Flow{
+			{Src: 0, Dst: 1, BandwidthBps: 400e6, MaxLatencyCycles: 20},
+			{Src: 2, Dst: 3, BandwidthBps: 100e6},
+			{Src: 4, Dst: 1, BandwidthBps: 50e6},
+		},
+		Islands: []soc.Island{
+			{ID: 0, Name: "sys", VoltageV: 1.0},
+			{ID: 1, Name: "media", VoltageV: 0.9, Shutdownable: true},
+			{ID: 2, Name: "io", VoltageV: 1.0, Shutdownable: true},
+		},
+		IslandOf: []soc.IslandID{0, 0, 1, 1, 2},
+	}
+}
+
+// buildValid constructs a fully valid topology over the fixture:
+// one switch per island, cores attached locally, direct inter-island
+// links for the two crossing flows.
+func buildValid(t *testing.T) *Topology {
+	spec := fixtureSpec()
+	lib := model.Default65nm()
+	top := New(spec, lib)
+	for i := range spec.Islands {
+		top.SetIslandFreq(soc.IslandID(i), 400e6)
+	}
+	s0 := top.AddSwitch(0, false)
+	s1 := top.AddSwitch(1, false)
+	s2 := top.AddSwitch(2, false)
+	for c, sw := range map[soc.CoreID]SwitchID{0: s0, 1: s0, 2: s1, 3: s1, 4: s2} {
+		if err := top.AttachCore(c, sw); err != nil {
+			t.Fatalf("attach %d: %v", c, err)
+		}
+	}
+	l20, err := top.AddLink(s2, s0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustRoute := func(r Route) {
+		t.Helper()
+		if err := top.AddRoute(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mustRoute(Route{Flow: spec.Flows[0], Switches: []SwitchID{s0}})
+	mustRoute(Route{Flow: spec.Flows[1], Switches: []SwitchID{s1}})
+	mustRoute(Route{Flow: spec.Flows[2], Switches: []SwitchID{s2, s0}, Links: []LinkID{l20}})
+	return top
+}
+
+func TestValidTopology(t *testing.T) {
+	top := buildValid(t)
+	if err := top.Validate(); err != nil {
+		t.Fatalf("valid topology rejected: %v", err)
+	}
+}
+
+func TestAttachCoreErrors(t *testing.T) {
+	spec := fixtureSpec()
+	top := New(spec, model.Default65nm())
+	top.SetIslandFreq(0, 200e6)
+	s0 := top.AddSwitch(0, false)
+	if err := top.AttachCore(2, s0); err == nil {
+		t.Fatal("cross-island attach accepted")
+	}
+	if err := top.AttachCore(0, s0); err != nil {
+		t.Fatal(err)
+	}
+	if err := top.AttachCore(0, s0); err == nil {
+		t.Fatal("double attach accepted")
+	}
+	ni := top.AddNoCIsland(400e6, 1.0)
+	ind := top.AddSwitch(ni, true)
+	if err := top.AttachCore(1, ind); err == nil {
+		t.Fatal("attach to indirect switch accepted")
+	}
+}
+
+func TestAddLinkSemantics(t *testing.T) {
+	spec := fixtureSpec()
+	top := New(spec, model.Default65nm())
+	top.SetIslandFreq(0, 400e6)
+	top.SetIslandFreq(1, 100e6)
+	s0 := top.AddSwitch(0, false)
+	s1 := top.AddSwitch(1, false)
+	if _, err := top.AddLink(s0, s0); err == nil {
+		t.Fatal("self link accepted")
+	}
+	l, err := top.AddLink(s0, s1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !top.Links[l].CrossesIslands {
+		t.Fatal("inter-island link not marked as crossing")
+	}
+	// capacity limited by the slower (100 MHz) endpoint: 4B * 100MHz
+	if got := top.Links[l].CapacityBps; got != 400e6 {
+		t.Fatalf("capacity = %g, want 4e8", got)
+	}
+	if _, err := top.AddLink(s0, s1); err == nil {
+		t.Fatal("duplicate link accepted")
+	}
+	// reverse direction is a distinct link
+	if _, err := top.AddLink(s1, s0); err != nil {
+		t.Fatalf("reverse link rejected: %v", err)
+	}
+	if id, ok := top.FindLink(s0, s1); !ok || id != l {
+		t.Fatal("FindLink broken")
+	}
+}
+
+func TestSwitchPortsAndSize(t *testing.T) {
+	top := buildValid(t)
+	// switch 0: cores cpu+mem (2 in, 2 out) + 1 incoming link
+	in, out := top.SwitchPorts(0)
+	if in != 3 || out != 2 {
+		t.Fatalf("switch0 ports = %d/%d, want 3/2", in, out)
+	}
+	if top.SwitchSize(0) != 3 {
+		t.Fatalf("switch0 size = %d", top.SwitchSize(0))
+	}
+	if top.SwitchSize(1) != 2 {
+		t.Fatalf("switch1 size = %d", top.SwitchSize(1))
+	}
+}
+
+func TestZeroLoadLatency(t *testing.T) {
+	top := buildValid(t)
+	// single switch route: NI link + switch + NI link = 1+2+1
+	if lat := top.ZeroLoadLatencyCycles(&top.Routes[0]); lat != 4 {
+		t.Fatalf("single-switch latency = %g, want 4", lat)
+	}
+	// two switches crossing islands: 1 + 2 + (1+4) + 2 + 1 = 11
+	if lat := top.ZeroLoadLatencyCycles(&top.Routes[2]); lat != 11 {
+		t.Fatalf("crossing latency = %g, want 11", lat)
+	}
+	mean := top.MeanZeroLoadLatency()
+	if want := (4.0 + 4.0 + 11.0) / 3; mean != want {
+		t.Fatalf("mean latency = %g, want %g", mean, want)
+	}
+}
+
+func TestSwitchTraffic(t *testing.T) {
+	top := buildValid(t)
+	if got := top.SwitchTrafficBps(0); got != 450e6 {
+		t.Fatalf("switch0 traffic = %g, want 4.5e8", got)
+	}
+	if got := top.SwitchTrafficBps(1); got != 100e6 {
+		t.Fatalf("switch1 traffic = %g", got)
+	}
+}
+
+func TestRouteValidationErrors(t *testing.T) {
+	top := buildValid(t)
+	bad := []Route{
+		{Flow: top.Spec.Flows[0], Switches: nil},
+		{Flow: top.Spec.Flows[0], Switches: []SwitchID{0, 1}},                     // missing link
+		{Flow: top.Spec.Flows[0], Switches: []SwitchID{1}},                        // wrong start
+		{Flow: top.Spec.Flows[2], Switches: []SwitchID{2, 1}, Links: []LinkID{0}}, // link mismatch
+	}
+	for i, r := range bad {
+		if err := top.AddRoute(r); err == nil {
+			t.Fatalf("bad route %d accepted", i)
+		}
+	}
+}
+
+func TestValidateCatchesOverload(t *testing.T) {
+	top := buildValid(t)
+	top.Links[0].TrafficBps = top.Links[0].CapacityBps * 2
+	if err := top.Validate(); err == nil || !strings.Contains(err.Error(), "overloaded") {
+		t.Fatalf("overload not caught: %v", err)
+	}
+}
+
+func TestValidateCatchesLatencyViolation(t *testing.T) {
+	top := buildValid(t)
+	top.Routes[0].Flow.MaxLatencyCycles = 1
+	if err := top.Validate(); err == nil || !strings.Contains(err.Error(), "latency") {
+		t.Fatalf("latency violation not caught: %v", err)
+	}
+}
+
+func TestValidateCatchesUnattachedCore(t *testing.T) {
+	spec := fixtureSpec()
+	top := New(spec, model.Default65nm())
+	if err := top.Validate(); err == nil || !strings.Contains(err.Error(), "not attached") {
+		t.Fatalf("unattached core not caught: %v", err)
+	}
+}
+
+func TestValidateCatchesOversizedSwitch(t *testing.T) {
+	top := buildValid(t)
+	// Force island 0's clock beyond what a 3-port switch can meet.
+	f := top.Lib.SwitchMaxFreqHz(3) + 200e6
+	top.Switches[0].FreqHz = f
+	if err := top.Validate(); err == nil || !strings.Contains(err.Error(), "cannot run") {
+		t.Fatalf("oversized switch not caught: %v", err)
+	}
+}
+
+// The central property of the paper: a route between islands 0 and 2
+// that detours through shutdownable island 1 must be rejected.
+func TestShutdownSafetyViolation(t *testing.T) {
+	spec := fixtureSpec()
+	lib := model.Default65nm()
+	top := New(spec, lib)
+	for i := range spec.Islands {
+		top.SetIslandFreq(soc.IslandID(i), 400e6)
+	}
+	s0 := top.AddSwitch(0, false)
+	s1 := top.AddSwitch(1, false)
+	s2 := top.AddSwitch(2, false)
+	attach := map[soc.CoreID]SwitchID{0: s0, 1: s0, 2: s1, 3: s1, 4: s2}
+	for c, sw := range attach {
+		if err := top.AttachCore(c, sw); err != nil {
+			t.Fatal(err)
+		}
+	}
+	l21, _ := top.AddLink(s2, s1)
+	l10, _ := top.AddLink(s1, s0)
+	// flow usb(io isl 2) -> mem(sys isl 0) routed THROUGH media island 1
+	if err := top.AddRoute(Route{Flow: spec.Flows[2], Switches: []SwitchID{s2, s1, s0}, Links: []LinkID{l21, l10}}); err != nil {
+		t.Fatal(err)
+	}
+	err := top.ValidateShutdownSafe()
+	if err == nil || !strings.Contains(err.Error(), "sever") {
+		t.Fatalf("unsafe route not detected: %v", err)
+	}
+}
+
+// Routes that terminate in a shutdownable island are allowed to use it.
+func TestShutdownSafetyAllowsEndpointIslands(t *testing.T) {
+	top := buildValid(t)
+	if err := top.ValidateShutdownSafe(); err != nil {
+		t.Fatalf("endpoint-island usage flagged: %v", err)
+	}
+}
+
+// The intermediate NoC island is never shutdownable, so routing through
+// it is always safe.
+func TestIntermediateIslandSafe(t *testing.T) {
+	spec := fixtureSpec()
+	lib := model.Default65nm()
+	top := New(spec, lib)
+	for i := range spec.Islands {
+		top.SetIslandFreq(soc.IslandID(i), 400e6)
+	}
+	s0 := top.AddSwitch(0, false)
+	s1 := top.AddSwitch(1, false)
+	s2 := top.AddSwitch(2, false)
+	ni := top.AddNoCIsland(400e6, 1.0)
+	mid := top.AddSwitch(ni, true)
+	for c, sw := range map[soc.CoreID]SwitchID{0: s0, 1: s0, 2: s1, 3: s1, 4: s2} {
+		if err := top.AttachCore(c, sw); err != nil {
+			t.Fatal(err)
+		}
+	}
+	l2m, _ := top.AddLink(s2, mid)
+	lm0, _ := top.AddLink(mid, s0)
+	for _, r := range []Route{
+		{Flow: spec.Flows[0], Switches: []SwitchID{s0}},
+		{Flow: spec.Flows[1], Switches: []SwitchID{s1}},
+		{Flow: spec.Flows[2], Switches: []SwitchID{s2, mid, s0}, Links: []LinkID{l2m, lm0}},
+	} {
+		if err := top.AddRoute(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := top.Validate(); err != nil {
+		t.Fatalf("intermediate-island design rejected: %v", err)
+	}
+	if !top.IslandShutdownable(1) || top.IslandShutdownable(ni) {
+		t.Fatal("shutdownability flags wrong")
+	}
+	if top.IndirectSwitchCount() != 1 || top.TotalSwitchCount() != 4 {
+		t.Fatal("switch inventory wrong")
+	}
+	// latency of the indirect route: 1 + 2 + (1+4) + 2 + (1+4) + 2 + 1 = 18
+	if lat := top.ZeroLoadLatencyCycles(&top.Routes[2]); lat != 18 {
+		t.Fatalf("indirect route latency = %g, want 18", lat)
+	}
+}
+
+func TestHelpers(t *testing.T) {
+	top := buildValid(t)
+	if got := top.RoutesThroughIsland(0); len(got) != 2 {
+		t.Fatalf("routes through island 0 = %v", got)
+	}
+	if got := top.SwitchesIn(1); len(got) != 1 || got[0] != 1 {
+		t.Fatalf("switches in island 1 = %v", got)
+	}
+	if u := top.MaxLinkUtilization(); u <= 0 || u > 1 {
+		t.Fatalf("utilization = %g", u)
+	}
+	if top.NumIslands() != 3 {
+		t.Fatal("NumIslands wrong")
+	}
+}
+
+func TestAddNoCIslandOnce(t *testing.T) {
+	top := New(fixtureSpec(), model.Default65nm())
+	top.AddNoCIsland(100e6, 1.0)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("second AddNoCIsland did not panic")
+		}
+	}()
+	top.AddNoCIsland(100e6, 1.0)
+}
+
+func TestValidateRouteCountMismatch(t *testing.T) {
+	top := buildValid(t)
+	top.Routes = top.Routes[:2]
+	if err := top.Validate(); err == nil || !strings.Contains(err.Error(), "routes for") {
+		t.Fatalf("route count mismatch not caught: %v", err)
+	}
+}

@@ -1,0 +1,261 @@
+// Package viplace assigns cores to voltage islands, reproducing the two
+// strategies the paper evaluates in §5:
+//
+//   - Logical partitioning groups cores by functionality (all shared
+//     memories together, all peripherals together, ...), the way a
+//     designer reasons about operating scenarios. Islands holding shared
+//     memories are never shut down "since memories are shared and should
+//     be accessible at any time".
+//   - Communication-based partitioning clusters cores so that
+//     high-bandwidth flows stay inside an island, minimizing the traffic
+//     that must cross voltage/frequency converters.
+//
+// Both strategies produce any requested island count: logical grouping
+// merges the smallest functional groups (or splits the largest) until
+// the count is met; communication clustering is greedy agglomerative
+// merging on the bandwidth matrix with a balance cap.
+//
+// The island assignment is an *input* to the synthesis algorithm, as in
+// the paper; this package exists so the experiments can sweep it.
+package viplace
+
+import (
+	"fmt"
+	"sort"
+
+	"nocvi/internal/graph"
+	"nocvi/internal/partition"
+	"nocvi/internal/soc"
+)
+
+// alwaysOnClass reports whether a core's class pins its island on (the
+// paper's shared-memory argument).
+func alwaysOnClass(c soc.CoreClass) bool {
+	return c == soc.ClassMemory || c == soc.ClassMemCtrl
+}
+
+// finish converts groups of cores into a re-islanded spec. Groups are
+// canonicalized (ordered by smallest core ID) so output is deterministic.
+func finish(spec *soc.Spec, groups [][]soc.CoreID, tag string) (*soc.Spec, error) {
+	for gi, g := range groups {
+		if len(g) == 0 {
+			return nil, fmt.Errorf("viplace: empty island %d", gi)
+		}
+		sort.Slice(g, func(a, b int) bool { return g[a] < g[b] })
+	}
+	sort.Slice(groups, func(a, b int) bool { return groups[a][0] < groups[b][0] })
+
+	islands := make([]soc.Island, len(groups))
+	islandOf := make([]soc.IslandID, len(spec.Cores))
+	for gi, g := range groups {
+		shutdownable := len(groups) > 1
+		for _, c := range g {
+			if alwaysOnClass(spec.Cores[c].Class) {
+				shutdownable = false
+			}
+			islandOf[c] = soc.IslandID(gi)
+		}
+		islands[gi] = soc.Island{
+			ID:           soc.IslandID(gi),
+			Name:         fmt.Sprintf("%s%d", tag, gi),
+			VoltageV:     1.0,
+			Shutdownable: shutdownable,
+		}
+	}
+	return spec.ReassignIslands(islands, islandOf)
+}
+
+// Logical partitions the cores into n islands by functional class.
+// Cores of the same class start in the same group; groups are merged
+// (smallest first, related classes preferred) or split (largest first)
+// until exactly n remain.
+func Logical(spec *soc.Spec, n int) (*soc.Spec, error) {
+	if n < 1 || n > len(spec.Cores) {
+		return nil, fmt.Errorf("viplace: island count %d outside [1,%d]", n, len(spec.Cores))
+	}
+	// Seed groups: one per class present, in class order.
+	byClass := map[soc.CoreClass][]soc.CoreID{}
+	for _, c := range spec.Cores {
+		byClass[c.Class] = append(byClass[c.Class], c.ID)
+	}
+	// relatedness order: classes adjacent in this list merge first.
+	order := []soc.CoreClass{
+		soc.ClassCPU, soc.ClassCache, soc.ClassDSP, soc.ClassAccel,
+		soc.ClassDMA, soc.ClassMemory, soc.ClassMemCtrl,
+		soc.ClassIO, soc.ClassPeripheral,
+	}
+	var groups [][]soc.CoreID
+	for _, cl := range order {
+		if cores, ok := byClass[cl]; ok {
+			groups = append(groups, cores)
+		}
+	}
+	// Merge until <= n: pick the adjacent pair with the smallest
+	// combined size (ties to the earliest), preserving class order so
+	// related functions coalesce.
+	for len(groups) > n {
+		best, bestSz := 0, len(spec.Cores)*2+1
+		for i := 0; i+1 < len(groups); i++ {
+			if sz := len(groups[i]) + len(groups[i+1]); sz < bestSz {
+				best, bestSz = i, sz
+			}
+		}
+		merged := append(append([]soc.CoreID{}, groups[best]...), groups[best+1]...)
+		groups = append(groups[:best], append([][]soc.CoreID{merged}, groups[best+2:]...)...)
+	}
+	// Split until == n: halve the largest group (by core count).
+	for len(groups) < n {
+		big := 0
+		for i := range groups {
+			if len(groups[i]) > len(groups[big]) {
+				big = i
+			}
+		}
+		g := groups[big]
+		if len(g) < 2 {
+			return nil, fmt.Errorf("viplace: cannot split to %d islands", n)
+		}
+		mid := len(g) / 2
+		a, b := g[:mid], g[mid:]
+		groups[big] = a
+		groups = append(groups, b)
+	}
+	return finish(spec, groups, "logic")
+}
+
+// Communication partitions the cores into n islands by greedy
+// agglomerative clustering on the flow bandwidth matrix: repeatedly
+// merge the pair of clusters with the heaviest inter-cluster bandwidth,
+// subject to a balance cap of ceil(2·cores/n) per island so one island
+// cannot swallow the chip.
+func Communication(spec *soc.Spec, n int) (*soc.Spec, error) {
+	nc := len(spec.Cores)
+	if n < 1 || n > nc {
+		return nil, fmt.Errorf("viplace: island count %d outside [1,%d]", n, nc)
+	}
+	cap := (2*nc + n - 1) / n
+	if cap < 1 {
+		cap = 1
+	}
+	// bw[i][j]: symmetric inter-core bandwidth.
+	bw := make([][]float64, nc)
+	for i := range bw {
+		bw[i] = make([]float64, nc)
+	}
+	for _, f := range spec.Flows {
+		bw[f.Src][f.Dst] += f.BandwidthBps
+		bw[f.Dst][f.Src] += f.BandwidthBps
+	}
+	clusters := make([][]soc.CoreID, nc)
+	for i := range clusters {
+		clusters[i] = []soc.CoreID{soc.CoreID(i)}
+	}
+	active := nc
+	for active > n {
+		// Find the heaviest mergeable pair; fall back to the smallest
+		// two clusters when no flows remain between distinct clusters.
+		bi, bj, bestW := -1, -1, -1.0
+		for i := 0; i < nc; i++ {
+			if clusters[i] == nil {
+				continue
+			}
+			for j := i + 1; j < nc; j++ {
+				if clusters[j] == nil || len(clusters[i])+len(clusters[j]) > cap {
+					continue
+				}
+				var w float64
+				for _, a := range clusters[i] {
+					for _, b := range clusters[j] {
+						w += bw[a][b]
+					}
+				}
+				if w > bestW {
+					bi, bj, bestW = i, j, w
+				}
+			}
+		}
+		if bi == -1 {
+			// All merges violate the cap: relax it (rare, means very
+			// skewed sizes requested).
+			cap++
+			continue
+		}
+		clusters[bi] = append(clusters[bi], clusters[bj]...)
+		clusters[bj] = nil
+		active--
+	}
+	var groups [][]soc.CoreID
+	for _, c := range clusters {
+		if c != nil {
+			groups = append(groups, c)
+		}
+	}
+	return finish(spec, groups, "comm")
+}
+
+// IntraIslandBandwidth returns the fraction of total flow bandwidth
+// whose endpoints share an island — the quantity communication-based
+// partitioning maximizes.
+func IntraIslandBandwidth(spec *soc.Spec) float64 {
+	var intra, total float64
+	for _, f := range spec.Flows {
+		total += f.BandwidthBps
+		if spec.IslandOf[f.Src] == spec.IslandOf[f.Dst] {
+			intra += f.BandwidthBps
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return intra / total
+}
+
+// Method selects a partitioning strategy by name.
+type Method string
+
+// The two strategies of §5.
+const (
+	MethodLogical       Method = "logical"
+	MethodCommunication Method = "communication"
+	MethodSpectral      Method = "spectral"
+)
+
+// Partition dispatches on the method name.
+func Partition(spec *soc.Spec, method Method, n int) (*soc.Spec, error) {
+	switch method {
+	case MethodLogical:
+		return Logical(spec, n)
+	case MethodCommunication:
+		return Communication(spec, n)
+	case MethodSpectral:
+		return Spectral(spec, n)
+	default:
+		return nil, fmt.Errorf("viplace: unknown method %q", method)
+	}
+}
+
+// Spectral partitions the cores into n islands by recursive spectral
+// bisection of the inter-core bandwidth graph — an alternative engine
+// for communication-based partitioning that sees global structure the
+// greedy agglomeration can miss. The same shared-memory always-on rule
+// applies.
+func Spectral(spec *soc.Spec, n int) (*soc.Spec, error) {
+	nc := len(spec.Cores)
+	if n < 1 || n > nc {
+		return nil, fmt.Errorf("viplace: island count %d outside [1,%d]", n, nc)
+	}
+	g := graph.NewUndirected(nc)
+	for _, f := range spec.Flows {
+		g.AddEdge(int(f.Src), int(f.Dst), f.BandwidthBps)
+	}
+	cap := (2*nc + n - 1) / n
+	part, err := partition.SpectralKWay(g, n, partition.Options{MaxPartSize: cap})
+	if err != nil {
+		return nil, err
+	}
+	groups := make([][]soc.CoreID, n)
+	for v, p := range partition.Canonical(part, n) {
+		groups[p] = append(groups[p], soc.CoreID(v))
+	}
+	return finish(spec, groups, "spec")
+}

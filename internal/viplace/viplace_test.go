@@ -1,0 +1,272 @@
+package viplace
+
+import (
+	"testing"
+
+	"nocvi/internal/soc"
+)
+
+// spec12: 12 cores across classes, with heavy flows deliberately placed
+// across class boundaries so logical and communication partitioning
+// disagree.
+func spec12() *soc.Spec {
+	mk := func(id int, name string, cl soc.CoreClass) soc.Core {
+		return soc.Core{ID: soc.CoreID(id), Name: name, Class: cl, AreaMM2: 1}
+	}
+	return &soc.Spec{
+		Name: "v12",
+		Cores: []soc.Core{
+			mk(0, "cpu0", soc.ClassCPU), mk(1, "cpu1", soc.ClassCPU),
+			mk(2, "l2", soc.ClassCache), mk(3, "dsp0", soc.ClassDSP),
+			mk(4, "dsp1", soc.ClassDSP), mk(5, "sram", soc.ClassMemory),
+			mk(6, "dram", soc.ClassMemCtrl), mk(7, "vdec", soc.ClassAccel),
+			mk(8, "disp", soc.ClassAccel), mk(9, "dma", soc.ClassDMA),
+			mk(10, "usb", soc.ClassIO), mk(11, "uart", soc.ClassPeripheral),
+		},
+		Flows: []soc.Flow{
+			{Src: 0, Dst: 2, BandwidthBps: 1000e6}, // cpu-l2 (same logical group)
+			{Src: 2, Dst: 6, BandwidthBps: 900e6},  // l2-dram (across groups)
+			{Src: 7, Dst: 6, BandwidthBps: 800e6},  // vdec-dram (across)
+			{Src: 3, Dst: 5, BandwidthBps: 700e6},  // dsp-sram (across)
+			{Src: 8, Dst: 5, BandwidthBps: 300e6},
+			{Src: 9, Dst: 6, BandwidthBps: 200e6},
+			{Src: 10, Dst: 9, BandwidthBps: 50e6},
+			{Src: 11, Dst: 0, BandwidthBps: 1e6},
+			{Src: 4, Dst: 3, BandwidthBps: 400e6}, // dsp-dsp (same group)
+		},
+		Islands:  []soc.Island{{ID: 0, Name: "all", VoltageV: 1}},
+		IslandOf: make([]soc.IslandID, 12),
+	}
+}
+
+func TestLogicalCounts(t *testing.T) {
+	s := spec12()
+	for n := 1; n <= 12; n++ {
+		out, err := Logical(s, n)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if len(out.Islands) != n {
+			t.Fatalf("n=%d produced %d islands", n, len(out.Islands))
+		}
+		if err := out.Validate(); err != nil {
+			t.Fatalf("n=%d invalid: %v", n, err)
+		}
+	}
+}
+
+func TestLogicalGroupsByClass(t *testing.T) {
+	out, err := Logical(spec12(), 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Cores of the same class always share an island at n=7 (7 >= the
+	// number of seed groups only after merges; with 9 classes present
+	// merging happens, but same-class cores never split).
+	byClass := map[soc.CoreClass]soc.IslandID{}
+	for _, c := range out.Cores {
+		if isl, ok := byClass[c.Class]; ok {
+			if out.IslandOf[c.ID] != isl {
+				t.Fatalf("class %v split across islands at n=7", c.Class)
+			}
+		} else {
+			byClass[c.Class] = out.IslandOf[c.ID]
+		}
+	}
+}
+
+func TestLogicalMemoryAlwaysOn(t *testing.T) {
+	for n := 2; n <= 12; n++ {
+		out, err := Logical(spec12(), n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, c := range out.Cores {
+			if c.Class == soc.ClassMemory || c.Class == soc.ClassMemCtrl {
+				if out.Islands[out.IslandOf[c.ID]].Shutdownable {
+					t.Fatalf("n=%d: memory island shutdownable", n)
+				}
+			}
+		}
+	}
+}
+
+func TestSingleIslandNotShutdownable(t *testing.T) {
+	for _, m := range []Method{MethodLogical, MethodCommunication} {
+		out, err := Partition(spec12(), m, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if out.Islands[0].Shutdownable {
+			t.Fatalf("%s: single island must stay on", m)
+		}
+	}
+}
+
+func TestCommunicationCounts(t *testing.T) {
+	s := spec12()
+	for n := 1; n <= 12; n++ {
+		out, err := Communication(s, n)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if len(out.Islands) != n {
+			t.Fatalf("n=%d produced %d islands", n, len(out.Islands))
+		}
+		if err := out.Validate(); err != nil {
+			t.Fatalf("n=%d invalid: %v", n, err)
+		}
+	}
+}
+
+func TestCommunicationBeatsLogicalOnIntraBandwidth(t *testing.T) {
+	s := spec12()
+	for _, n := range []int{3, 4, 5, 6} {
+		lg, err := Logical(s, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cm, err := Communication(s, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		li, ci := IntraIslandBandwidth(lg), IntraIslandBandwidth(cm)
+		if ci < li {
+			t.Fatalf("n=%d: communication intra-bw %.2f < logical %.2f", n, ci, li)
+		}
+	}
+}
+
+func TestCommunicationKeepsHeaviestFlowTogether(t *testing.T) {
+	out, err := Communication(spec12(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// cpu0-l2 at 1000 MB/s is the heaviest flow; greedy merging must
+	// co-locate them.
+	if out.IslandOf[0] != out.IslandOf[2] {
+		t.Fatal("heaviest-communicating pair split across islands")
+	}
+}
+
+func TestCommunicationBalanceCap(t *testing.T) {
+	out, err := Communication(spec12(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cap := (2*12 + 3) / 4 // 6
+	for i := range out.Islands {
+		if n := len(out.CoresIn(soc.IslandID(i))); n > cap {
+			t.Fatalf("island %d has %d cores, cap %d", i, n, cap)
+		}
+	}
+}
+
+func TestPartitionDispatch(t *testing.T) {
+	if _, err := Partition(spec12(), "nope", 2); err == nil {
+		t.Fatal("unknown method accepted")
+	}
+	if _, err := Partition(spec12(), MethodLogical, 0); err == nil {
+		t.Fatal("n=0 accepted")
+	}
+	if _, err := Partition(spec12(), MethodCommunication, 13); err == nil {
+		t.Fatal("n>cores accepted")
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	for _, m := range []Method{MethodLogical, MethodCommunication} {
+		a, err := Partition(spec12(), m, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := Partition(spec12(), m, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for c := range a.IslandOf {
+			if a.IslandOf[c] != b.IslandOf[c] {
+				t.Fatalf("%s not deterministic at core %d", m, c)
+			}
+		}
+	}
+}
+
+func TestIntraIslandBandwidthBounds(t *testing.T) {
+	s := spec12()
+	one, _ := Logical(s, 1)
+	if IntraIslandBandwidth(one) != 1 {
+		t.Fatal("single island must have intra fraction 1")
+	}
+	all, _ := Logical(s, 12)
+	if IntraIslandBandwidth(all) != 0 {
+		t.Fatal("per-core islands must have intra fraction 0")
+	}
+	empty := &soc.Spec{Name: "e", Cores: s.Cores, Islands: s.Islands, IslandOf: s.IslandOf}
+	if IntraIslandBandwidth(empty) != 0 {
+		t.Fatal("no flows should give 0")
+	}
+}
+
+func TestSpectralCounts(t *testing.T) {
+	s := spec12()
+	for n := 1; n <= 12; n++ {
+		out, err := Spectral(s, n)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if len(out.Islands) != n {
+			t.Fatalf("n=%d produced %d islands", n, len(out.Islands))
+		}
+		if err := out.Validate(); err != nil {
+			t.Fatalf("n=%d invalid: %v", n, err)
+		}
+	}
+}
+
+func TestSpectralKeepsHeavyPairTogether(t *testing.T) {
+	out, err := Spectral(spec12(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// cpu0-l2 at 1000 MB/s is the heaviest flow.
+	if out.IslandOf[0] != out.IslandOf[2] {
+		t.Fatal("spectral split the heaviest-communicating pair")
+	}
+	// memory rule still applies
+	for _, c := range out.Cores {
+		if c.Class == soc.ClassMemory || c.Class == soc.ClassMemCtrl {
+			if out.Islands[out.IslandOf[c.ID]].Shutdownable {
+				t.Fatal("memory island shutdownable")
+			}
+		}
+	}
+}
+
+func TestSpectralCompetitiveIntraBandwidth(t *testing.T) {
+	s := spec12()
+	for _, n := range []int{3, 4, 5} {
+		cm, err := Communication(s, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sp, err := Spectral(s, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ci, si := IntraIslandBandwidth(cm), IntraIslandBandwidth(sp)
+		if si < ci*0.7 {
+			t.Fatalf("n=%d: spectral intra-bw %.2f far below greedy %.2f", n, si, ci)
+		}
+	}
+}
+
+func TestSpectralDispatch(t *testing.T) {
+	out, err := Partition(spec12(), MethodSpectral, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Islands) != 3 {
+		t.Fatal("dispatch broken")
+	}
+}

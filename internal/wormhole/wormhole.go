@@ -1,0 +1,522 @@
+// Package wormhole is a flit-level, cycle-accurate simulator of the
+// synthesized NoC with finite input buffers, credit-based flow control
+// and round-robin switch allocation — the detailed counterpart of the
+// queueing-level model in internal/sim.
+//
+// Where internal/sim measures latency under idealized infinite buffers,
+// this engine models the real wormhole mechanics: a packet's head flit
+// allocates an output port, its body streams behind it, and a blocked
+// head holds buffer space upstream — which is exactly how routing-
+// induced deadlock manifests. A topology whose channel dependency graph
+// is cyclic (see internal/deadlock) can livelock into a stable circular
+// wait here; the simulator detects that as "no flit moved for a full
+// drain window while packets are in flight" and reports it. Synthesized
+// topologies must never trigger it.
+//
+// To keep flit timing exact the engine runs all routers on a single
+// clock: it is a *functional* validator (deadlock, ordering, delivery,
+// bounded buffers), while performance across clock domains is the job
+// of internal/sim. Island-crossing links model the bi-synchronous FIFO
+// as extra pipeline stages on the link.
+package wormhole
+
+import (
+	"container/heap"
+	"fmt"
+	"sort"
+
+	"nocvi/internal/model"
+	"nocvi/internal/soc"
+	"nocvi/internal/topology"
+)
+
+// Config controls a wormhole simulation.
+type Config struct {
+	// BufferFlits is the depth of each input buffer (default 4).
+	BufferFlits int
+	// PacketFlits is the packet length including head and tail
+	// (default 8).
+	PacketFlits int
+	// PacketsPerFlow is how many packets each flow injects (default 4).
+	PacketsPerFlow int
+	// InjectionGapCycles spaces a flow's packets apart (default 16).
+	InjectionGapCycles int
+	// DeadlockWindow is the number of consecutive cycles without any
+	// flit movement (while flits are in flight) after which the run is
+	// declared deadlocked (default 10000).
+	DeadlockWindow int
+	// MaxCycles aborts pathological runs (default 2_000_000).
+	MaxCycles int
+}
+
+func (c Config) buf() int {
+	if c.BufferFlits <= 0 {
+		return 4
+	}
+	return c.BufferFlits
+}
+
+func (c Config) pkt() int {
+	if c.PacketFlits <= 1 {
+		return 8
+	}
+	return c.PacketFlits
+}
+
+func (c Config) perFlow() int {
+	if c.PacketsPerFlow <= 0 {
+		return 4
+	}
+	return c.PacketsPerFlow
+}
+
+func (c Config) gap() int {
+	if c.InjectionGapCycles <= 0 {
+		return 16
+	}
+	return c.InjectionGapCycles
+}
+
+func (c Config) window() int {
+	if c.DeadlockWindow <= 0 {
+		return 10000
+	}
+	return c.DeadlockWindow
+}
+
+func (c Config) maxCycles() int {
+	if c.MaxCycles <= 0 {
+		return 2_000_000
+	}
+	return c.MaxCycles
+}
+
+// Result summarizes a run.
+type Result struct {
+	Cycles    int
+	Injected  int
+	Delivered int
+	// Deadlocked is true when the run stalled with flits in flight.
+	Deadlocked bool
+	// MeanLatencyCycles / MaxLatencyCycles are head-injection to
+	// tail-ejection packet latencies.
+	MeanLatencyCycles float64
+	MaxLatencyCycles  int
+	// PeakBufferFlits is the highest observed occupancy of any input
+	// buffer (must never exceed Config.BufferFlits).
+	PeakBufferFlits int
+}
+
+// flit is one flow-control unit in flight.
+type flit struct {
+	packet *packet
+	isHead bool
+	isTail bool
+	seq    int
+}
+
+// packet tracks one packet's route progress and timing.
+type packet struct {
+	route   *topology.Route
+	hop     int // index into route.Switches of the switch the head occupies/approaches
+	inject  int // cycle the head entered the network
+	flits   int
+	retired int // tail ejected when retired == flits
+}
+
+// port is an input buffer at a switch (or the ejection buffer of a
+// core). Flits queue in order; credits mirror free space upstream.
+type port struct {
+	q   []flit
+	cap int
+	// allocOut is the output currently granted to this input's head
+	// packet (-1 when none); wormhole keeps it until the tail passes.
+	allocOut int
+}
+
+func (p *port) free() int { return p.cap - len(p.q) }
+
+// outState tracks an output port's wormhole allocation and round-robin
+// pointer.
+type outState struct {
+	// owner is the input port index currently streaming a packet
+	// through this output, -1 when idle.
+	owner int
+	// rr is the round-robin arbitration pointer.
+	rr int
+	// busyUntil models link pipeline stages: next cycle the output may
+	// accept a flit.
+	busyUntil int
+	// credits available toward the downstream buffer.
+	credits int
+	// latency (pipeline depth) of the link behind this output.
+	linkDelay int
+	// downstream target: switch input port or core ejection.
+	dstSwitch int // -1 for ejection
+	dstPort   int
+	dstCore   soc.CoreID
+}
+
+// inflight is a flit travelling a link (arrives at arriveCycle).
+type inflight struct {
+	arrive int
+	flit   flit
+	sw     int // destination switch (-1: ejection to core)
+	port   int
+	core   soc.CoreID
+}
+
+type inflightHeap []inflight
+
+func (h inflightHeap) Len() int            { return len(h) }
+func (h inflightHeap) Less(i, j int) bool  { return h[i].arrive < h[j].arrive }
+func (h inflightHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *inflightHeap) Push(x interface{}) { *h = append(*h, x.(inflight)) }
+func (h *inflightHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}
+
+// engine is the per-run state.
+type engine struct {
+	top *topology.Topology
+	cfg Config
+
+	// Per switch: input ports and output states. Input port order:
+	// attached cores first (injection), then incoming links (by LinkID).
+	// Output order: attached cores first (ejection), then outgoing
+	// links (by LinkID).
+	inPorts  [][]*port
+	outs     [][]*outState
+	inIndex  map[topology.LinkID]int // link -> input port index at l.To
+	outIndex map[topology.LinkID]int // link -> output index at l.From
+	coreIn   map[soc.CoreID]int      // core -> injection port index at its switch
+	coreOut  map[soc.CoreID]int      // core -> ejection output index at its switch
+
+	// Per-route output port sequence (hop i: output index at switch i).
+	routeOut [][]int
+
+	wire inflightHeap
+	res  Result
+}
+
+// Run simulates the routed topology.
+func Run(top *topology.Topology, cfg Config) (*Result, error) {
+	if len(top.Routes) == 0 {
+		return nil, fmt.Errorf("wormhole: topology has no routes")
+	}
+	e := &engine{top: top, cfg: cfg}
+	if err := e.build(); err != nil {
+		return nil, err
+	}
+	e.simulate()
+	return &e.res, nil
+}
+
+// build constructs ports, credits and per-route output sequences.
+func (e *engine) build() error {
+	top := e.top
+	n := len(top.Switches)
+	e.inPorts = make([][]*port, n)
+	e.outs = make([][]*outState, n)
+	e.inIndex = map[topology.LinkID]int{}
+	e.outIndex = map[topology.LinkID]int{}
+	e.coreIn = map[soc.CoreID]int{}
+	e.coreOut = map[soc.CoreID]int{}
+
+	for si := 0; si < n; si++ {
+		s := &top.Switches[si]
+		for _, c := range s.Cores {
+			e.coreIn[c] = len(e.inPorts[si])
+			e.inPorts[si] = append(e.inPorts[si], &port{cap: e.cfg.buf(), allocOut: -1})
+			e.coreOut[c] = len(e.outs[si])
+			e.outs[si] = append(e.outs[si], &outState{
+				owner: -1, credits: 1 << 30, linkDelay: int(model.LinkTraversalCycles),
+				dstSwitch: -1, dstCore: c,
+			})
+		}
+	}
+	// Links in LinkID order give deterministic port numbering.
+	for _, l := range top.Links {
+		from, to := int(l.From), int(l.To)
+		delay := int(model.LinkTraversalCycles)
+		if l.CrossesIslands {
+			delay += int(model.FIFOCrossingCycles)
+		}
+		e.inIndex[l.ID] = len(e.inPorts[to])
+		e.inPorts[to] = append(e.inPorts[to], &port{cap: e.cfg.buf(), allocOut: -1})
+		e.outIndex[l.ID] = len(e.outs[from])
+		e.outs[from] = append(e.outs[from], &outState{
+			owner: -1, credits: e.cfg.buf(), linkDelay: delay,
+			dstSwitch: to, dstPort: e.inIndex[l.ID],
+		})
+	}
+	// Route output sequences.
+	e.routeOut = make([][]int, len(top.Routes))
+	for ri := range top.Routes {
+		r := &top.Routes[ri]
+		seq := make([]int, len(r.Switches))
+		for i := range r.Switches {
+			if i == len(r.Switches)-1 {
+				seq[i] = e.coreOut[r.Flow.Dst]
+			} else {
+				oi, ok := e.outIndex[r.Links[i]]
+				if !ok {
+					return fmt.Errorf("wormhole: route %d uses unknown link %d", ri, r.Links[i])
+				}
+				seq[i] = oi
+			}
+		}
+		e.routeOut[ri] = seq
+	}
+	return nil
+}
+
+// simulate runs the cycle loop.
+func (e *engine) simulate() {
+	top := e.top
+	cfg := e.cfg
+
+	type pending struct {
+		route int
+		at    int
+	}
+	// Injection is serialized PER CORE: an NI streams one packet at a
+	// time into its switch port, so packets from different flows of the
+	// same source core never interleave flits (wormhole queues must
+	// hold packets contiguously).
+	perCore := make([][]pending, len(top.Spec.Cores))
+	for p := 0; p < cfg.perFlow(); p++ {
+		for ri := range top.Routes {
+			perCore[top.Routes[ri].Flow.Src] = append(perCore[top.Routes[ri].Flow.Src], pending{
+				route: ri,
+				at:    p*cfg.gap() + ri%5, // slight deterministic stagger
+			})
+		}
+	}
+	for c := range perCore {
+		q := perCore[c]
+		sort.SliceStable(q, func(i, j int) bool {
+			if q[i].at != q[j].at {
+				return q[i].at < q[j].at
+			}
+			return q[i].route < q[j].route
+		})
+	}
+	e.res.Injected = 0
+	inFlightPkts := 0
+	var latSum float64
+
+	nextInj := make([]int, len(top.Spec.Cores))       // index into per-core list
+	injecting := make([]*packet, len(top.Spec.Cores)) // packet streaming into the NI port
+	injRoute := make([]int, len(top.Spec.Cores))
+	injected := make([]int, len(top.Spec.Cores)) // flits of it already in
+
+	idle := 0
+	for cycle := 0; cycle < cfg.maxCycles(); cycle++ {
+		moved := false
+
+		// 1. Deliver link-traversal completions.
+		for e.wire.Len() > 0 && e.wire[0].arrive <= cycle {
+			f := heap.Pop(&e.wire).(inflight)
+			if f.sw < 0 {
+				// Ejected at destination core.
+				f.flit.packet.retired++
+				if f.flit.isTail {
+					lat := cycle - f.flit.packet.inject
+					latSum += float64(lat)
+					if lat > e.res.MaxLatencyCycles {
+						e.res.MaxLatencyCycles = lat
+					}
+					e.res.Delivered++
+					inFlightPkts--
+				}
+			} else {
+				p := e.inPorts[f.sw][f.port]
+				p.q = append(p.q, f.flit)
+				if len(p.q) > e.res.PeakBufferFlits {
+					e.res.PeakBufferFlits = len(p.q)
+				}
+				if len(p.q) > p.cap {
+					panic("wormhole: buffer overflow — credit protocol broken")
+				}
+			}
+			moved = true
+		}
+
+		// 2. Start new packets at NIs when the core's turn has come
+		// (one packet streams at a time per NI).
+		for c := range perCore {
+			if injecting[c] != nil || nextInj[c] >= len(perCore[c]) {
+				continue
+			}
+			if perCore[c][nextInj[c]].at > cycle {
+				continue
+			}
+			ri := perCore[c][nextInj[c]].route
+			injecting[c] = &packet{route: &top.Routes[ri], inject: cycle, flits: cfg.pkt()}
+			injRoute[c] = ri
+			injected[c] = 0
+			nextInj[c]++
+			e.res.Injected++
+			inFlightPkts++
+		}
+
+		// 3. Stream injection flits into the source switch's core input
+		// port (one flit per cycle per NI, space permitting).
+		for c := range perCore {
+			pkt := injecting[c]
+			if pkt == nil {
+				continue
+			}
+			r := &top.Routes[injRoute[c]]
+			sw := int(r.Switches[0])
+			in := e.inPorts[sw][e.coreIn[r.Flow.Src]]
+			if in.free() == 0 {
+				continue
+			}
+			f := flit{packet: pkt, seq: injected[c],
+				isHead: injected[c] == 0, isTail: injected[c] == cfg.pkt()-1}
+			in.q = append(in.q, f)
+			if len(in.q) > e.res.PeakBufferFlits {
+				e.res.PeakBufferFlits = len(in.q)
+			}
+			injected[c]++
+			if injected[c] == cfg.pkt() {
+				injecting[c] = nil
+			}
+			moved = true
+		}
+
+		// 4. Switch allocation and traversal: for each output port,
+		// round-robin among inputs whose head flit wants it.
+		for si := range e.outs {
+			for oi, out := range e.outs[si] {
+				if out.busyUntil > cycle {
+					continue
+				}
+				// Find the input to serve.
+				serve := -1
+				if out.owner >= 0 {
+					serve = out.owner
+				} else {
+					nin := len(e.inPorts[si])
+					for k := 0; k < nin; k++ {
+						cand := (out.rr + k) % nin
+						p := e.inPorts[si][cand]
+						if len(p.q) == 0 || !p.q[0].isHead {
+							continue
+						}
+						if e.wantsOutput(si, p.q[0], oi) {
+							serve = cand
+							out.rr = (cand + 1) % nin
+							break
+						}
+					}
+				}
+				if serve < 0 {
+					continue
+				}
+				p := e.inPorts[si][serve]
+				if len(p.q) == 0 || out.credits <= 0 {
+					continue
+				}
+				f := p.q[0]
+				if f.isHead && out.owner < 0 && !e.wantsOutput(si, f, oi) {
+					continue // stale owner bookkeeping; cannot happen with correct alloc
+				}
+				// Move the flit.
+				p.q = p.q[1:]
+				out.credits--
+				out.busyUntil = cycle + 1
+				if f.isHead {
+					out.owner = serve
+					p.allocOut = oi
+					f.packet.hop++
+				}
+				if f.isTail {
+					out.owner = -1
+					p.allocOut = -1
+				}
+				heap.Push(&e.wire, inflight{
+					arrive: cycle + out.linkDelay,
+					flit:   f,
+					sw:     out.dstSwitch,
+					port:   out.dstPort,
+					core:   out.dstCore,
+				})
+				// Credit return to the upstream link feeding this input
+				// happens when the flit leaves the buffer.
+				e.returnCredit(si, serve)
+				moved = true
+			}
+		}
+
+		if moved {
+			idle = 0
+		} else {
+			idle++
+		}
+		e.res.Cycles = cycle + 1
+		done := inFlightPkts == 0
+		for c := range perCore {
+			if nextInj[c] < len(perCore[c]) || injecting[c] != nil {
+				done = false
+			}
+		}
+		if done {
+			break
+		}
+		if idle >= e.cfg.window() {
+			e.res.Deadlocked = true
+			break
+		}
+	}
+	if e.res.Delivered > 0 {
+		e.res.MeanLatencyCycles = latSum / float64(e.res.Delivered)
+	}
+}
+
+// wantsOutput reports whether a head flit at switch si requests output oi.
+func (e *engine) wantsOutput(si int, f flit, oi int) bool {
+	r := f.packet.route
+	// Which hop is this switch for the packet?
+	for hop, sw := range r.Switches {
+		if int(sw) == si && hop == f.packet.hop {
+			ri := e.routeIndex(r)
+			return e.routeOut[ri][hop] == oi
+		}
+	}
+	return false
+}
+
+// routeIndex recovers the route's index (routes are stored by pointer
+// into the topology slice).
+func (e *engine) routeIndex(r *topology.Route) int {
+	// Pointer arithmetic-free: routes are unique per (src,dst).
+	for ri := range e.top.Routes {
+		if &e.top.Routes[ri] == r {
+			return ri
+		}
+	}
+	panic("wormhole: route not found")
+}
+
+// returnCredit gives a credit back to whatever feeds input port pi of
+// switch si (an upstream link output, or the NI which needs none).
+func (e *engine) returnCredit(si, pi int) {
+	for _, l := range e.top.Links {
+		if int(l.To) == si && e.inIndex[l.ID] == pi {
+			out := e.outs[int(l.From)][e.outIndex[l.ID]]
+			out.credits++
+			if out.credits > e.cfg.buf() {
+				panic("wormhole: credit overflow — protocol broken")
+			}
+			return
+		}
+	}
+	// Core injection port: the NI checks free() directly, no credits.
+}

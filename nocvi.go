@@ -1,0 +1,403 @@
+// Package nocvi synthesizes application-specific Networks-on-Chip that
+// support the shutdown of voltage islands, reproducing Seiculescu,
+// Murali, Benini and De Micheli, "NoC Topology Synthesis for Supporting
+// Shutdown of Voltage Islands in SoCs" (DAC 2009).
+//
+// The input is an SoC specification — cores, traffic flows with
+// bandwidth and latency constraints, and an assignment of cores to
+// voltage islands. The output is a set of valid NoC design points:
+// switches per island, an optional never-shut-down intermediate NoC
+// island, inter-switch links with bi-synchronous FIFO converters on
+// island crossings, and a route for every flow, such that gating any
+// shut-downable island never severs traffic between the remaining
+// islands. Each design point carries its floorplan, power breakdown and
+// zero-load latency, so the power/performance trade-off curve can be
+// explored.
+//
+// Quick start:
+//
+//	spec := nocvi.BenchmarkD26(nocvi.Logical, 6)
+//	res, err := nocvi.Synthesize(spec, nocvi.DefaultLibrary(), nocvi.Options{
+//		AllowIntermediate: true,
+//	})
+//	best := res.Best()
+//	fmt.Printf("NoC power: %.1f mW\n", best.NoCPower.DynW()*1e3)
+//	fmt.Println(nocvi.TopologyText(best.Top))
+//
+// The subsystems live in internal packages (soc, vcg, partition, route,
+// floorplan, power, sim, ...); this package re-exports the surface a
+// downstream user needs.
+package nocvi
+
+import (
+	"io"
+
+	"nocvi/internal/bench"
+	"nocvi/internal/core"
+	"nocvi/internal/deadlock"
+	"nocvi/internal/experiments"
+	"nocvi/internal/export"
+	"nocvi/internal/fault"
+	"nocvi/internal/floorplan"
+	"nocvi/internal/mesh"
+	"nocvi/internal/model"
+	"nocvi/internal/netlist"
+	"nocvi/internal/pareto"
+	"nocvi/internal/power"
+	"nocvi/internal/sim"
+	"nocvi/internal/soc"
+	"nocvi/internal/specio"
+	"nocvi/internal/topology"
+	"nocvi/internal/verify"
+	"nocvi/internal/viplace"
+	"nocvi/internal/wormhole"
+)
+
+// Specification types (see internal/soc).
+type (
+	// Spec is a complete synthesis problem: cores, flows, islands.
+	Spec = soc.Spec
+	// Core is one IP block of the SoC.
+	Core = soc.Core
+	// Flow is a directed traffic flow with bandwidth and latency
+	// constraints.
+	Flow = soc.Flow
+	// Island is one voltage island.
+	Island = soc.Island
+	// CoreID and IslandID are dense indices into Spec.
+	CoreID = soc.CoreID
+	// IslandID identifies a voltage island within a Spec.
+	IslandID = soc.IslandID
+	// CoreClass coarsely classifies a core's function.
+	CoreClass = soc.CoreClass
+)
+
+// Core classes, used by the logical island partitioner.
+const (
+	ClassCPU        = soc.ClassCPU
+	ClassDSP        = soc.ClassDSP
+	ClassCache      = soc.ClassCache
+	ClassMemory     = soc.ClassMemory
+	ClassMemCtrl    = soc.ClassMemCtrl
+	ClassDMA        = soc.ClassDMA
+	ClassAccel      = soc.ClassAccel
+	ClassPeripheral = soc.ClassPeripheral
+	ClassIO         = soc.ClassIO
+)
+
+// Technology and synthesis types.
+type (
+	// Library is the 65nm power/area/delay model library.
+	Library = model.Library
+	// Options configures the synthesis sweep (Algorithm 1).
+	Options = core.Options
+	// Result is a synthesis outcome: all valid design points.
+	Result = core.Result
+	// DesignPoint is one valid synthesized NoC.
+	DesignPoint = core.DesignPoint
+	// Topology is the synthesized network itself.
+	Topology = topology.Topology
+	// PowerBreakdown itemizes NoC power.
+	PowerBreakdown = power.Breakdown
+	// SystemPower aggregates SoC-level power.
+	SystemPower = power.System
+	// Placement is a floorplanning result.
+	Placement = floorplan.Placement
+	// SimConfig and SimResult drive the cycle-level simulator.
+	SimConfig = sim.Config
+	// SimResult reports simulated delivery and latency.
+	SimResult = sim.Result
+	// ParetoPoint is a design point projected on two objectives.
+	ParetoPoint = pareto.Point
+	// PartitionMethod selects an island-assignment strategy.
+	PartitionMethod = viplace.Method
+)
+
+// Island partitioning strategies of the paper's §5.
+const (
+	// Logical groups cores by functionality.
+	Logical = viplace.MethodLogical
+	// Communication clusters cores by traffic affinity.
+	Communication = viplace.MethodCommunication
+	// Spectral clusters cores by recursive spectral bisection of the
+	// bandwidth graph (alternative communication-based engine).
+	Spectral = viplace.MethodSpectral
+)
+
+// DefaultLibrary returns the 65 nm technology library used throughout
+// the reproduction. Callers may tweak its exported fields (link width,
+// energy coefficients) before synthesis.
+func DefaultLibrary() *Library { return model.Default65nm() }
+
+// LibraryForNode returns a preset library for "90nm", "65nm" or "45nm"
+// (first-order constant-field scaling from the 65 nm calibration; the
+// leakage-density growth toward 45 nm is the trend that motivates
+// island shutdown).
+func LibraryForNode(node string) (*Library, error) { return model.ByNode(node) }
+
+// Synthesize runs Algorithm 1 on the spec and returns every valid
+// design point found.
+func Synthesize(spec *Spec, lib *Library, opt Options) (*Result, error) {
+	return core.Synthesize(spec, lib, opt)
+}
+
+// PartitionIslands assigns the spec's cores to n voltage islands with
+// the chosen strategy (the assignment is an input to Synthesize, as in
+// the paper).
+func PartitionIslands(spec *Spec, method PartitionMethod, n int) (*Spec, error) {
+	return viplace.Partition(spec, method, n)
+}
+
+// IntraIslandBandwidth reports the fraction of traffic that stays
+// inside islands under the spec's current assignment.
+func IntraIslandBandwidth(spec *Spec) float64 {
+	return viplace.IntraIslandBandwidth(spec)
+}
+
+// Simulate runs the deterministic cycle-level simulator on a routed
+// topology.
+func Simulate(top *Topology, cfg SimConfig) (*SimResult, error) {
+	return sim.Run(top, cfg)
+}
+
+// VerifyShutdown simulates the topology with the given islands gated
+// and confirms all remaining traffic delivers (the dynamic counterpart
+// of the synthesis-time safety guarantee).
+func VerifyShutdown(top *Topology, off []bool) error {
+	return sim.VerifyShutdownDelivery(top, off)
+}
+
+// NoCPower computes the power breakdown of a routed topology with every
+// island on; ShutdownPower applies an island gating mask.
+func NoCPower(top *Topology) PowerBreakdown { return power.NoC(top) }
+
+// ShutdownPower computes full-SoC power with the marked islands gated.
+func ShutdownPower(top *Topology, off []bool) SystemPower {
+	return power.SystemWithShutdown(top, off)
+}
+
+// ShutdownSavings evaluates a gating mask: system power before/after
+// and the fractional saving.
+func ShutdownSavings(top *Topology, name string, off []bool) (onW, offW, frac float64, err error) {
+	return power.Savings(top, power.Scenario{Name: name, Off: off})
+}
+
+// Schedule models a duty cycle over shutdown scenarios (e.g. 5% active,
+// 35% playback, 60% standby).
+type (
+	Schedule      = power.Schedule
+	ScheduleEntry = power.ScheduleEntry
+	// PowerScenario names a set of islands to gate.
+	PowerScenario = power.Scenario
+)
+
+// ScheduleSavings integrates system power over a duty-cycle schedule and
+// reports the energy recovered versus never gating anything — the
+// quantity the paper weighs the ~3% active NoC overhead against.
+func ScheduleSavings(top *Topology, s Schedule) (alwaysOnW, scheduledW, frac float64, err error) {
+	return power.ScheduleSavings(top, s)
+}
+
+// ParetoFront projects the result's design points onto (NoC dynamic
+// power, mean zero-load latency) and returns the non-dominated front,
+// sorted by ascending power. Point indices refer into res.Points.
+func ParetoFront(res *Result) []ParetoPoint {
+	pts := make([]pareto.Point, len(res.Points))
+	for i := range res.Points {
+		pts[i] = pareto.Point{
+			Index: i,
+			X:     res.Points[i].NoCPower.DynW(),
+			Y:     res.Points[i].MeanLatencyCycles,
+		}
+	}
+	return pareto.Front(pts)
+}
+
+// Wormhole simulation: the flit-level engine with finite buffers and
+// credit flow control, the dynamic counterpart of AnalyzeDeadlock.
+type (
+	WormholeConfig = wormhole.Config
+	WormholeResult = wormhole.Result
+)
+
+// SimulateWormhole runs the flit-accurate wormhole engine: finite input
+// buffers, credit-based backpressure, round-robin allocation. It
+// reports actual deadlock (a stable circular wait) if the routes permit
+// one — synthesized topologies never do.
+func SimulateWormhole(top *Topology, cfg WormholeConfig) (*WormholeResult, error) {
+	return wormhole.Run(top, cfg)
+}
+
+// FaultReport is the outcome of a single-link-failure sweep: for every
+// link, whether the surviving links could re-carry all affected flows
+// under the same constraints.
+type FaultReport = fault.Report
+
+// AnalyzeFaults sweeps every single-link failure of a synthesized
+// topology, quantifying the paper's argument that run-time rerouting
+// cannot guarantee connectivity.
+func AnalyzeFaults(top *Topology) (*FaultReport, error) { return fault.Analyze(top) }
+
+// SignoffReport aggregates the full design-rule suite: structural
+// validity, deadlock analysis, the shutdown matrix, capacity headroom,
+// wire timing, and the power summary.
+type SignoffReport = verify.Report
+
+// Signoff runs every design-rule check over a synthesized design point
+// and returns the structured report (see SignoffReport.OK and .Format).
+func Signoff(dp *DesignPoint) *SignoffReport { return verify.Run(dp.Top, dp.Placement) }
+
+// DeadlockReport is the outcome of a channel-dependency-graph analysis.
+type DeadlockReport = deadlock.Report
+
+// AnalyzeDeadlock builds the channel dependency graph of the topology's
+// routes and reports whether a circular wait is possible. Every design
+// point returned by Synthesize has already passed this check.
+func AnalyzeDeadlock(top *Topology) *DeadlockReport { return deadlock.Analyze(top) }
+
+// TopologyDOT renders a topology as a Graphviz digraph (Fig. 4 style).
+func TopologyDOT(top *Topology) string { return export.TopologyDOT(top) }
+
+// TopologyText renders a compact ASCII topology summary.
+func TopologyText(top *Topology) string { return export.TopologyText(top) }
+
+// FloorplanSVG renders a placement as SVG (Fig. 5 style).
+func FloorplanSVG(top *Topology, p *Placement) string { return export.FloorplanSVG(top, p) }
+
+// FloorplanText renders a placement as an ASCII sketch.
+func FloorplanText(top *Topology, p *Placement, cols int) string {
+	return export.FloorplanText(top, p, cols)
+}
+
+// NetlistConfig tunes the generated Verilog (converter depth, hop field
+// width of the source routes).
+type NetlistConfig = netlist.Config
+
+// GenerateVerilog emits a self-contained structural Verilog netlist of
+// the synthesized NoC: one NI per core, the switches, one bi-synchronous
+// FIFO per island-crossing link, and the source-route tables — the
+// hand-off to a physical design flow.
+func GenerateVerilog(top *Topology, cfg NetlistConfig) (string, error) {
+	return netlist.Generate(top, cfg)
+}
+
+// UseCase is one traffic mode of a multi-mode SoC.
+type UseCase = soc.UseCase
+
+// MergeUseCases builds the worst-case spec over several traffic modes
+// (union of flows, max bandwidth, tightest latency per pair); the NoC
+// synthesized for it serves every mode.
+func MergeUseCases(base *Spec, cases ...UseCase) (*Spec, error) {
+	return soc.MergeUseCases(base, cases...)
+}
+
+// IdleIslands returns the shutdown mask a mode admits: shutdownable
+// islands none of whose cores participate in the mode's traffic.
+func IdleIslands(spec *Spec, mode UseCase) []bool { return soc.IdleIslands(spec, mode) }
+
+// ModePower evaluates full-SoC power in one traffic mode with the given
+// islands gated (the topology must cover the mode's flows).
+func ModePower(top *Topology, mode UseCase, off []bool) (SystemPower, error) {
+	return power.SystemForMode(top, mode, off)
+}
+
+// BenchmarkD26UseCases returns the D26 cores plus its operating modes
+// (kitchen-sink, video call, music with the screen off).
+func BenchmarkD26UseCases() (*Spec, []UseCase) { return bench.D26UseCases() }
+
+// LoadSpec reads a JSON SoC specification (human units: MB/s, mW, MHz;
+// flows reference cores by name) from a file.
+func LoadSpec(path string) (*Spec, error) { return specio.LoadSpec(path) }
+
+// SaveSpec writes a spec as JSON — useful for dumping a bundled
+// benchmark as a template for custom designs.
+func SaveSpec(path string, s *Spec) error { return specio.SaveSpec(path, s) }
+
+// WriteTopologyJSON serializes a synthesized topology for downstream
+// tooling (floorplan viewers, RTL generators, ...).
+func WriteTopologyJSON(w io.Writer, top *Topology) error {
+	return specio.WriteTopology(w, top)
+}
+
+// ReadTopologyJSON reconstructs and validates a topology written by
+// WriteTopologyJSON against its spec — externally edited designs pass
+// through the same rule set the synthesis engine enforces.
+func ReadTopologyJSON(r io.Reader, spec *Spec, lib *Library) (*Topology, error) {
+	return specio.ReadTopology(r, spec, lib)
+}
+
+// Benchmarks lists the bundled SoC benchmark suite.
+func Benchmarks() []string { return bench.Names() }
+
+// Benchmark returns a suite SoC with its default island assignment.
+func Benchmark(name string) (*Spec, error) { return bench.Islanded(name) }
+
+// BenchmarkFlat returns a suite SoC with all cores in one island.
+func BenchmarkFlat(name string) (*Spec, error) { return bench.Flat(name) }
+
+// BenchmarkD26 returns the paper's 26-core mobile/multimedia case study
+// partitioned into n islands with the chosen strategy.
+func BenchmarkD26(method PartitionMethod, n int) (*Spec, error) {
+	return bench.D26Islands(method, n)
+}
+
+// ExampleSoC returns the small 3-island teaching SoC (Fig. 1 style).
+func ExampleSoC() *Spec { return bench.Example() }
+
+// Experiment re-exports (used by cmd/nocbench and the benches).
+type (
+	// CurvePoint is one x-position of the Fig. 2/3 sweeps.
+	CurvePoint = experiments.CurvePoint
+	// OverheadRow is one benchmark of the overhead table.
+	OverheadRow = experiments.OverheadRow
+	// ShutdownRow is one scenario of the shutdown-savings table.
+	ShutdownRow = experiments.ShutdownRow
+)
+
+// RefinePlacement re-floorplans a design point with the annealing
+// placement optimizer and refreshes its wire-dependent metrics (link
+// lengths, NoC power, wire-delay violations).
+func RefinePlacement(dp *DesignPoint, iters int) error {
+	return dp.RefinePlacement(iters)
+}
+
+// PacketTrace is a time-ordered log of delivered packets.
+type PacketTrace = sim.Trace
+
+// SimulateTraced runs the simulator and records every delivered packet.
+func SimulateTraced(top *Topology, cfg SimConfig) (*SimResult, *PacketTrace, error) {
+	return sim.RunTraced(top, cfg)
+}
+
+// WriteTraceCSV exports a trace with core names resolved; ReadTraceCSV
+// parses it back.
+func WriteTraceCSV(w io.Writer, tr *PacketTrace, spec *Spec) error {
+	return tr.WriteCSV(w, spec)
+}
+
+// ReadTraceCSV parses a trace produced by WriteTraceCSV.
+func ReadTraceCSV(r io.Reader, spec *Spec) (*PacketTrace, error) {
+	return sim.ReadCSV(r, spec)
+}
+
+// ReplayTrace re-injects a recorded trace on a topology (same or
+// different) for apples-to-apples comparison under identical offered
+// traffic.
+func ReplayTrace(top *Topology, tr *PacketTrace) (*SimResult, error) {
+	return sim.Replay(top, tr)
+}
+
+// MeshOptions and MeshResult expose the regular-2D-mesh mapping baseline
+// (the [9]-[11] approach the paper argues against): cores are mapped to
+// tiles minimizing bandwidth×hops and flows routed XY. The result
+// reports how many flows island shutdown would sever — the problem
+// custom synthesis eliminates.
+type (
+	MeshOptions = mesh.Options
+	MeshResult  = mesh.Result
+)
+
+// SynthesizeMesh builds the mesh baseline for a spec.
+func SynthesizeMesh(spec *Spec, lib *Library, opt MeshOptions) (*MeshResult, error) {
+	return mesh.Synthesize(spec, lib, opt)
+}
