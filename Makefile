@@ -1,0 +1,24 @@
+# Development targets. `make ci` is the gate every change must pass:
+# vet, build, and the full test suite under the race detector (the
+# synthesis sweep is concurrent by default, so races are first-class
+# failures).
+GO ?= go
+
+.PHONY: ci vet build test race bench
+
+ci: vet build race
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchmem -run='^$$'

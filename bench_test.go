@@ -8,6 +8,7 @@
 package nocvi_test
 
 import (
+	"fmt"
 	"testing"
 
 	"nocvi/internal/bench"
@@ -187,6 +188,33 @@ func BenchmarkSynthesizeD26(b *testing.B) {
 			MaxIntermediateSwitches: 3,
 		}); err != nil {
 			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSynthesizeParallel measures the design-space sweep at
+// increasing worker counts on the D26 and D48 benchmarks. Results are
+// identical at every width — only wall-clock changes — so the ratio of
+// the workers=1 and workers=8 timings is the parallel speedup.
+func BenchmarkSynthesizeParallel(b *testing.B) {
+	lib := model.Default65nm()
+	for _, name := range []string{"d26_media", "d48_network"} {
+		spec, err := bench.Islanded(name)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, workers := range []int{1, 2, 4, 8} {
+			b.Run(fmt.Sprintf("%s/workers=%d", name, workers), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					if _, err := core.Synthesize(spec, lib, core.Options{
+						AllowIntermediate:       true,
+						MaxIntermediateSwitches: 3,
+						Workers:                 workers,
+					}); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
 		}
 	}
 }

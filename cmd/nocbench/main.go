@@ -31,8 +31,10 @@ func main() {
 	exp := flag.String("exp", "all", "experiment to run (fig2|fig3|fig4|fig5|tab1|tab2|abl-alpha|abl-mid|abl-part|abl-buffer|abl-dvs|abl-width|all)")
 	out := flag.String("out", "", "directory to write DOT/SVG artifacts to (optional)")
 	width := flag.Int("width", 32, "NoC link data width in bits")
+	workers := flag.Int("workers", 0, "design-point evaluation goroutines per synthesis (0 = all CPUs, 1 = serial)")
 	flag.Parse()
 
+	experiments.Workers = *workers
 	lib := model.Default65nm()
 	lib.LinkWidthBits = *width
 	start := time.Now()

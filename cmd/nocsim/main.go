@@ -24,15 +24,16 @@ func main() {
 	scale := flag.Float64("scale", 1.0, "injection scale relative to spec bandwidths")
 	offList := flag.String("off", "", "comma-separated island IDs to power gate")
 	tracePath := flag.String("trace", "", "write a per-packet CSV trace to this file")
+	workers := flag.Int("workers", 0, "design-point evaluation goroutines (0 = all CPUs, 1 = serial)")
 	flag.Parse()
 
-	if err := run(*benchName, *method, *islands, *duration, *scale, *offList, *tracePath); err != nil {
+	if err := run(*benchName, *method, *islands, *duration, *scale, *offList, *tracePath, *workers); err != nil {
 		fmt.Fprintln(os.Stderr, "nocsim:", err)
 		os.Exit(1)
 	}
 }
 
-func run(benchName, method string, islands int, duration, scale float64, offList, tracePath string) error {
+func run(benchName, method string, islands int, duration, scale float64, offList, tracePath string, workers int) error {
 	var spec *nocvi.Spec
 	var err error
 	if islands == 0 {
@@ -47,7 +48,7 @@ func run(benchName, method string, islands int, duration, scale float64, offList
 	if err != nil {
 		return err
 	}
-	res, err := nocvi.Synthesize(spec, nocvi.DefaultLibrary(), nocvi.Options{AllowIntermediate: true})
+	res, err := nocvi.Synthesize(spec, nocvi.DefaultLibrary(), nocvi.Options{AllowIntermediate: true, Workers: workers})
 	if err != nil {
 		return err
 	}

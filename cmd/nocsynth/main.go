@@ -8,9 +8,12 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"nocvi"
 )
@@ -32,6 +35,8 @@ func main() {
 	node := flag.String("node", "65nm", "technology node: 90nm|65nm|45nm")
 	dotPath := flag.String("dot", "", "write topology DOT to this file")
 	svgPath := flag.String("svg", "", "write floorplan SVG to this file")
+	workers := flag.Int("workers", 0, "design-point evaluation goroutines (0 = all CPUs, 1 = serial)")
+	timeout := flag.Duration("timeout", 0, "abort synthesis after this duration (0 = none)")
 	flag.Parse()
 
 	if *list {
@@ -45,8 +50,17 @@ func main() {
 		method: *method, islands: *islands, alpha: *alpha, mid: !*noMid,
 		width: *width, node: *node, dotPath: *dotPath, svgPath: *svgPath, jsonPath: *jsonPath,
 		verilogPath: *verilogPath, verify: *doVerify, fault: *doFault,
+		workers: *workers,
 	}
-	if err := run(cfg); err != nil {
+	// Ctrl-C / SIGTERM (and -timeout) cancel the synthesis sweep.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+	if err := run(ctx, cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "nocsynth:", err)
 		os.Exit(1)
 	}
@@ -64,9 +78,10 @@ type runConfig struct {
 	dotPath, svgPath, jsonPath    string
 	verilogPath                   string
 	verify                        bool
+	workers                       int
 }
 
-func run(cfg runConfig) error {
+func run(ctx context.Context, cfg runConfig) error {
 	benchName, method, islands := cfg.benchName, cfg.method, cfg.islands
 	alpha, mid, width := cfg.alpha, cfg.mid, cfg.width
 	dotPath, svgPath := cfg.dotPath, cfg.svgPath
@@ -108,9 +123,10 @@ func run(cfg runConfig) error {
 		}
 	}
 	lib.LinkWidthBits = width
-	res, err := nocvi.Synthesize(spec, lib, nocvi.Options{
+	res, err := nocvi.SynthesizeContext(ctx, spec, lib, nocvi.Options{
 		Alpha:             alpha,
 		AllowIntermediate: mid,
+		Workers:           cfg.workers,
 	})
 	if err != nil {
 		return err
@@ -119,7 +135,11 @@ func run(cfg runConfig) error {
 	fmt.Printf("%s: %d cores, %d flows, %d islands (%s), intra-island bandwidth %.0f%%\n",
 		spec.Name, len(spec.Cores), len(spec.Flows), len(spec.Islands), method,
 		nocvi.IntraIslandBandwidth(spec)*100)
-	fmt.Printf("explored %d configurations, %d valid design points\n\n", res.Explored, res.Feasible)
+	trunc := ""
+	if res.Truncated {
+		trunc = " (sweep truncated at the design-point cap)"
+	}
+	fmt.Printf("explored %d configurations, %d valid design points%s\n\n", res.Explored, res.Feasible, trunc)
 
 	front := nocvi.ParetoFront(res)
 	fmt.Println("pareto front (NoC dynamic power vs mean zero-load latency):")

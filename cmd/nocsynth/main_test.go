@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"os"
 	"path/filepath"
 	"strings"
@@ -19,7 +20,7 @@ func TestRunBenchmarkWithArtifacts(t *testing.T) {
 		jsonPath:  filepath.Join(dir, "t.json"),
 		verify:    true,
 	}
-	if err := run(cfg); err != nil {
+	if err := run(context.Background(), cfg); err != nil {
 		t.Fatal(err)
 	}
 	for _, f := range []string{"t.dot", "t.svg", "t.json"} {
@@ -43,7 +44,7 @@ func TestRunVerilogExport(t *testing.T) {
 		width:       32,
 		verilogPath: filepath.Join(dir, "noc.v"),
 	}
-	if err := run(cfg); err != nil {
+	if err := run(context.Background(), cfg); err != nil {
 		t.Fatal(err)
 	}
 	data, err := os.ReadFile(cfg.verilogPath)
@@ -59,27 +60,27 @@ func TestRunSpecRoundTrip(t *testing.T) {
 	dir := t.TempDir()
 	specPath := filepath.Join(dir, "spec.json")
 	// Dump a benchmark as a template.
-	if err := run(runConfig{benchName: "d16_industrial", method: "logical", saveSpec: specPath, width: 32}); err != nil {
+	if err := run(context.Background(), runConfig{benchName: "d16_industrial", method: "logical", saveSpec: specPath, width: 32}); err != nil {
 		t.Fatal(err)
 	}
 	// Load and synthesize it.
-	if err := run(runConfig{specPath: specPath, method: "logical", mid: true, width: 32}); err != nil {
+	if err := run(context.Background(), runConfig{specPath: specPath, method: "logical", mid: true, width: 32}); err != nil {
 		t.Fatal(err)
 	}
 	// Repartition a loaded spec.
-	if err := run(runConfig{specPath: specPath, method: "spectral", islands: 3, width: 32}); err != nil {
+	if err := run(context.Background(), runConfig{specPath: specPath, method: "spectral", islands: 3, width: 32}); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunErrors(t *testing.T) {
-	if err := run(runConfig{benchName: "missing", width: 32}); err == nil {
+	if err := run(context.Background(), runConfig{benchName: "missing", width: 32}); err == nil {
 		t.Fatal("unknown benchmark accepted")
 	}
-	if err := run(runConfig{specPath: "/nonexistent/spec.json", width: 32}); err == nil {
+	if err := run(context.Background(), runConfig{specPath: "/nonexistent/spec.json", width: 32}); err == nil {
 		t.Fatal("missing spec accepted")
 	}
-	if err := run(runConfig{benchName: "d16_industrial", method: "bogus", islands: 3, width: 32}); err == nil {
+	if err := run(context.Background(), runConfig{benchName: "d16_industrial", method: "bogus", islands: 3, width: 32}); err == nil {
 		t.Fatal("unknown method accepted")
 	}
 }

@@ -8,6 +8,8 @@ package main
 import (
 	"fmt"
 	"log"
+	"runtime"
+	"time"
 
 	"nocvi"
 )
@@ -18,16 +20,37 @@ func main() {
 		log.Fatal(err)
 	}
 	lib := nocvi.DefaultLibrary()
-	res, err := nocvi.Synthesize(spec, lib, nocvi.Options{
+	opt := nocvi.Options{
 		AllowIntermediate:       true,
 		MaxIntermediateSwitches: 3,
-	})
+	}
+
+	// The sweep is embarrassingly parallel: candidates are independent,
+	// and results are identical for any worker count. Time both paths.
+	opt.Workers = 1
+	t0 := time.Now()
+	serial, err := nocvi.Synthesize(spec, lib, opt)
 	if err != nil {
 		log.Fatal(err)
 	}
+	serialDur := time.Since(t0)
 
-	fmt.Printf("%s: %d cores, %d islands — explored %d configurations, %d valid design points\n\n",
+	opt.Workers = runtime.NumCPU()
+	t0 = time.Now()
+	res, err := nocvi.Synthesize(spec, lib, opt)
+	if err != nil {
+		log.Fatal(err)
+	}
+	parallelDur := time.Since(t0)
+	if len(serial.Points) != len(res.Points) || serial.Explored != res.Explored {
+		log.Fatalf("serial and parallel sweeps diverged: %d/%d vs %d/%d points",
+			len(serial.Points), serial.Explored, len(res.Points), res.Explored)
+	}
+
+	fmt.Printf("%s: %d cores, %d islands — explored %d configurations, %d valid design points\n",
 		spec.Name, len(spec.Cores), len(spec.Islands), res.Explored, res.Feasible)
+	fmt.Printf("sweep: %v serial, %v with %d workers (identical points)\n\n",
+		serialDur.Round(time.Millisecond), parallelDur.Round(time.Millisecond), opt.Workers)
 
 	front := nocvi.ParetoFront(res)
 	onFront := map[int]bool{}

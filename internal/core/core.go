@@ -23,8 +23,11 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
+	"runtime"
+	"sync"
 
 	"nocvi/internal/deadlock"
 	"nocvi/internal/floorplan"
@@ -76,6 +79,14 @@ type Options struct {
 	// using the spec island's nominal supply — the voltage-island
 	// benefit applied to the NoC domains themselves.
 	AutoVoltage bool
+
+	// Workers bounds the number of goroutines evaluating candidate
+	// design points concurrently. Zero selects runtime.NumCPU(); one
+	// evaluates strictly serially. Every worker count yields identical
+	// results — same Points, same order, same metrics — because
+	// candidates are enumerated up front and collected in deterministic
+	// sweep order regardless of completion order.
+	Workers int
 }
 
 func (o Options) alpha() float64 {
@@ -90,6 +101,13 @@ func (o Options) midVoltage() float64 {
 		return 1.0
 	}
 	return o.IntermediateVoltage
+}
+
+func (o Options) workers() int {
+	if o.Workers <= 0 {
+		return runtime.NumCPU()
+	}
+	return o.Workers
 }
 
 // DesignPoint is one valid synthesized design.
@@ -130,13 +148,27 @@ type Result struct {
 	// Points holds every valid design point found.
 	Points []DesignPoint
 
-	// Explored counts attempted (switch-count, mid-count) combinations;
-	// Feasible counts those that routed successfully.
+	// Explored counts attempted (switch-count, mid-count) combinations,
+	// including those whose min-cut partitioning failed; Feasible counts
+	// those that routed successfully.
 	Explored, Feasible int
+
+	// Truncated reports that the sweep stopped early because
+	// MaxDesignPoints was reached: Explored and Feasible then reflect
+	// only the evaluated prefix of the design space, not all of it.
+	Truncated bool
 }
 
 // Synthesize runs Algorithm 1 on the spec.
 func Synthesize(spec *soc.Spec, lib *model.Library, opt Options) (*Result, error) {
+	return SynthesizeContext(context.Background(), spec, lib, opt)
+}
+
+// SynthesizeContext runs Algorithm 1 on the spec, evaluating candidate
+// design points across opt.Workers goroutines. The context cancels the
+// sweep: on cancellation or deadline the partial result is discarded
+// and ctx.Err() is returned wrapped.
+func SynthesizeContext(ctx context.Context, spec *soc.Spec, lib *model.Library, opt Options) (*Result, error) {
 	if err := spec.Validate(); err != nil {
 		return nil, fmt.Errorf("core: %w", err)
 	}
@@ -199,14 +231,64 @@ func Synthesize(spec *soc.Spec, lib *model.Library, opt Options) (*Result, error
 		}
 	}
 
-	seen := make(map[string]bool)
+	// Steps 4-17, restructured for parallel evaluation: enumerate every
+	// unique (switch-count vector, intermediate-switch count) candidate
+	// in sweep order first, then evaluate buildPoint over a bounded
+	// worker pool, collecting results back in candidate order so the
+	// outcome is identical for every worker count.
+	cands := enumerateCandidates(res.MinSwitches, islandCores, maxCores, maxMid)
 
-	// Steps 4-17: sweep switch counts and intermediate switches.
+	// Step 11 memoization: the min-cut partition of island j into k
+	// switches depends only on (j, k), so it is computed once and shared
+	// by every mid value and every counts-vector assigning j the same k.
+	parter := newPartitioner(vcgs, maxSizes, opt)
+
+	eval := func(c candidate) *DesignPoint {
+		parts, err := parter.partition(c.counts)
+		if err != nil {
+			return nil // attempted but infeasible: no k-way cut fits
+		}
+		dp, err := buildPoint(spec, lib, freqs, c.counts, parts, c.mid, midFreq, opt)
+		if err != nil {
+			return nil
+		}
+		return dp
+	}
+
+	sweep := synthesizeParallel
+	if opt.workers() == 1 {
+		sweep = synthesizeSerial
+	}
+	if err := sweep(ctx, res, cands, opt, eval); err != nil {
+		return nil, err
+	}
+	if len(res.Points) == 0 {
+		return res, fmt.Errorf("core: no valid design point for %q (explored %d)", spec.Name, res.Explored)
+	}
+	return res, nil
+}
+
+// candidate is one (switch-count vector, intermediate-switch count)
+// combination of the design-space sweep.
+type candidate struct {
+	counts []int // shared, read-only
+	mid    int
+}
+
+// enumerateCandidates lists the sweep's candidates in deterministic
+// order: counts-vectors as the serial sweep visits them (uniformly
+// incremented from the per-island minimum, clamped at one switch per
+// core, deduplicated), with the intermediate-switch count ascending
+// within each vector.
+func enumerateCandidates(minSwitches []int, islandCores [][]soc.CoreID, maxCores, maxMid int) []candidate {
+	nIsl := len(minSwitches)
+	seen := make(map[string]bool)
+	var cands []candidate
 	for i := 0; i <= maxCores; i++ {
 		counts := make([]int, nIsl)
 		saturated := true
 		for j := 0; j < nIsl; j++ {
-			k := res.MinSwitches[j] + i
+			k := minSwitches[j] + i
 			if k >= len(islandCores[j]) {
 				k = len(islandCores[j])
 			} else {
@@ -217,31 +299,96 @@ func Synthesize(spec *soc.Spec, lib *model.Library, opt Options) (*Result, error
 		key := fmt.Sprint(counts)
 		if !seen[key] {
 			seen[key] = true
-			// Step 11: min-cut partition every island's VCG.
-			parts, perr := partitionIslands(vcgs, counts, maxSizes, opt)
-			if perr == nil {
-				for m := 0; m <= maxMid; m++ {
-					res.Explored++
-					dp, derr := buildPoint(spec, lib, freqs, counts, parts, m, midFreq, opt)
-					if derr != nil {
-						continue
-					}
-					res.Feasible++
-					res.Points = append(res.Points, *dp)
-					if opt.MaxDesignPoints > 0 && len(res.Points) >= opt.MaxDesignPoints {
-						return res, nil
-					}
-				}
+			for m := 0; m <= maxMid; m++ {
+				cands = append(cands, candidate{counts: counts, mid: m})
 			}
 		}
 		if saturated {
 			break
 		}
 	}
-	if len(res.Points) == 0 {
-		return res, fmt.Errorf("core: no valid design point for %q (explored %d)", spec.Name, res.Explored)
+	return cands
+}
+
+// collect folds one evaluated candidate into the result in sweep order.
+// It returns true when the sweep should stop (MaxDesignPoints reached).
+// Every attempted candidate counts toward Explored, whether its
+// partitioning failed or its routing/floorplanning was infeasible.
+func collect(res *Result, dp *DesignPoint, total int, opt Options) (stop bool) {
+	res.Explored++
+	if dp == nil {
+		return false
 	}
-	return res, nil
+	res.Feasible++
+	res.Points = append(res.Points, *dp)
+	if opt.MaxDesignPoints > 0 && len(res.Points) >= opt.MaxDesignPoints {
+		res.Truncated = res.Explored < total
+		return true
+	}
+	return false
+}
+
+// synthesizeSerial is the Workers=1 path: one candidate at a time, in
+// order, stopping as soon as MaxDesignPoints is met.
+func synthesizeSerial(ctx context.Context, res *Result, cands []candidate, opt Options, eval func(candidate) *DesignPoint) error {
+	for _, c := range cands {
+		if err := ctx.Err(); err != nil {
+			return fmt.Errorf("core: synthesis of %q interrupted: %w", res.Spec.Name, err)
+		}
+		if collect(res, eval(c), len(cands), opt) {
+			return nil
+		}
+	}
+	return nil
+}
+
+// synthesizeParallel fans candidates out over opt.workers() goroutines.
+// Candidates are dispatched in chunks and their outcomes folded into
+// the result strictly in candidate order, so Points, Explored, Feasible
+// and Truncated are identical to the serial path. Chunking bounds the
+// work wasted beyond the stopping point when MaxDesignPoints is set;
+// without a cap the whole space is one chunk.
+func synthesizeParallel(ctx context.Context, res *Result, cands []candidate, opt Options, eval func(candidate) *DesignPoint) error {
+	workers := opt.workers()
+	chunk := len(cands)
+	if opt.MaxDesignPoints > 0 && workers*4 < chunk {
+		chunk = workers * 4
+	}
+	for lo := 0; lo < len(cands); lo += chunk {
+		hi := lo + chunk
+		if hi > len(cands) {
+			hi = len(cands)
+		}
+		points := make([]*DesignPoint, hi-lo)
+		idx := make(chan int)
+		var wg sync.WaitGroup
+		for w := 0; w < workers && w < hi-lo; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range idx {
+					if ctx.Err() != nil {
+						continue // drain without evaluating
+					}
+					points[i] = eval(cands[lo+i])
+				}
+			}()
+		}
+		for i := range points {
+			idx <- i
+		}
+		close(idx)
+		wg.Wait()
+		if err := ctx.Err(); err != nil {
+			return fmt.Errorf("core: synthesis of %q interrupted: %w", res.Spec.Name, err)
+		}
+		for _, dp := range points {
+			if collect(res, dp, len(cands), opt) {
+				return nil
+			}
+		}
+	}
+	return nil
 }
 
 // IslandClocks implements step 1: the NoC clock of each island is fixed
@@ -272,27 +419,69 @@ func IslandClocks(spec *soc.Spec, lib *model.Library) (freqs []float64, maxSizes
 	return freqs, maxSizes, nil
 }
 
-// partitionIslands runs min-cut partitioning of every island VCG into
-// the requested switch counts.
-func partitionIslands(vcgs []*vcg.VCG, counts, maxSizes []int, opt Options) ([][]int, error) {
-	parts := make([][]int, len(vcgs))
+// partitioner memoizes step 11 at two levels: one partition.Cache per
+// island (keyed by switch count) and the assembled per-counts-vector
+// partition set (keyed by the vector), shared read-only across every
+// candidate and every worker.
+type partitioner struct {
+	caches []*partition.Cache
+
+	mu    sync.Mutex
+	byVec map[string]vecEntry
+}
+
+type vecEntry struct {
+	parts [][]int
+	err   error
+}
+
+// newPartitioner builds one cache per island VCG, with the same
+// engine selection and MaxPartSize clamping the serial flow applied per
+// call. The undirected VCG views are materialized once, up front.
+func newPartitioner(vcgs []*vcg.VCG, maxSizes []int, opt Options) *partitioner {
+	var engine partition.Engine = partition.KWay
+	if opt.SpectralPartition {
+		engine = partition.SpectralKWay
+	}
+	caches := make([]*partition.Cache, len(vcgs))
 	for j, v := range vcgs {
 		pOpt := opt.Partition
 		cap := maxSizes[j] - 1
 		if pOpt.MaxPartSize == 0 || cap < pOpt.MaxPartSize {
 			pOpt.MaxPartSize = cap
 		}
-		kway := partition.KWay
-		if opt.SpectralPartition {
-			kway = partition.SpectralKWay
-		}
-		p, err := kway(v.Undirected(), counts[j], pOpt)
-		if err != nil {
-			return nil, err
-		}
-		parts[j] = partition.Canonical(p, counts[j])
+		caches[j] = partition.NewCache(v.Undirected(), engine, pOpt)
 	}
-	return parts, nil
+	return &partitioner{caches: caches, byVec: make(map[string]vecEntry)}
+}
+
+// partition returns the per-island partitions for one counts-vector,
+// min-cut partitioning every island's VCG into the requested switch
+// counts. The result is memoized and read-only.
+func (p *partitioner) partition(counts []int) ([][]int, error) {
+	key := fmt.Sprint(counts)
+	p.mu.Lock()
+	e, ok := p.byVec[key]
+	p.mu.Unlock()
+	if ok {
+		return e.parts, e.err
+	}
+	parts := make([][]int, len(p.caches))
+	var err error
+	for j, c := range p.caches {
+		parts[j], err = c.Partition(counts[j])
+		if err != nil {
+			parts = nil
+			break
+		}
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if prev, ok := p.byVec[key]; ok {
+		return prev.parts, prev.err
+	}
+	p.byVec[key] = vecEntry{parts: parts, err: err}
+	return parts, err
 }
 
 // buildPoint constructs, routes, floorplans and costs one candidate
@@ -379,6 +568,12 @@ func (r *Result) BestLatency() *DesignPoint {
 	return r.argmin(func(d *DesignPoint) float64 { return d.MeanLatencyCycles })
 }
 
+// argmin selects the minimal point under an explicit deterministic
+// ordering: fewest wire violations, then lowest metric, then — on exact
+// metric ties — lowest total direct switch count, then lowest
+// intermediate switch count. The tie-break makes the selection
+// independent of Points ordering, so serial and parallel sweeps (whose
+// Points order is canonical anyway) can never disagree.
 func (r *Result) argmin(metric func(*DesignPoint) float64) *DesignPoint {
 	var best *DesignPoint
 	bestViol := math.MaxInt32
@@ -386,11 +581,30 @@ func (r *Result) argmin(metric func(*DesignPoint) float64) *DesignPoint {
 	for i := range r.Points {
 		d := &r.Points[i]
 		v := metric(d)
-		if d.WireViolations < bestViol || (d.WireViolations == bestViol && v < bestVal) {
+		better := false
+		switch {
+		case d.WireViolations != bestViol:
+			better = d.WireViolations < bestViol
+		case v != bestVal:
+			better = v < bestVal
+		case best != nil && totalSwitches(d) != totalSwitches(best):
+			better = totalSwitches(d) < totalSwitches(best)
+		case best != nil:
+			better = d.MidSwitches < best.MidSwitches
+		}
+		if better {
 			best, bestViol, bestVal = d, d.WireViolations, v
 		}
 	}
 	return best
+}
+
+func totalSwitches(d *DesignPoint) int {
+	n := 0
+	for _, k := range d.SwitchCounts {
+		n += k
+	}
+	return n
 }
 
 // RefinePlacement re-floorplans the design point with the annealing

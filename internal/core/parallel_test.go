@@ -1,0 +1,232 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+
+	"nocvi/internal/bench"
+	"nocvi/internal/model"
+	"nocvi/internal/power"
+	"nocvi/internal/specgen"
+)
+
+// samePoints asserts two synthesis results are bit-identical in every
+// observable metric: counts, Points order, and per-point numbers.
+func samePoints(t *testing.T, label string, a, b *Result) {
+	t.Helper()
+	if a.Explored != b.Explored || a.Feasible != b.Feasible || a.Truncated != b.Truncated {
+		t.Fatalf("%s: accounting differs: explored %d/%d feasible %d/%d truncated %v/%v",
+			label, a.Explored, b.Explored, a.Feasible, b.Feasible, a.Truncated, b.Truncated)
+	}
+	if len(a.Points) != len(b.Points) {
+		t.Fatalf("%s: %d vs %d points", label, len(a.Points), len(b.Points))
+	}
+	for i := range a.Points {
+		p, q := &a.Points[i], &b.Points[i]
+		if fmt.Sprint(p.SwitchCounts) != fmt.Sprint(q.SwitchCounts) || p.MidSwitches != q.MidSwitches {
+			t.Fatalf("%s: point %d config differs: %v/%d vs %v/%d",
+				label, i, p.SwitchCounts, p.MidSwitches, q.SwitchCounts, q.MidSwitches)
+		}
+		if p.NoCPower != q.NoCPower || p.MeanLatencyCycles != q.MeanLatencyCycles ||
+			p.NoCAreaMM2 != q.NoCAreaMM2 || p.WireViolations != q.WireViolations {
+			t.Fatalf("%s: point %d metrics differ: %+v vs %+v", label, i, *p, *q)
+		}
+	}
+}
+
+// sameSelection asserts Best and BestLatency pick the same design in
+// both results.
+func sameSelection(t *testing.T, label string, a, b *Result) {
+	t.Helper()
+	ab, bb := a.Best(), b.Best()
+	if fmt.Sprint(ab.SwitchCounts) != fmt.Sprint(bb.SwitchCounts) || ab.MidSwitches != bb.MidSwitches {
+		t.Fatalf("%s: Best differs: %v/%d vs %v/%d",
+			label, ab.SwitchCounts, ab.MidSwitches, bb.SwitchCounts, bb.MidSwitches)
+	}
+	al, bl := a.BestLatency(), b.BestLatency()
+	if fmt.Sprint(al.SwitchCounts) != fmt.Sprint(bl.SwitchCounts) || al.MidSwitches != bl.MidSwitches {
+		t.Fatalf("%s: BestLatency differs: %v/%d vs %v/%d",
+			label, al.SwitchCounts, al.MidSwitches, bl.SwitchCounts, bl.MidSwitches)
+	}
+}
+
+// TestSerialParallelIdenticalOnSuite verifies the acceptance criterion
+// that Workers=1 and Workers=N produce identical Result.Points (same
+// order, same metrics) and the same Best selections on every bundled
+// benchmark SoC.
+func TestSerialParallelIdenticalOnSuite(t *testing.T) {
+	lib := model.Default65nm()
+	for _, name := range bench.Names() {
+		spec, err := bench.Islanded(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		opt := Options{AllowIntermediate: true, MaxIntermediateSwitches: 2}
+		opt.Workers = 1
+		serial, err := Synthesize(spec, lib, opt)
+		if err != nil {
+			t.Fatalf("%s serial: %v", name, err)
+		}
+		opt.Workers = 8
+		parallel, err := Synthesize(spec, lib, opt)
+		if err != nil {
+			t.Fatalf("%s parallel: %v", name, err)
+		}
+		samePoints(t, name, serial, parallel)
+		sameSelection(t, name, serial, parallel)
+	}
+}
+
+// TestPropertySerialParallelIdentical is the specgen property test: on
+// 20 random well-formed SoCs, serial and parallel sweeps must produce
+// identical point sets (or fail identically).
+func TestPropertySerialParallelIdentical(t *testing.T) {
+	lib := model.Default65nm()
+	gen := specgen.Options{MaxCores: 12, MaxIslands: 4}
+	for seed := int64(1); seed <= 20; seed++ {
+		spec := specgen.Random(seed, gen)
+		opt := Options{AllowIntermediate: true, MaxIntermediateSwitches: 2}
+		opt.Workers = 1
+		serial, serr := Synthesize(spec, lib, opt)
+		opt.Workers = 6
+		parallel, perr := Synthesize(spec, lib, opt)
+		if (serr == nil) != (perr == nil) {
+			t.Fatalf("seed %d: serial err=%v, parallel err=%v", seed, serr, perr)
+		}
+		if serr != nil {
+			if serr.Error() != perr.Error() {
+				t.Fatalf("seed %d: errors differ: %v vs %v", seed, serr, perr)
+			}
+			continue
+		}
+		samePoints(t, spec.Name, serial, parallel)
+		sameSelection(t, spec.Name, serial, parallel)
+	}
+}
+
+// TestExploredCountsFailedPartitions is the regression test for the
+// undercounting bug: a counts-vector whose min-cut partitioning fails
+// must still contribute its whole mid-sweep to Explored. The candidate
+// space does not depend on partition feasibility, so a run with a
+// partition-hostile MaxPartSize must report the same Explored as an
+// unconstrained run.
+func TestExploredCountsFailedPartitions(t *testing.T) {
+	spec := miniSoC()
+	lib := model.Default65nm()
+	base := Options{AllowIntermediate: true, MaxIntermediateSwitches: 2}
+	free, err := Synthesize(spec, lib, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	constrained := base
+	// Max 2 cores per switch: the minimal counts vector gives the
+	// 4-core sys island one switch, which cannot hold it -> that
+	// vector's partitioning fails for every mid value.
+	constrained.Partition.MaxPartSize = 2
+	tight, err := Synthesize(spec, lib, constrained)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tight.Explored != free.Explored {
+		t.Fatalf("failed partitions dropped from Explored: %d vs %d", tight.Explored, free.Explored)
+	}
+	if tight.Feasible >= free.Feasible {
+		t.Fatalf("MaxPartSize=2 should kill some candidates: feasible %d vs %d", tight.Feasible, free.Feasible)
+	}
+	if free.Explored < free.Feasible || tight.Explored < tight.Feasible {
+		t.Fatal("explored < feasible")
+	}
+}
+
+// TestTruncatedFlag checks the MaxDesignPoints bookkeeping: a capped
+// sweep reports Truncated and an exhaustive (or uncapped) one does not,
+// and truncated serial/parallel runs still agree point for point.
+func TestTruncatedFlag(t *testing.T) {
+	spec := miniSoC()
+	lib := model.Default65nm()
+	full, err := Synthesize(spec, lib, Options{AllowIntermediate: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full.Truncated {
+		t.Fatal("exhaustive sweep reported Truncated")
+	}
+
+	capped := Options{AllowIntermediate: true, MaxDesignPoints: 3}
+	capped.Workers = 1
+	serial, err := Synthesize(spec, lib, capped)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(serial.Points) != 3 || !serial.Truncated {
+		t.Fatalf("want 3 points and Truncated, got %d points truncated=%v", len(serial.Points), serial.Truncated)
+	}
+	if serial.Explored >= full.Explored {
+		t.Fatal("truncated sweep explored the whole space")
+	}
+	capped.Workers = 8
+	parallel, err := Synthesize(spec, lib, capped)
+	if err != nil {
+		t.Fatal(err)
+	}
+	samePoints(t, "capped", serial, parallel)
+
+	// A cap the sweep never reaches must not be reported as truncation.
+	loose, err := Synthesize(spec, lib, Options{AllowIntermediate: true, MaxDesignPoints: 100000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loose.Truncated {
+		t.Fatal("uncapped-in-practice sweep reported Truncated")
+	}
+}
+
+// TestArgminTieBreak pins the explicit deterministic tie-break: on an
+// exact metric tie, the lowest total switch count wins, then the lowest
+// intermediate switch count — regardless of Points order.
+func TestArgminTieBreak(t *testing.T) {
+	pw := power.Breakdown{SwitchDynW: 0.5}
+	mk := func(counts []int, mid int) DesignPoint {
+		return DesignPoint{SwitchCounts: counts, MidSwitches: mid, NoCPower: pw, MeanLatencyCycles: 7}
+	}
+	r := &Result{Points: []DesignPoint{
+		mk([]int{3, 1}, 2), // most switches, listed first
+		mk([]int{2, 2}, 1), // same total as below, more mid switches
+		mk([]int{2, 2}, 0), // the canonical winner
+		mk([]int{2, 3}, 0),
+	}}
+	if best := r.Best(); best.MidSwitches != 0 || totalSwitches(best) != 4 {
+		t.Fatalf("power tie broke to %v/%d", best.SwitchCounts, best.MidSwitches)
+	}
+	if best := r.BestLatency(); best.MidSwitches != 0 || totalSwitches(best) != 4 {
+		t.Fatalf("latency tie broke to %v/%d", best.SwitchCounts, best.MidSwitches)
+	}
+	// A genuinely better metric still dominates the tie-break.
+	cheap := mk([]int{9, 9}, 3)
+	cheap.NoCPower = power.Breakdown{SwitchDynW: 0.1}
+	r.Points = append(r.Points, cheap)
+	if best := r.Best(); totalSwitches(best) != 18 {
+		t.Fatalf("lower power lost to tie-break: %v", best.SwitchCounts)
+	}
+}
+
+// TestSynthesizeContextCancellation covers the context plumbing for
+// both sweep paths.
+func TestSynthesizeContextCancellation(t *testing.T) {
+	spec := miniSoC()
+	lib := model.Default65nm()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, workers := range []int{1, 4} {
+		_, err := SynthesizeContext(ctx, spec, lib, Options{AllowIntermediate: true, Workers: workers})
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("workers=%d: want context.Canceled, got %v", workers, err)
+		}
+	}
+	res, err := SynthesizeContext(context.Background(), spec, lib, Options{Workers: 4})
+	if err != nil || len(res.Points) == 0 {
+		t.Fatalf("live context failed: %v", err)
+	}
+}

@@ -36,11 +36,18 @@ import (
 // one-core-per-island extreme, 26 for D26).
 var IslandCounts = []int{1, 2, 3, 4, 5, 6, 7, 26}
 
+// Workers sets Options.Workers for every experiment synthesis run
+// (0 = core's default, all CPUs; 1 = serial). Results are identical for
+// any value — only wall-clock time changes. Set once before running
+// experiments; cmd/nocbench wires its -workers flag here.
+var Workers int
+
 // defaultOpts are the synthesis options shared by all experiments.
 func defaultOpts() core.Options {
 	return core.Options{
 		AllowIntermediate:       true,
 		MaxIntermediateSwitches: 3,
+		Workers:                 Workers,
 	}
 }
 

@@ -1,0 +1,83 @@
+package partition
+
+import (
+	"sync"
+
+	"nocvi/internal/graph"
+)
+
+// Engine is a k-way partitioning function (KWay or SpectralKWay).
+type Engine func(g *graph.Undirected, k int, opt Options) ([]int, error)
+
+// Cache memoizes k-way partitions of one fixed graph under fixed
+// options and a fixed engine, keyed by the part count k. The synthesis
+// sweep re-partitions the same island VCG for every intermediate-switch
+// value and for every counts-vector that assigns the island the same
+// switch count; the cache collapses those repeats into one computation.
+//
+// Results are canonicalized (see Canonical) and must be treated as
+// read-only by callers: the same slice is handed out on every hit.
+// Cache is safe for concurrent use. Both engines are deterministic, so
+// a cached result is bit-identical to a fresh computation and
+// duplicated work between racing goroutines is harmless — the first
+// stored result wins and all callers observe it.
+type Cache struct {
+	g      *graph.Undirected
+	engine Engine
+	opt    Options
+
+	mu  sync.Mutex
+	byK map[int]cacheEntry
+
+	// misses counts engine invocations (not lookups); see Stats.
+	misses int
+}
+
+type cacheEntry struct {
+	part []int
+	err  error
+}
+
+// NewCache wraps the engine over a fixed graph and option set. A nil
+// engine selects KWay.
+func NewCache(g *graph.Undirected, engine Engine, opt Options) *Cache {
+	if engine == nil {
+		engine = KWay
+	}
+	return &Cache{g: g, engine: engine, opt: opt, byK: make(map[int]cacheEntry)}
+}
+
+// Partition returns the canonical k-way partition of the cached graph,
+// computing it on first use. Errors are memoized too: an infeasible k
+// (e.g. k*MaxPartSize < n) fails once and every later lookup returns
+// the same error without re-running the engine.
+func (c *Cache) Partition(k int) ([]int, error) {
+	c.mu.Lock()
+	e, ok := c.byK[k]
+	c.mu.Unlock()
+	if ok {
+		return e.part, e.err
+	}
+	// Compute outside the lock so distinct k values do not serialize;
+	// determinism makes a racing duplicate computation identical.
+	part, err := c.engine(c.g, k, c.opt)
+	if err == nil {
+		part = Canonical(part, k)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if prev, ok := c.byK[k]; ok {
+		return prev.part, prev.err
+	}
+	c.byK[k] = cacheEntry{part: part, err: err}
+	c.misses++
+	return part, err
+}
+
+// Stats reports the number of distinct k values computed so far (cache
+// entries, i.e. engine invocations that were stored).
+func (c *Cache) Stats() (entries int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.misses
+}

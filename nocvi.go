@@ -30,6 +30,7 @@
 package nocvi
 
 import (
+	"context"
 	"io"
 
 	"nocvi/internal/bench"
@@ -136,9 +137,18 @@ func DefaultLibrary() *Library { return model.Default65nm() }
 func LibraryForNode(node string) (*Library, error) { return model.ByNode(node) }
 
 // Synthesize runs Algorithm 1 on the spec and returns every valid
-// design point found.
+// design point found. Candidate design points are evaluated across
+// Options.Workers goroutines (default: all CPUs); the result is
+// identical for every worker count.
 func Synthesize(spec *Spec, lib *Library, opt Options) (*Result, error) {
 	return core.Synthesize(spec, lib, opt)
+}
+
+// SynthesizeContext is Synthesize with cancellation and timeout
+// support: when ctx is cancelled or its deadline passes, the sweep
+// stops and the wrapped ctx.Err() is returned.
+func SynthesizeContext(ctx context.Context, spec *Spec, lib *Library, opt Options) (*Result, error) {
+	return core.SynthesizeContext(ctx, spec, lib, opt)
 }
 
 // PartitionIslands assigns the spec's cores to n voltage islands with

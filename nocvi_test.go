@@ -1,6 +1,8 @@
 package nocvi_test
 
 import (
+	"context"
+	"errors"
 	"strings"
 	"testing"
 
@@ -175,5 +177,33 @@ func TestPublicAPIUseCases(t *testing.T) {
 			t.Fatalf("mode %s not lighter than its predecessor", uc.Name)
 		}
 		prevDyn = sp.NoC.DynW()
+	}
+}
+
+// TestPublicAPIParallelSynthesis exercises the Workers option and the
+// context-aware entry point through the facade.
+func TestPublicAPIParallelSynthesis(t *testing.T) {
+	spec := nocvi.ExampleSoC()
+	lib := nocvi.DefaultLibrary()
+	serial, err := nocvi.Synthesize(spec, lib, nocvi.Options{AllowIntermediate: true, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := nocvi.SynthesizeContext(context.Background(), spec, lib,
+		nocvi.Options{AllowIntermediate: true, Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(serial.Points) != len(parallel.Points) || serial.Explored != parallel.Explored {
+		t.Fatalf("worker count changed the result: %d/%d vs %d/%d points",
+			len(serial.Points), serial.Explored, len(parallel.Points), parallel.Explored)
+	}
+	if serial.Truncated || parallel.Truncated {
+		t.Fatal("exhaustive sweep reported Truncated")
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := nocvi.SynthesizeContext(ctx, spec, lib, nocvi.Options{}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
 	}
 }
