@@ -1,12 +1,13 @@
 # Development targets. `make ci` is the gate every change must pass:
-# vet, build, and the full test suite under the race detector (the
+# vet, build, the full test suite under the race detector (the
 # synthesis sweep is concurrent by default, so races are first-class
-# failures).
+# failures), and a single-iteration routing-benchmark smoke run so a
+# broken benchmark cannot sit unnoticed until the next perf pass.
 GO ?= go
 
-.PHONY: ci vet build test race bench
+.PHONY: ci vet build test race bench bench-smoke bench-all
 
-ci: vet build race
+ci: vet build race bench-smoke
 
 vet:
 	$(GO) vet ./...
@@ -20,5 +21,13 @@ test:
 race:
 	$(GO) test -race ./...
 
+# bench re-measures the routing fast path and folds the numbers into
+# BENCH_routing.json next to the preserved pre-optimization baseline.
 bench:
-	$(GO) test -bench=. -benchmem -run='^$$'
+	$(GO) test -bench='RouteAll|SynthesizeParallel' -benchmem -run='^$$' . | $(GO) run ./tools/bench2json -o BENCH_routing.json
+
+bench-smoke:
+	$(GO) test -bench=RouteAll -benchtime=1x -benchmem -run='^$$' .
+
+bench-all:
+	$(GO) test -bench=. -benchmem -run='^$$' ./...

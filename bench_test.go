@@ -19,7 +19,11 @@ import (
 	"nocvi/internal/model"
 	"nocvi/internal/netlist"
 	"nocvi/internal/partition"
+	"nocvi/internal/route"
 	"nocvi/internal/sim"
+	"nocvi/internal/skeleton"
+	"nocvi/internal/soc"
+	"nocvi/internal/topology"
 	"nocvi/internal/viplace"
 	"nocvi/internal/wormhole"
 )
@@ -217,6 +221,66 @@ func BenchmarkSynthesizeParallel(b *testing.B) {
 			})
 		}
 	}
+}
+
+// BenchmarkRouteAll measures the routing inner loop — the per-candidate
+// cost of the design-space sweep — on benchmark SoCs of increasing
+// size. Each iteration rebuilds the unrouted switch skeleton (cheap,
+// O(switches)) and routes every flow (the hot path: Dijkstra per flow
+// with dynamic edge costs). Allocation counts are first-class output:
+// run with -benchmem.
+func BenchmarkRouteAll(b *testing.B) {
+	lib := model.Default65nm()
+	for _, name := range []string{"d16_industrial", "d26_media", "d48_network"} {
+		spec, err := bench.Islanded(name)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(name, func(b *testing.B) {
+			// Partitioning runs once, outside the timed loop; each
+			// iteration re-instantiates the unrouted skeleton from the
+			// template (O(switches+cores)) and routes every flow.
+			tmpl, err := skeleton.Build(spec, lib, 1, 2)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := route.New(cloneSkeleton(tmpl), route.Options{}).RouteAll(); err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := route.New(cloneSkeleton(tmpl), route.Options{}).RouteAll(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// cloneSkeleton rebuilds the unrouted switch/attachment structure of a
+// topology: same islands, switches and NIs, no links, no routes.
+func cloneSkeleton(orig *topology.Topology) *topology.Topology {
+	top := topology.New(orig.Spec, orig.Lib)
+	for i := range orig.Spec.Islands {
+		top.SetIslandFreq(soc.IslandID(i), orig.IslandFreqHz[i])
+		top.SetIslandVoltage(soc.IslandID(i), orig.IslandVoltage[i])
+	}
+	if orig.NoCIsland != soc.NoIsland {
+		top.AddNoCIsland(orig.IslandFreqHz[orig.NoCIsland], orig.IslandVoltage[orig.NoCIsland])
+	}
+	for _, s := range orig.Switches {
+		top.AddSwitch(s.Island, s.Indirect)
+	}
+	for c, sw := range orig.SwitchOf {
+		if sw < 0 {
+			continue
+		}
+		if err := top.AttachCore(soc.CoreID(c), sw); err != nil {
+			panic(err)
+		}
+	}
+	return top
 }
 
 // BenchmarkPartitionKWay measures balanced min-cut partitioning of a

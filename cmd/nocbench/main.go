@@ -25,6 +25,7 @@ import (
 
 	"nocvi/internal/experiments"
 	"nocvi/internal/model"
+	"nocvi/internal/prof"
 )
 
 func main() {
@@ -32,13 +33,24 @@ func main() {
 	out := flag.String("out", "", "directory to write DOT/SVG artifacts to (optional)")
 	width := flag.Int("width", 32, "NoC link data width in bits")
 	workers := flag.Int("workers", 0, "design-point evaluation goroutines per synthesis (0 = all CPUs, 1 = serial)")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file (go tool pprof)")
+	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
 
 	experiments.Workers = *workers
 	lib := model.Default65nm()
 	lib.LinkWidthBits = *width
+	stopProf, err := prof.Start(*cpuProfile, *memProfile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "nocbench:", err)
+		os.Exit(1)
+	}
 	start := time.Now()
-	if err := run(*exp, *out, lib); err != nil {
+	err = run(*exp, *out, lib)
+	if perr := stopProf(); err == nil {
+		err = perr
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "nocbench:", err)
 		os.Exit(1)
 	}

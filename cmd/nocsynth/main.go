@@ -16,6 +16,7 @@ import (
 	"syscall"
 
 	"nocvi"
+	"nocvi/internal/prof"
 )
 
 func main() {
@@ -37,6 +38,8 @@ func main() {
 	svgPath := flag.String("svg", "", "write floorplan SVG to this file")
 	workers := flag.Int("workers", 0, "design-point evaluation goroutines (0 = all CPUs, 1 = serial)")
 	timeout := flag.Duration("timeout", 0, "abort synthesis after this duration (0 = none)")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file (go tool pprof)")
+	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
 
 	if *list {
@@ -60,7 +63,16 @@ func main() {
 		ctx, cancel = context.WithTimeout(ctx, *timeout)
 		defer cancel()
 	}
-	if err := run(ctx, cfg); err != nil {
+	stopProf, err := prof.Start(*cpuProfile, *memProfile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "nocsynth:", err)
+		os.Exit(1)
+	}
+	err = run(ctx, cfg)
+	if perr := stopProf(); err == nil {
+		err = perr
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "nocsynth:", err)
 		os.Exit(1)
 	}

@@ -24,6 +24,7 @@ package core
 
 import (
 	"context"
+	"encoding/binary"
 	"fmt"
 	"math"
 	"runtime"
@@ -296,7 +297,7 @@ func enumerateCandidates(minSwitches []int, islandCores [][]soc.CoreID, maxCores
 			}
 			counts[j] = k
 		}
-		key := fmt.Sprint(counts)
+		key := countsKey(counts)
 		if !seen[key] {
 			seen[key] = true
 			for m := 0; m <= maxMid; m++ {
@@ -419,6 +420,20 @@ func IslandClocks(spec *soc.Spec, lib *model.Library) (freqs []float64, maxSizes
 	return freqs, maxSizes, nil
 }
 
+/// countsKey encodes a switch-count vector into a compact map key. Each
+// element is appended as a uvarint; varints are prefix codes, so the
+// concatenation of two distinct vectors can never collide. Unlike the
+// fmt.Sprint key it replaces, it performs no reflection and allocates
+// nothing but the final string.
+func countsKey(counts []int) string {
+	var stack [64]byte
+	buf := stack[:0]
+	for _, c := range counts {
+		buf = binary.AppendUvarint(buf, uint64(c))
+	}
+	return string(buf)
+}
+
 // partitioner memoizes step 11 at two levels: one partition.Cache per
 // island (keyed by switch count) and the assembled per-counts-vector
 // partition set (keyed by the vector), shared read-only across every
@@ -459,7 +474,7 @@ func newPartitioner(vcgs []*vcg.VCG, maxSizes []int, opt Options) *partitioner {
 // min-cut partitioning every island's VCG into the requested switch
 // counts. The result is memoized and read-only.
 func (p *partitioner) partition(counts []int) ([][]int, error) {
-	key := fmt.Sprint(counts)
+	key := countsKey(counts)
 	p.mu.Lock()
 	e, ok := p.byVec[key]
 	p.mu.Unlock()

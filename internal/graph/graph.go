@@ -74,6 +74,22 @@ func (g *Directed) AddEdge(u, v int, w float64) {
 	g.m++
 }
 
+// AddArc inserts u->v with weight w without scanning for an existing
+// edge. It is the bulk-construction fast path used by builders that
+// guarantee uniqueness themselves (e.g. nested loops over distinct
+// vertex pairs); inserting a duplicate arc corrupts the edge count and
+// makes iteration visit the pair twice. Self loops are rejected.
+func (g *Directed) AddArc(u, v int, w float64) {
+	g.check(u)
+	g.check(v)
+	if u == v {
+		panic(fmt.Sprintf("graph: self loop on %d", u))
+	}
+	g.adj[u] = append(g.adj[u], halfEdge{to: v, w: w})
+	g.in[v] = append(g.in[v], halfEdge{to: u, w: w})
+	g.m++
+}
+
 // HasEdge reports whether u->v exists.
 func (g *Directed) HasEdge(u, v int) bool {
 	g.check(u)
@@ -360,6 +376,201 @@ func (g *Directed) ShortestPath(src, dst int, cost CostFunc) ([]int, float64) {
 		rev[i], rev[j] = rev[j], rev[i]
 	}
 	return rev, dist[dst]
+}
+
+// Scratch is reusable Dijkstra working state: distance, predecessor and
+// binary-heap buffers owned by the caller and shared across queries.
+// Clearing between queries is O(touched), not O(n): every label carries
+// a generation stamp, and bumping the generation invalidates all labels
+// at once. A zero Scratch is ready to use; one Scratch must not be used
+// by two goroutines concurrently.
+type Scratch struct {
+	dist []float64
+	pred []int
+	gen  []uint32
+	cur  uint32
+	h    []pqItem
+	path []int
+}
+
+// begin readies the scratch for a query over n vertices, growing the
+// buffers when needed and invalidating all previous labels.
+func (s *Scratch) begin(n int) {
+	if cap(s.gen) < n {
+		s.dist = make([]float64, n)
+		s.pred = make([]int, n)
+		s.gen = make([]uint32, n)
+	} else {
+		s.dist = s.dist[:n]
+		s.pred = s.pred[:n]
+		s.gen = s.gen[:n]
+	}
+	s.cur++
+	if s.cur == 0 { // generation counter wrapped: hard-clear the stamps
+		clear(s.gen[:cap(s.gen)])
+		s.cur = 1
+	}
+	s.h = s.h[:0]
+}
+
+// hpush and hpop replicate container/heap's sift algorithms (Push =
+// append+up, Pop = swap+down+shrink) on the concrete item type, so pop
+// order on equal distances is identical to heap.Push/heap.Pop without
+// the per-operation interface boxing.
+func (s *Scratch) hpush(it pqItem) {
+	s.h = append(s.h, it)
+	j := len(s.h) - 1
+	for j > 0 {
+		i := (j - 1) / 2
+		if !(s.h[j].dist < s.h[i].dist) {
+			break
+		}
+		s.h[i], s.h[j] = s.h[j], s.h[i]
+		j = i
+	}
+}
+
+func (s *Scratch) hpop() pqItem {
+	n := len(s.h) - 1
+	s.h[0], s.h[n] = s.h[n], s.h[0]
+	i := 0
+	for {
+		j1 := 2*i + 1
+		if j1 >= n {
+			break
+		}
+		j := j1
+		if j2 := j1 + 1; j2 < n && s.h[j2].dist < s.h[j1].dist {
+			j = j2
+		}
+		if !(s.h[j].dist < s.h[i].dist) {
+			break
+		}
+		s.h[i], s.h[j] = s.h[j], s.h[i]
+		i = j
+	}
+	it := s.h[n]
+	s.h = s.h[:n]
+	return it
+}
+
+// ShortestPathScratch is ShortestPath using caller-owned scratch state
+// and an early exit once dst is settled. It allocates nothing after the
+// scratch buffers have grown to the graph's size; the returned path
+// slice is owned by the scratch and only valid until its next query.
+// The result is identical to ShortestPath: same relaxation order, same
+// heap semantics, so equal-cost ties resolve the same way.
+func (g *Directed) ShortestPathScratch(sc *Scratch, src, dst int, cost CostFunc) ([]int, float64) {
+	g.check(src)
+	g.check(dst)
+	sc.begin(g.n)
+	sc.dist[src] = 0
+	sc.pred[src] = -1
+	sc.gen[src] = sc.cur
+	sc.hpush(pqItem{v: src, dist: 0})
+	for len(sc.h) > 0 {
+		it := sc.hpop()
+		if it.dist > sc.dist[it.v] {
+			continue // stale entry
+		}
+		if it.v == dst {
+			break // settled: dist and the pred chain are final
+		}
+		for _, e := range g.adj[it.v] {
+			c := e.w
+			if cost != nil {
+				c = cost(it.v, e.to, e.w)
+			}
+			if math.IsInf(c, 1) {
+				continue
+			}
+			if c < 0 {
+				panic("graph: negative edge cost in Dijkstra")
+			}
+			// An unstamped label reads as +Inf; nd itself can only be
+			// +Inf on pathological cost scales, where ShortestPath would
+			// not relax either.
+			if nd := it.dist + c; !math.IsInf(nd, 1) && (sc.gen[e.to] != sc.cur || nd < sc.dist[e.to]) {
+				sc.dist[e.to] = nd
+				sc.pred[e.to] = it.v
+				sc.gen[e.to] = sc.cur
+				sc.hpush(pqItem{v: e.to, dist: nd})
+			}
+		}
+	}
+	if sc.gen[dst] != sc.cur {
+		return nil, Inf
+	}
+	sc.path = sc.path[:0]
+	for v := dst; v != -1; v = sc.pred[v] {
+		sc.path = append(sc.path, v)
+	}
+	for i, j := 0, len(sc.path)-1; i < j; i, j = i+1, j-1 {
+		sc.path[i], sc.path[j] = sc.path[j], sc.path[i]
+	}
+	return sc.path, sc.dist[dst]
+}
+
+// ShortestPathDense runs the same algorithm as ShortestPathScratch over
+// an *implicit* dense graph on n vertices: an arc u->v exists for every
+// u != v with rank[u] <= rank[v] (nil rank means the complete graph),
+// and cost prices each arc (its static-weight argument is always 1).
+// Nothing is materialized, so callers with near-complete candidate
+// graphs skip building adjacency lists entirely. Neighbors are visited
+// in ascending vertex order — the order AddArc-built adjacency has when
+// arcs are inserted in ascending target order — so equal-cost ties
+// resolve identically to the materialized equivalent.
+func (sc *Scratch) ShortestPathDense(n int, rank []int8, src, dst int, cost CostFunc) ([]int, float64) {
+	if src < 0 || src >= n || dst < 0 || dst >= n {
+		panic(fmt.Sprintf("graph: vertex out of range [0,%d)", n))
+	}
+	sc.begin(n)
+	sc.dist[src] = 0
+	sc.pred[src] = -1
+	sc.gen[src] = sc.cur
+	sc.hpush(pqItem{v: src, dist: 0})
+	for len(sc.h) > 0 {
+		it := sc.hpop()
+		if it.dist > sc.dist[it.v] {
+			continue // stale entry
+		}
+		if it.v == dst {
+			break // settled: dist and the pred chain are final
+		}
+		var ru int8
+		if rank != nil {
+			ru = rank[it.v]
+		}
+		for v := 0; v < n; v++ {
+			if v == it.v || (rank != nil && rank[v] < ru) {
+				continue
+			}
+			c := cost(it.v, v, 1)
+			if math.IsInf(c, 1) {
+				continue
+			}
+			if c < 0 {
+				panic("graph: negative edge cost in Dijkstra")
+			}
+			if nd := it.dist + c; !math.IsInf(nd, 1) && (sc.gen[v] != sc.cur || nd < sc.dist[v]) {
+				sc.dist[v] = nd
+				sc.pred[v] = it.v
+				sc.gen[v] = sc.cur
+				sc.hpush(pqItem{v: v, dist: nd})
+			}
+		}
+	}
+	if sc.gen[dst] != sc.cur {
+		return nil, Inf
+	}
+	sc.path = sc.path[:0]
+	for v := dst; v != -1; v = sc.pred[v] {
+		sc.path = append(sc.path, v)
+	}
+	for i, j := 0, len(sc.path)-1; i < j; i, j = i+1, j-1 {
+		sc.path[i], sc.path[j] = sc.path[j], sc.path[i]
+	}
+	return sc.path, sc.dist[dst]
 }
 
 // Reachable returns the set of vertices reachable from src (including

@@ -274,3 +274,138 @@ func (l *lcg) next() uint64 {
 	l.s = l.s*6364136223846793005 + 1442695040888963407
 	return l.s >> 11
 }
+
+// TestShortestPathScratchMatches is the identity property behind the
+// router's scratch reuse: on random graphs — integer weights force
+// plenty of equal-cost ties — ShortestPathScratch must return exactly
+// the path and cost of ShortestPath, for every (src, dst) pair, with
+// one Scratch reused across all queries.
+func TestShortestPathScratchMatches(t *testing.T) {
+	var sc Scratch
+	f := func(seed int64) bool {
+		r := newLCG(seed)
+		n := 2 + int(r.next()%12)
+		g := NewDirected(n)
+		for i := 0; i < n*3; i++ {
+			u := int(r.next() % uint64(n))
+			v := int(r.next() % uint64(n))
+			if u == v {
+				continue
+			}
+			g.AddEdge(u, v, float64(r.next()%5)+1)
+		}
+		for src := 0; src < n; src++ {
+			for dst := 0; dst < n; dst++ {
+				wantPath, wantCost := g.ShortestPath(src, dst, nil)
+				gotPath, gotCost := g.ShortestPathScratch(&sc, src, dst, nil)
+				if wantCost != gotCost {
+					t.Logf("seed %d %d->%d: cost %g vs %g", seed, src, dst, wantCost, gotCost)
+					return false
+				}
+				if len(wantPath) != len(gotPath) {
+					t.Logf("seed %d %d->%d: path %v vs %v", seed, src, dst, wantPath, gotPath)
+					return false
+				}
+				for i := range wantPath {
+					if wantPath[i] != gotPath[i] {
+						t.Logf("seed %d %d->%d: path %v vs %v", seed, src, dst, wantPath, gotPath)
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestShortestPathScratchCostFunc covers the per-query cost closure:
+// edges priced to +Inf are excluded, exactly as in ShortestPath.
+func TestShortestPathScratchCostFunc(t *testing.T) {
+	g := NewDirected(4)
+	g.AddEdge(0, 1, 1)
+	g.AddEdge(1, 3, 1)
+	g.AddEdge(0, 2, 1)
+	g.AddEdge(2, 3, 5)
+	block := func(u, v int, w float64) float64 {
+		if u == 0 && v == 1 {
+			return Inf
+		}
+		return w
+	}
+	var sc Scratch
+	path, cost := g.ShortestPathScratch(&sc, 0, 3, block)
+	if cost != 6 || len(path) != 3 || path[1] != 2 {
+		t.Fatalf("blocked query returned %v cost %g", path, cost)
+	}
+	// Unreachable when every outgoing edge is blocked.
+	if p, c := g.ShortestPathScratch(&sc, 0, 3, func(int, int, float64) float64 { return Inf }); p != nil || !math.IsInf(c, 1) {
+		t.Fatalf("fully blocked query returned %v cost %g", p, c)
+	}
+}
+
+// TestScratchGenerationWrap forces the uint32 generation counter to
+// wrap and checks stale labels from the previous epoch are not reused.
+func TestScratchGenerationWrap(t *testing.T) {
+	g := NewDirected(3)
+	g.AddEdge(0, 1, 1)
+	g.AddEdge(1, 2, 1)
+	var sc Scratch
+	if _, c := g.ShortestPathScratch(&sc, 0, 2, nil); c != 2 {
+		t.Fatalf("cost %g before wrap", c)
+	}
+	sc.cur = ^uint32(0) // next begin() wraps to 0 and must hard-reset
+	if p, c := g.ShortestPathScratch(&sc, 0, 2, nil); c != 2 || len(p) != 3 {
+		t.Fatalf("after wrap: path %v cost %g", p, c)
+	}
+	if sc.cur != 1 {
+		t.Fatalf("generation after wrap = %d, want 1", sc.cur)
+	}
+}
+
+// TestScratchGrowsAcrossGraphs reuses one scratch across graphs of
+// different sizes, in both directions.
+func TestScratchGrowsAcrossGraphs(t *testing.T) {
+	var sc Scratch
+	for _, n := range []int{3, 17, 5, 40, 2} {
+		g := NewDirected(n)
+		for v := 1; v < n; v++ {
+			g.AddEdge(v-1, v, 1)
+		}
+		p, c := g.ShortestPathScratch(&sc, 0, n-1, nil)
+		if c != float64(n-1) || len(p) != n {
+			t.Fatalf("n=%d: cost %g len %d", n, c, len(p))
+		}
+	}
+}
+
+// TestAddArcMatchesAddEdge checks the bulk fast path yields the same
+// graph as AddEdge when arcs are unique.
+func TestAddArcMatchesAddEdge(t *testing.T) {
+	a := NewDirected(5)
+	b := NewDirected(5)
+	for u := 0; u < 5; u++ {
+		for v := 0; v < 5; v++ {
+			if u == v {
+				continue
+			}
+			w := float64(u*5+v) + 0.5
+			a.AddEdge(u, v, w)
+			b.AddArc(u, v, w)
+		}
+	}
+	if a.M() != b.M() {
+		t.Fatalf("M %d vs %d", a.M(), b.M())
+	}
+	ae, be := a.Edges(), b.Edges()
+	for i := range ae {
+		if ae[i] != be[i] {
+			t.Fatalf("edge %d: %+v vs %+v", i, ae[i], be[i])
+		}
+	}
+	if a.InDegree(3) != b.InDegree(3) {
+		t.Fatal("in-degree bookkeeping differs")
+	}
+}

@@ -1,0 +1,54 @@
+// Package prof wires the runtime profilers into command-line tools.
+// The synthesis sweep is the optimization target of this repo, and the
+// binaries are the realistic workload: -cpuprofile/-memprofile on
+// nocsynth and nocbench feed `go tool pprof` directly, without a
+// benchmark harness in between.
+package prof
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Start begins CPU profiling to cpuPath (when non-empty) and returns a
+// stop function that ends the CPU profile and writes a heap profile to
+// memPath (when non-empty). Either path may be empty; with both empty
+// the returned stop is a no-op. Call stop exactly once before the
+// process exits — os.Exit skips deferred calls, so callers sequence it
+// explicitly on their error paths.
+func Start(cpuPath, memPath string) (stop func() error, err error) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		f, err := os.Create(cpuPath)
+		if err != nil {
+			return nil, fmt.Errorf("prof: %w", err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("prof: %w", err)
+		}
+		cpuFile = f
+	}
+	return func() error {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			if err := cpuFile.Close(); err != nil {
+				return fmt.Errorf("prof: %w", err)
+			}
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err != nil {
+				return fmt.Errorf("prof: %w", err)
+			}
+			defer f.Close()
+			runtime.GC() // settle the live heap so the profile reflects retained memory
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				return fmt.Errorf("prof: %w", err)
+			}
+		}
+		return nil
+	}, nil
+}

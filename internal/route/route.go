@@ -20,6 +20,7 @@ package route
 import (
 	"fmt"
 	"math"
+	"sync"
 
 	"nocvi/internal/graph"
 	"nocvi/internal/model"
@@ -73,16 +74,65 @@ func (o Options) latW() float64 {
 type Router struct {
 	top    *topology.Topology
 	opt    Options
-	maxSz  []int           // per island
-	minLat float64         // tightest latency constraint of the spec
-	g      *graph.Directed // complete candidate graph over switches
+	maxSz  []int   // per island
+	minLat float64 // tightest latency constraint of the spec
+
+	// subs caches one admissible candidate subgraph per (source island,
+	// destination island) pair: Dijkstra only ever visits switches in
+	// the source, destination and intermediate islands, and the island
+	// discipline is encoded in the subgraph's arcs instead of being
+	// re-checked inside the per-edge cost closure.
+	subs map[islPair]*subgraph
+
+	// scratch is the pooled Dijkstra state, reused across the Router's
+	// flows and (through scratchPool) across candidates on a worker.
+	scratch *graph.Scratch
+
+	// costFn is allocated once; it prices the current query described
+	// by curSub/curFlow/latOnly.
+	costFn  graph.CostFunc
+	curSub  *subgraph
+	curFlow soc.Flow
+	latOnly bool
 }
+
+// islPair keys the subgraph cache.
+type islPair struct{ src, dst soc.IslandID }
+
+// subgraph is the candidate graph restricted to the switches a flow
+// between one island pair may touch. verts maps local vertex indices to
+// switch IDs in ascending order — so local adjacency order equals the
+// global ascending order the complete-graph router used, keeping
+// equal-cost tie-breaks identical — and local is the inverse map.
+//
+// The island discipline (S→S, S→M, S→D, M→M, M→D, D→D) is a total
+// preorder on the admissible islands, so the candidate arcs are never
+// materialized: rank stores 0 for source-island switches, 1 for
+// intermediate, 2 for destination (all 0 when source == destination,
+// where every move is legal), and an arc u->v exists exactly when
+// rank[u] <= rank[v]. Dijkstra runs over this implicit dense graph.
+type subgraph struct {
+	verts []topology.SwitchID
+	rank  []int8
+	local []int32
+}
+
+// scratchPool recycles Dijkstra scratch state across Routers: the
+// synthesis sweep creates one Router per candidate design point, and
+// pooling means each sweep worker re-uses one warm buffer set instead
+// of re-allocating per candidate.
+var scratchPool = sync.Pool{New: func() any { return new(graph.Scratch) }}
 
 // New creates a router for the given topology. The topology must already
 // contain all switches and core attachments; links and routes are added
 // by the router.
 func New(top *topology.Topology, opt Options) *Router {
-	r := &Router{top: top, opt: opt, minLat: top.Spec.MinLatencyConstraint()}
+	r := &Router{
+		top:    top,
+		opt:    opt,
+		minLat: top.Spec.MinLatencyConstraint(),
+		subs:   make(map[islPair]*subgraph),
+	}
 	if opt.MaxSwitchSize != nil {
 		r.maxSz = opt.MaxSwitchSize
 	} else {
@@ -91,19 +141,50 @@ func New(top *topology.Topology, opt Options) *Router {
 			r.maxSz[i] = top.Lib.MaxSwitchSize(top.IslandFreqHz[i])
 		}
 	}
-	// The candidate graph is complete over the switch set (which is
-	// fixed before routing); per-flow admissibility is enforced by the
-	// cost function, so the graph is built once.
-	n := len(top.Switches)
-	r.g = graph.NewDirected(n)
-	for u := 0; u < n; u++ {
-		for v := 0; v < n; v++ {
-			if u != v {
-				r.g.AddEdge(u, v, 1)
-			}
-		}
+	r.costFn = func(u, v int, _ float64) float64 {
+		return r.edgeCost(r.curSub.verts[u], r.curSub.verts[v], r.curFlow, r.latOnly)
 	}
 	return r
+}
+
+// subgraphFor returns (building and caching on first use) the
+// admissible subgraph for flows from srcIsl to dstIsl. The switch set
+// is fixed before routing starts, so a cached subgraph stays valid for
+// the Router's lifetime; only edge costs change as links open.
+func (r *Router) subgraphFor(srcIsl, dstIsl soc.IslandID) *subgraph {
+	key := islPair{src: srcIsl, dst: dstIsl}
+	if s, ok := r.subs[key]; ok {
+		return s
+	}
+	top := r.top
+	mid := top.NoCIsland
+	n := len(top.Switches)
+	s := &subgraph{local: make([]int32, n)}
+	for i := range s.local {
+		s.local[i] = -1
+	}
+	for i := 0; i < n; i++ {
+		isl := top.Switches[i].Island
+		if isl != srcIsl && isl != dstIsl && (mid == soc.NoIsland || isl != mid) {
+			continue
+		}
+		var rk int8
+		switch {
+		case srcIsl == dstIsl:
+			rk = 0 // S == D: every admissible move is legal
+		case isl == srcIsl:
+			rk = 0
+		case isl == dstIsl:
+			rk = 2
+		default:
+			rk = 1 // intermediate island
+		}
+		s.local[i] = int32(len(s.verts))
+		s.verts = append(s.verts, topology.SwitchID(i))
+		s.rank = append(s.rank, rk)
+	}
+	r.subs[key] = s
+	return s
 }
 
 // MaxSwitchSizes exposes the per-island bound the router enforces.
@@ -112,8 +193,17 @@ func (r *Router) MaxSwitchSizes() []int { return r.maxSz }
 // RouteAll routes every flow of the spec in decreasing bandwidth order,
 // mutating the topology. On failure the topology is left partially
 // routed and the error identifies the first flow that could not be
-// placed; callers treat that as "design point invalid".
+// placed; callers treat that as "design point invalid". The Dijkstra
+// scratch state is borrowed from the pool for the duration of the call
+// and returned when it completes, whatever the outcome.
 func (r *Router) RouteAll() error {
+	if r.scratch == nil {
+		r.scratch = scratchPool.Get().(*graph.Scratch)
+		defer func() {
+			scratchPool.Put(r.scratch)
+			r.scratch = nil
+		}()
+	}
 	for _, f := range r.top.Spec.SortFlowsByBandwidth() {
 		if err := r.Route(f); err != nil {
 			return err
@@ -156,11 +246,18 @@ func (r *Router) Route(f soc.Flow) error {
 }
 
 // allowed reports whether the directed candidate edge u->v may be used
-// by a flow travelling from srcIsl to dstIsl.
+// by a flow travelling from srcIsl to dstIsl. The subgraph builder
+// encodes this predicate into the candidate arcs, so the routing inner
+// loop never evaluates it per relaxation.
 func (r *Router) allowed(u, v topology.SwitchID, srcIsl, dstIsl soc.IslandID) bool {
-	iu := r.top.Switches[u].Island
-	iv := r.top.Switches[v].Island
-	mid := r.top.NoCIsland
+	return allowedIslands(r.top.Switches[u].Island, r.top.Switches[v].Island,
+		srcIsl, dstIsl, r.top.NoCIsland)
+}
+
+// allowedIslands is the island-level forward discipline: a flow may
+// only move S→S, S→M, S→D, M→M, M→D or D→D, which bounds latency and
+// makes island shutdown safe by construction.
+func allowedIslands(iu, iv, srcIsl, dstIsl, mid soc.IslandID) bool {
 	in := func(i soc.IslandID) bool { return i == srcIsl || i == dstIsl || (mid != soc.NoIsland && i == mid) }
 	if !in(iu) || !in(iv) {
 		return false
@@ -255,24 +352,25 @@ func (r *Router) edgeCost(u, v topology.SwitchID, f soc.Flow, latOnly bool) floa
 	return power*(1+pressure) + r.opt.latW()*tightness*r.hopLatency(u, v)
 }
 
-// shortest runs Dijkstra over the candidate switch graph for the flow.
-// It returns the switch path or nil when disconnected.
+// shortest runs Dijkstra over the flow's admissible subgraph. It
+// returns the switch path or nil when disconnected.
 func (r *Router) shortest(f soc.Flow, src, dst topology.SwitchID, latOnly bool) []topology.SwitchID {
-	srcIsl := r.top.Spec.IslandOf[f.Src]
-	dstIsl := r.top.Spec.IslandOf[f.Dst]
-	cost := func(u, v int, _ float64) float64 {
-		if !r.allowed(topology.SwitchID(u), topology.SwitchID(v), srcIsl, dstIsl) {
-			return graph.Inf
-		}
-		return r.edgeCost(topology.SwitchID(u), topology.SwitchID(v), f, latOnly)
+	sub := r.subgraphFor(r.top.Spec.IslandOf[f.Src], r.top.Spec.IslandOf[f.Dst])
+	ls, ld := sub.local[src], sub.local[dst]
+	if ls < 0 || ld < 0 {
+		return nil // endpoint switch outside the admissible islands
 	}
-	path, c := r.g.ShortestPath(int(src), int(dst), cost)
+	if r.scratch == nil {
+		r.scratch = scratchPool.Get().(*graph.Scratch)
+	}
+	r.curSub, r.curFlow, r.latOnly = sub, f, latOnly
+	path, c := r.scratch.ShortestPathDense(len(sub.verts), sub.rank, int(ls), int(ld), r.costFn)
 	if math.IsInf(c, 1) {
 		return nil
 	}
 	out := make([]topology.SwitchID, len(path))
 	for i, p := range path {
-		out[i] = topology.SwitchID(p)
+		out[i] = sub.verts[p]
 	}
 	return out
 }
@@ -297,13 +395,9 @@ func (r *Router) latencyOK(f soc.Flow, path []topology.SwitchID) bool {
 func (r *Router) commit(f soc.Flow, path []topology.SwitchID) error {
 	links := make([]topology.LinkID, 0, len(path)-1)
 	for i := 1; i < len(path); i++ {
-		lid, ok := r.top.FindLink(path[i-1], path[i])
-		if !ok {
-			var err error
-			lid, err = r.top.AddLink(path[i-1], path[i])
-			if err != nil {
-				return fmt.Errorf("route: opening link for flow %d->%d: %w", f.Src, f.Dst, err)
-			}
+		lid, err := r.top.EnsureLink(path[i-1], path[i])
+		if err != nil {
+			return fmt.Errorf("route: opening link for flow %d->%d: %w", f.Src, f.Dst, err)
 		}
 		links = append(links, lid)
 	}

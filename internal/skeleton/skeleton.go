@@ -1,0 +1,103 @@
+// Package skeleton builds deterministic unrouted topologies — switches,
+// core attachments and (optionally) an intermediate NoC island, but no
+// links or routes — for benchmarks and routing-equivalence tests that
+// need to exercise the router in isolation, without pulling in the full
+// synthesis sweep (which would create an import cycle through core's
+// tests).
+//
+// The construction mirrors Algorithm 1 steps 1-14 at the minimal design
+// point: island clocks from the heaviest NI bandwidth, the minimum
+// switch count per island, balanced min-cut core-to-switch assignment,
+// and mid indirect switches in the intermediate island clocked at the
+// fastest island's rate.
+package skeleton
+
+import (
+	"fmt"
+	"math"
+
+	"nocvi/internal/model"
+	"nocvi/internal/partition"
+	"nocvi/internal/soc"
+	"nocvi/internal/topology"
+	"nocvi/internal/vcg"
+)
+
+// Build constructs the unrouted topology for spec with extra switches
+// per island beyond the minimum (clamped at one switch per core), and
+// mid indirect switches in an intermediate NoC island when mid > 0.
+// extra = 0 is the minimal design point, which need not be routable;
+// extra >= 1 leaves port headroom. Identical inputs always yield an
+// identical topology.
+func Build(spec *soc.Spec, lib *model.Library, extra, mid int) (*topology.Topology, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, fmt.Errorf("skeleton: %w", err)
+	}
+	egress, ingress := spec.AggregateCoreBandwidth()
+	nIsl := len(spec.Islands)
+	freqs := make([]float64, nIsl)
+	maxSizes := make([]int, nIsl)
+	for j := 0; j < nIsl; j++ {
+		var peak float64
+		for _, c := range spec.CoresIn(soc.IslandID(j)) {
+			peak = math.Max(peak, math.Max(egress[c], ingress[c]))
+		}
+		freqs[j] = lib.MinFreqForBandwidth(peak)
+		maxSizes[j] = lib.MaxSwitchSize(freqs[j])
+		if maxSizes[j] < 2 {
+			return nil, fmt.Errorf("skeleton: island %d needs %.0f MHz, too fast for any usable switch",
+				j, freqs[j]/1e6)
+		}
+		if maxSizes[j] > len(spec.Cores)+nIsl+8 {
+			maxSizes[j] = len(spec.Cores) + nIsl + 8
+		}
+	}
+
+	vcgs, err := vcg.BuildAll(spec, vcg.DefaultAlpha)
+	if err != nil {
+		return nil, err
+	}
+
+	top := topology.New(spec, lib)
+	for j, f := range freqs {
+		top.SetIslandFreq(soc.IslandID(j), f)
+	}
+	for j := 0; j < nIsl; j++ {
+		cores := spec.CoresIn(soc.IslandID(j))
+		usable := maxSizes[j] - 1
+		k := (len(cores)+usable-1)/usable + extra
+		if k < 1 {
+			k = 1
+		}
+		if k > len(cores) {
+			k = len(cores)
+		}
+		parts, err := partition.KWay(vcgs[j].Undirected(), k,
+			partition.Options{MaxPartSize: usable})
+		if err != nil {
+			return nil, fmt.Errorf("skeleton: island %d: %w", j, err)
+		}
+		sws := make([]topology.SwitchID, k)
+		for p := range sws {
+			sws[p] = top.AddSwitch(soc.IslandID(j), false)
+		}
+		for i, c := range cores {
+			if err := top.AttachCore(c, sws[parts[i]]); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if mid > 0 {
+		midFreq := lib.FreqGridHz
+		for _, f := range freqs {
+			if f > midFreq {
+				midFreq = f
+			}
+		}
+		ni := top.AddNoCIsland(midFreq, 1.0)
+		for p := 0; p < mid; p++ {
+			top.AddSwitch(ni, true)
+		}
+	}
+	return top, nil
+}

@@ -1,0 +1,71 @@
+package skeleton
+
+import (
+	"testing"
+
+	"nocvi/internal/bench"
+	"nocvi/internal/model"
+	"nocvi/internal/route"
+	"nocvi/internal/specgen"
+)
+
+// TestBuildSuiteRoutable checks every bundled benchmark yields a
+// well-formed, routable skeleton, with and without intermediate
+// switches.
+func TestBuildSuiteRoutable(t *testing.T) {
+	lib := model.Default65nm()
+	for _, name := range bench.Names() {
+		spec, err := bench.Islanded(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, mid := range []int{0, 2} {
+			top, err := Build(spec, lib, 1, mid)
+			if err != nil {
+				t.Fatalf("%s mid=%d: %v", name, mid, err)
+			}
+			if got := top.IndirectSwitchCount(); got != mid {
+				t.Fatalf("%s: %d indirect switches, want %d", name, got, mid)
+			}
+			for c := range spec.Cores {
+				if top.SwitchOf[c] < 0 {
+					t.Fatalf("%s: core %d unattached", name, c)
+				}
+			}
+			// The minimal design point need not be routable (that is
+			// what the sweep explores), but with intermediate switches
+			// available every bundled benchmark should route.
+			if err := route.New(top, route.Options{}).RouteAll(); err != nil && mid > 0 {
+				t.Fatalf("%s mid=%d: skeleton unroutable: %v", name, mid, err)
+			}
+		}
+	}
+}
+
+// TestBuildDeterministic pins that two builds of the same spec are
+// structurally identical (the property the equivalence tests rely on).
+func TestBuildDeterministic(t *testing.T) {
+	lib := model.Default65nm()
+	spec := specgen.Random(7, specgen.Options{MaxCores: 14, MaxIslands: 4})
+	a, err := Build(spec, lib, 1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Build(spec, lib, 1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Switches) != len(b.Switches) {
+		t.Fatalf("switch counts differ: %d vs %d", len(a.Switches), len(b.Switches))
+	}
+	for i := range a.Switches {
+		if a.Switches[i].Island != b.Switches[i].Island || a.Switches[i].Indirect != b.Switches[i].Indirect {
+			t.Fatalf("switch %d differs", i)
+		}
+	}
+	for c := range a.SwitchOf {
+		if a.SwitchOf[c] != b.SwitchOf[c] {
+			t.Fatalf("core %d attached to %d vs %d", c, a.SwitchOf[c], b.SwitchOf[c])
+		}
+	}
+}

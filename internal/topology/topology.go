@@ -94,6 +94,39 @@ type Topology struct {
 
 	// SwitchOf maps each core to the switch hosting its NI.
 	SwitchOf []SwitchID
+
+	// linkIdx is the O(1) directed link lookup (from, to) -> LinkID, and
+	// inLinks/outLinks the per-switch incident link counts, both kept in
+	// sync by AddSwitch/AddLink. They turn FindLink and SwitchPorts —
+	// the router's per-edge-relaxation queries — from O(links) scans
+	// into constant-time lookups. reindex rebuilds them for topologies
+	// whose exported slices were populated by other means.
+	linkIdx  map[linkKey]LinkID
+	inLinks  []int
+	outLinks []int
+}
+
+// linkKey identifies a directed link by its endpoints.
+type linkKey struct{ from, to SwitchID }
+
+// reindex (re)builds the link index and port counters from the exported
+// Switches/Links slices. Mutators keep the index incremental; this lazy
+// path only triggers for zero-value or externally assembled topologies.
+func (t *Topology) reindex() {
+	t.linkIdx = make(map[linkKey]LinkID, len(t.Links))
+	t.inLinks = make([]int, len(t.Switches))
+	t.outLinks = make([]int, len(t.Switches))
+	for _, l := range t.Links {
+		t.linkIdx[linkKey{l.From, l.To}] = l.ID
+		t.outLinks[l.From]++
+		t.inLinks[l.To]++
+	}
+}
+
+// indexStale reports whether the incremental index no longer covers the
+// exported slices.
+func (t *Topology) indexStale() bool {
+	return t.linkIdx == nil || len(t.linkIdx) != len(t.Links) || len(t.inLinks) != len(t.Switches)
 }
 
 // New creates an empty topology over the given spec and library, with
@@ -114,6 +147,7 @@ func New(spec *soc.Spec, lib *model.Library) *Topology {
 	for i, isl := range spec.Islands {
 		t.IslandVoltage[i] = isl.VoltageV
 	}
+	t.linkIdx = make(map[linkKey]LinkID)
 	return t
 }
 
@@ -161,6 +195,9 @@ func (t *Topology) AddSwitch(island soc.IslandID, indirect bool) SwitchID {
 	if int(island) >= len(t.IslandFreqHz) || island < 0 {
 		panic(fmt.Sprintf("topology: switch in unknown island %d", island))
 	}
+	if t.indexStale() {
+		t.reindex()
+	}
 	id := SwitchID(len(t.Switches))
 	t.Switches = append(t.Switches, Switch{
 		ID:       id,
@@ -169,6 +206,8 @@ func (t *Topology) AddSwitch(island soc.IslandID, indirect bool) SwitchID {
 		FreqHz:   t.IslandFreqHz[island],
 		VoltageV: t.IslandVoltage[island],
 	})
+	t.inLinks = append(t.inLinks, 0)
+	t.outLinks = append(t.outLinks, 0)
 	return id
 }
 
@@ -191,25 +230,49 @@ func (t *Topology) AttachCore(c soc.CoreID, sw SwitchID) error {
 	return nil
 }
 
-// FindLink returns the directed link from->to when it exists.
+// FindLink returns the directed link from->to when it exists. It is an
+// O(1) index lookup.
 func (t *Topology) FindLink(from, to SwitchID) (LinkID, bool) {
-	for _, l := range t.Links {
-		if l.From == from && l.To == to {
-			return l.ID, true
-		}
+	if t.indexStale() {
+		t.reindex()
 	}
-	return -1, false
+	id, ok := t.linkIdx[linkKey{from, to}]
+	if !ok {
+		return -1, false
+	}
+	return id, true
 }
 
 // AddLink opens a new directed link between two switches, computing its
 // capacity from the slower endpoint clock and marking island crossings.
-// Duplicate links are rejected; use FindLink first.
+// Duplicate links are rejected; use EnsureLink for lookup-or-add.
 func (t *Topology) AddLink(from, to SwitchID) (LinkID, error) {
+	if t.indexStale() {
+		t.reindex()
+	}
+	if _, ok := t.linkIdx[linkKey{from, to}]; ok {
+		return -1, fmt.Errorf("topology: duplicate link %d->%d", from, to)
+	}
+	return t.addLink(from, to)
+}
+
+// EnsureLink returns the directed link from->to, opening it when absent
+// — one index lookup instead of the FindLink+AddLink double probe on
+// the routing commit path.
+func (t *Topology) EnsureLink(from, to SwitchID) (LinkID, error) {
+	if t.indexStale() {
+		t.reindex()
+	}
+	if id, ok := t.linkIdx[linkKey{from, to}]; ok {
+		return id, nil
+	}
+	return t.addLink(from, to)
+}
+
+// addLink appends a link the index has already proven absent.
+func (t *Topology) addLink(from, to SwitchID) (LinkID, error) {
 	if from == to {
 		return -1, fmt.Errorf("topology: self link on switch %d", from)
-	}
-	if _, ok := t.FindLink(from, to); ok {
-		return -1, fmt.Errorf("topology: duplicate link %d->%d", from, to)
 	}
 	fs, ts := t.Switches[from], t.Switches[to]
 	minF := math.Min(fs.FreqHz, ts.FreqHz)
@@ -221,24 +284,22 @@ func (t *Topology) AddLink(from, to SwitchID) (LinkID, error) {
 		CrossesIslands: fs.Island != ts.Island,
 		CapacityBps:    t.Lib.LinkCapacityBps(minF),
 	})
+	t.linkIdx[linkKey{from, to}] = id
+	t.outLinks[from]++
+	t.inLinks[to]++
 	return id, nil
 }
 
 // SwitchPorts returns the input and output port counts of a switch:
 // attached cores contribute one input and one output each (their NI),
-// plus one port per incident link direction.
+// plus one port per incident link direction. The counts are maintained
+// incrementally, so the query is O(1).
 func (t *Topology) SwitchPorts(sw SwitchID) (in, out int) {
-	s := t.Switches[sw]
-	in, out = len(s.Cores), len(s.Cores)
-	for _, l := range t.Links {
-		if l.To == sw {
-			in++
-		}
-		if l.From == sw {
-			out++
-		}
+	if t.indexStale() {
+		t.reindex()
 	}
-	return in, out
+	n := len(t.Switches[sw].Cores)
+	return n + t.inLinks[sw], n + t.outLinks[sw]
 }
 
 // SwitchSize returns the crossbar dimension of a switch, the larger of

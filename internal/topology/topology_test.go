@@ -335,3 +335,134 @@ func TestValidateRouteCountMismatch(t *testing.T) {
 		t.Fatalf("route count mismatch not caught: %v", err)
 	}
 }
+
+// TestEnsureLink pins the lookup-or-add semantics: first call opens the
+// link, repeats return the same ID without growing the topology, and
+// self links are rejected.
+func TestEnsureLink(t *testing.T) {
+	spec := fixtureSpec()
+	top := New(spec, model.Default65nm())
+	for i := range spec.Islands {
+		top.SetIslandFreq(soc.IslandID(i), 200e6)
+	}
+	s0 := top.AddSwitch(0, false)
+	s1 := top.AddSwitch(1, false)
+	l, err := top.EnsureLink(s0, s1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(top.Links) != 1 {
+		t.Fatalf("%d links after first EnsureLink", len(top.Links))
+	}
+	again, err := top.EnsureLink(s0, s1)
+	if err != nil || again != l {
+		t.Fatalf("repeat EnsureLink = %d, %v; want %d", again, err, l)
+	}
+	if len(top.Links) != 1 {
+		t.Fatal("EnsureLink duplicated the link")
+	}
+	rev, err := top.EnsureLink(s1, s0)
+	if err != nil || rev == l {
+		t.Fatalf("reverse EnsureLink = %d, %v", rev, err)
+	}
+	if _, err := top.EnsureLink(s0, s0); err == nil {
+		t.Fatal("self link accepted")
+	}
+	// AddLink still rejects an existing link.
+	if _, err := top.AddLink(s0, s1); err == nil {
+		t.Fatal("AddLink accepted a duplicate")
+	}
+}
+
+// TestLinkIndexMatchesScan cross-checks the O(1) index and incremental
+// port counts against brute-force scans over the exported slices, on a
+// topology grown switch-by-switch and link-by-link.
+func TestLinkIndexMatchesScan(t *testing.T) {
+	spec := fixtureSpec()
+	top := New(spec, model.Default65nm())
+	for i := range spec.Islands {
+		top.SetIslandFreq(soc.IslandID(i), 200e6)
+	}
+	var sws []SwitchID
+	for i := 0; i < 3; i++ {
+		sws = append(sws, top.AddSwitch(soc.IslandID(i), false))
+	}
+	check := func() {
+		t.Helper()
+		for _, u := range sws {
+			for _, v := range sws {
+				want, found := LinkID(-1), false
+				for _, l := range top.Links {
+					if l.From == u && l.To == v {
+						want, found = l.ID, true
+					}
+				}
+				got, ok := top.FindLink(u, v)
+				if ok != found || (ok && got != want) {
+					t.Fatalf("FindLink(%d,%d) = %d,%v; scan says %d,%v", u, v, got, ok, want, found)
+				}
+			}
+			in, out := len(top.Switches[u].Cores), len(top.Switches[u].Cores)
+			for _, l := range top.Links {
+				if l.To == u {
+					in++
+				}
+				if l.From == u {
+					out++
+				}
+			}
+			gi, go_ := top.SwitchPorts(u)
+			if gi != in || go_ != out {
+				t.Fatalf("SwitchPorts(%d) = %d,%d; scan says %d,%d", u, gi, go_, in, out)
+			}
+		}
+	}
+	check()
+	top.AddLink(sws[0], sws[1])
+	check()
+	top.EnsureLink(sws[1], sws[2])
+	check()
+	top.AttachCore(0, sws[0])
+	check()
+	sws = append(sws, top.AddSwitch(0, false)) // grow after links exist
+	top.AddLink(sws[3], sws[0])
+	check()
+}
+
+// TestReindexExternallyAssembled covers the lazy rebuild: a topology
+// whose Links slice was populated without the index (zero value plus
+// direct appends) must still answer FindLink/SwitchPorts correctly.
+func TestReindexExternallyAssembled(t *testing.T) {
+	spec := fixtureSpec()
+	lib := model.Default65nm()
+	top := &Topology{
+		Spec:          spec,
+		Lib:           lib,
+		NoCIsland:     soc.NoIsland,
+		IslandFreqHz:  []float64{200e6, 200e6, 200e6},
+		IslandVoltage: []float64{1, 1, 1},
+		SwitchOf:      []SwitchID{-1, -1, -1, -1, -1},
+	}
+	top.Switches = []Switch{
+		{ID: 0, Island: 0, FreqHz: 200e6, VoltageV: 1},
+		{ID: 1, Island: 1, FreqHz: 200e6, VoltageV: 1},
+	}
+	top.Links = []Link{{ID: 0, From: 0, To: 1, CrossesIslands: true}}
+	if id, ok := top.FindLink(0, 1); !ok || id != 0 {
+		t.Fatalf("FindLink on assembled topology = %d,%v", id, ok)
+	}
+	if _, ok := top.FindLink(1, 0); ok {
+		t.Fatal("phantom reverse link")
+	}
+	in, out := top.SwitchPorts(1)
+	if in != 1 || out != 0 {
+		t.Fatalf("SwitchPorts(1) = %d,%d", in, out)
+	}
+	// The index must absorb subsequent mutations too.
+	if _, err := top.AddLink(1, 0); err != nil {
+		t.Fatal(err)
+	}
+	if id, ok := top.FindLink(1, 0); !ok || id != 1 {
+		t.Fatalf("FindLink after AddLink = %d,%v", id, ok)
+	}
+}

@@ -1,0 +1,167 @@
+// Command bench2json converts `go test -bench` text output (on stdin)
+// into a checked-in JSON record of routing performance, preserving the
+// pre-optimization baseline so the file always carries before/after
+// numbers side by side:
+//
+//	go test -bench=RouteAll -benchmem -run='^$' . | go run ./tools/bench2json -o BENCH_routing.json
+//
+// The first write seeds the "baseline" section; subsequent writes
+// refresh "current" and recompute the per-benchmark deltas, leaving
+// the baseline untouched. Use -set baseline to re-seed deliberately
+// (e.g. after re-measuring on new hardware).
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// result is one benchmark line: iterations plus the -benchmem triple.
+type result struct {
+	Iterations  int64   `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op,omitempty"`
+	AllocsPerOp int64   `json:"allocs_per_op,omitempty"`
+}
+
+// delta compares current against baseline for one benchmark. Ratios
+// are baseline/current, so >1 means the current code is better.
+type delta struct {
+	NsSpeedup   float64 `json:"ns_speedup"`
+	AllocsRatio float64 `json:"allocs_ratio,omitempty"`
+}
+
+type record struct {
+	Baseline map[string]result `json:"baseline,omitempty"`
+	Current  map[string]result `json:"current,omitempty"`
+	Delta    map[string]delta  `json:"delta,omitempty"`
+}
+
+func main() {
+	out := flag.String("o", "BENCH_routing.json", "output JSON file (merged in place)")
+	section := flag.String("set", "auto", "section to write: baseline|current|auto (auto seeds the baseline on first run)")
+	flag.Parse()
+
+	results, err := parseBench(os.Stdin)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bench2json:", err)
+		os.Exit(1)
+	}
+	if len(results) == 0 {
+		fmt.Fprintln(os.Stderr, "bench2json: no benchmark lines on stdin")
+		os.Exit(1)
+	}
+
+	var rec record
+	if data, err := os.ReadFile(*out); err == nil {
+		if err := json.Unmarshal(data, &rec); err != nil {
+			fmt.Fprintf(os.Stderr, "bench2json: %s: %v\n", *out, err)
+			os.Exit(1)
+		}
+	}
+
+	dst := *section
+	if dst == "auto" {
+		if len(rec.Baseline) == 0 {
+			dst = "baseline"
+		} else {
+			dst = "current"
+		}
+	}
+	switch dst {
+	case "baseline":
+		rec.Baseline = results
+	case "current":
+		rec.Current = results
+	default:
+		fmt.Fprintf(os.Stderr, "bench2json: unknown -set %q\n", dst)
+		os.Exit(1)
+	}
+	rec.Delta = deltas(rec.Baseline, rec.Current)
+
+	data, err := json.MarshalIndent(&rec, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bench2json:", err)
+		os.Exit(1)
+	}
+	if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "bench2json:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("[wrote %s: %d benchmarks into %q]\n", *out, len(results), dst)
+}
+
+// parseBench extracts benchmark result lines from `go test -bench`
+// output. Lines look like
+//
+//	BenchmarkRouteAll/d26_media-64   8527   118499 ns/op   56082 B/op   770 allocs/op
+//
+// where the -64 suffix is GOMAXPROCS and is stripped so records from
+// machines with different core counts merge under one key.
+func parseBench(r io.Reader) (map[string]result, error) {
+	out := make(map[string]result)
+	sc := bufio.NewScanner(r)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) < 3 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		name := strings.TrimPrefix(fields[0], "Benchmark")
+		if i := strings.LastIndex(name, "-"); i > 0 {
+			if _, err := strconv.Atoi(name[i+1:]); err == nil {
+				name = name[:i]
+			}
+		}
+		iters, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			continue // header or summary line, not a result
+		}
+		res := result{Iterations: iters}
+		for i := 2; i+1 < len(fields); i += 2 {
+			val, unit := fields[i], fields[i+1]
+			switch unit {
+			case "ns/op":
+				res.NsPerOp, err = strconv.ParseFloat(val, 64)
+			case "B/op":
+				res.BytesPerOp, err = strconv.ParseInt(val, 10, 64)
+			case "allocs/op":
+				res.AllocsPerOp, err = strconv.ParseInt(val, 10, 64)
+			}
+			if err != nil {
+				return nil, fmt.Errorf("parsing %q: %w", sc.Text(), err)
+			}
+		}
+		out[name] = res
+	}
+	return out, sc.Err()
+}
+
+// deltas pairs up benchmarks present in both sections.
+func deltas(base, cur map[string]result) map[string]delta {
+	if len(base) == 0 || len(cur) == 0 {
+		return nil
+	}
+	out := make(map[string]delta)
+	for name, b := range base {
+		c, ok := cur[name]
+		if !ok || c.NsPerOp == 0 {
+			continue
+		}
+		d := delta{NsSpeedup: round2(b.NsPerOp / c.NsPerOp)}
+		if c.AllocsPerOp > 0 {
+			d.AllocsRatio = round2(float64(b.AllocsPerOp) / float64(c.AllocsPerOp))
+		}
+		out[name] = d
+	}
+	return out
+}
+
+func round2(x float64) float64 {
+	return float64(int64(x*100+0.5)) / 100
+}

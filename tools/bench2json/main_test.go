@@ -1,0 +1,51 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: nocvi
+BenchmarkRouteAll/d16_industrial-64         	   38005	     31643 ns/op	   19720 B/op	     343 allocs/op
+BenchmarkRouteAll/d26_media-64              	    7382	    158233 ns/op	   58360 B/op	     934 allocs/op
+BenchmarkSynthesizeParallel/d26_media/workers=4-64 	       2	  11848052 ns/op	 2860608 B/op	   38790 allocs/op
+PASS
+ok  	nocvi	12.345s
+`
+
+func TestParseBench(t *testing.T) {
+	got, err := parseBench(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 {
+		t.Fatalf("parsed %d results, want 3: %v", len(got), got)
+	}
+	r, ok := got["RouteAll/d16_industrial"]
+	if !ok {
+		t.Fatalf("GOMAXPROCS suffix not stripped: %v", got)
+	}
+	if r.Iterations != 38005 || r.NsPerOp != 31643 || r.BytesPerOp != 19720 || r.AllocsPerOp != 343 {
+		t.Fatalf("wrong numbers: %+v", r)
+	}
+	if _, ok := got["SynthesizeParallel/d26_media/workers=4"]; !ok {
+		t.Fatalf("nested sub-benchmark name mangled: %v", got)
+	}
+}
+
+func TestDeltas(t *testing.T) {
+	base := map[string]result{"a": {NsPerOp: 200, AllocsPerOp: 100}, "only_base": {NsPerOp: 1}}
+	cur := map[string]result{"a": {NsPerOp: 100, AllocsPerOp: 25}}
+	d := deltas(base, cur)
+	if len(d) != 1 {
+		t.Fatalf("want 1 delta, got %v", d)
+	}
+	if d["a"].NsSpeedup != 2 || d["a"].AllocsRatio != 4 {
+		t.Fatalf("wrong ratios: %+v", d["a"])
+	}
+	if deltas(nil, cur) != nil {
+		t.Fatal("deltas without a baseline should be nil")
+	}
+}
