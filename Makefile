@@ -1,16 +1,31 @@
 # Development targets. `make ci` is the gate every change must pass:
-# vet, build, the full test suite under the race detector (the
-# synthesis sweep is concurrent by default, so races are first-class
-# failures), and a single-iteration routing-benchmark smoke run so a
-# broken benchmark cannot sit unnoticed until the next perf pass.
+# vet, gofmt cleanliness, the project's own static-analysis suite
+# (cmd/noclint), build, the full test suite under the race detector
+# (the synthesis sweep is concurrent by default, so races are
+# first-class failures), and a single-iteration routing-benchmark smoke
+# run so a broken benchmark cannot sit unnoticed until the next perf
+# pass.
 GO ?= go
 
-.PHONY: ci vet build test race bench bench-smoke bench-all
+.PHONY: ci vet fmt lint build test race bench bench-smoke bench-all
 
-ci: vet build race bench-smoke
+ci: vet fmt lint build race bench-smoke
 
 vet:
 	$(GO) vet ./...
+
+# fmt fails when gofmt would rewrite any file (testdata fixtures
+# included — they are parsed by the analysis golden tests).
+fmt:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt -l found unformatted files:"; echo "$$out"; exit 1; fi
+
+# lint runs the determinism/invariant analyzers (maprange, floateq,
+# errdrop, wallclock, bannedcall) over every package — including
+# internal/analysis and cmd/noclint themselves, so the linter stays
+# clean on its own code. See DESIGN.md "Static analysis layer".
+lint:
+	$(GO) run ./cmd/noclint ./...
 
 build:
 	$(GO) build ./...

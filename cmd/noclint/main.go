@@ -1,0 +1,90 @@
+// Command noclint runs the project's static-analysis suite
+// (internal/analysis) over the module: maprange, floateq, errdrop,
+// wallclock and bannedcall — the checks that keep the synthesis engine
+// deterministic and its hot paths free of known regressions.
+//
+// Usage:
+//
+//	noclint [-C dir] [-tests] [-list] [patterns...]
+//
+// Patterns follow the go tool's directory forms ("./...", the default,
+// or "./internal/core"). Diagnostics print one per line as
+//
+//	file:line:col: analyzer: message
+//
+// with paths relative to the module root. The exit status is 0 when the
+// tree is clean, 1 when findings were reported, and 2 when the tree
+// could not be loaded (parse or type error). Findings are suppressed in
+// source with `//noclint:ignore <analyzer> <reason>` on the flagged
+// line or the line above.
+package main
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"nocvi/internal/analysis"
+)
+
+func main() {
+	os.Exit(run(os.Stdout, os.Stderr, os.Args[1:]))
+}
+
+func run(stdout, stderr io.Writer, args []string) int {
+	fs := flag.NewFlagSet("noclint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	chdir := fs.String("C", ".", "module root to analyze (directory containing go.mod)")
+	tests := fs.Bool("tests", false, "also analyze in-package _test.go files")
+	list := fs.Bool("list", false, "list the registered analyzers and exit")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	var out bytes.Buffer
+	if *list {
+		for _, a := range analysis.Analyzers {
+			fmt.Fprintf(&out, "%s: %s\n", a.Name, a.Doc)
+		}
+		return emit(stdout, stderr, &out, 0)
+	}
+	loader, err := analysis.NewLoader(*chdir)
+	if err != nil {
+		fmt.Fprintf(&out, "noclint: %v\n", err)
+		return emit(stderr, stderr, &out, 2)
+	}
+	loader.IncludeTests = *tests
+	pkgs, err := loader.LoadPatterns(fs.Args()...)
+	if err != nil {
+		fmt.Fprintf(&out, "noclint: %v\n", err)
+		return emit(stderr, stderr, &out, 2)
+	}
+	diags := analysis.Run(pkgs, analysis.Analyzers)
+	for _, d := range diags {
+		name := d.Pos.Filename
+		if rel, err := filepath.Rel(loader.Root, name); err == nil && !strings.HasPrefix(rel, "..") {
+			name = rel
+		}
+		fmt.Fprintf(&out, "%s:%d:%d: %s: %s\n", name, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+	}
+	code := 0
+	if len(diags) > 0 {
+		code = 1
+	}
+	return emit(stdout, stderr, &out, code)
+}
+
+// emit flushes the buffered report to w; a failed flush trumps the
+// analysis exit code, since a truncated report must not look clean.
+func emit(w, stderr io.Writer, out *bytes.Buffer, code int) int {
+	if _, err := w.Write(out.Bytes()); err != nil {
+		// Last-resort note; if stderr is also broken there is nothing
+		// left to report to.
+		fmt.Fprintf(stderr, "noclint: writing report: %v\n", err)
+		return 2
+	}
+	return code
+}

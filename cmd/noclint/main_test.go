@@ -1,0 +1,90 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func runNoclint(t *testing.T, args ...string) (stdout, stderr string, code int) {
+	t.Helper()
+	var out, errb bytes.Buffer
+	code = run(&out, &errb, args)
+	return out.String(), errb.String(), code
+}
+
+// TestFixtureModuleEndToEnd drives the full pipeline — module
+// discovery, source type-checking, all five analyzers, suppression,
+// reporting — over the fixture module and pins one finding per
+// analyzer.
+func TestFixtureModuleEndToEnd(t *testing.T) {
+	out, errOut, code := runNoclint(t, "-C", "testdata/fixturemod", "./...")
+	if code != 1 {
+		t.Fatalf("exit code = %d, want 1 (findings)\nstdout:\n%s\nstderr:\n%s", code, out, errOut)
+	}
+	for _, frag := range []string{
+		"core/core.go:15:2: maprange: range over map m",
+		"core/core.go:33:9: bannedcall: call to fmt.Sprintf is banned in package core",
+		"core/core.go:38:9: wallclock: time.Now in a synthesis-path package",
+		"core/core.go:43:2: errdrop: error result of check is silently discarded",
+		"core/core.go:50:11: floateq: == between float operands",
+	} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("output missing %q\ngot:\n%s", frag, out)
+		}
+	}
+	if strings.Contains(out, "core/core.go:55") {
+		t.Errorf("suppressed floateq finding leaked into output:\n%s", out)
+	}
+	if got, want := strings.Count(strings.TrimSpace(out), "\n")+1, 5; got != want {
+		t.Errorf("finding count = %d, want %d\n%s", got, want, out)
+	}
+}
+
+// TestCleanPackageExitsZero pins the success path.
+func TestCleanPackageExitsZero(t *testing.T) {
+	out, errOut, code := runNoclint(t, "-C", "testdata/fixturemod", "./clean")
+	if code != 0 {
+		t.Fatalf("exit code = %d, want 0\nstdout:\n%s\nstderr:\n%s", code, out, errOut)
+	}
+	if out != "" {
+		t.Fatalf("clean run should print nothing, got:\n%s", out)
+	}
+}
+
+// TestIncludeTestsFlag proves -tests pulls _test.go files into scope:
+// the fixture's test file reads the wall clock.
+func TestIncludeTestsFlag(t *testing.T) {
+	out, _, code := runNoclint(t, "-C", "testdata/fixturemod", "./core")
+	if code != 1 || strings.Contains(out, "core_test.go") {
+		t.Fatalf("without -tests, core_test.go must stay out of scope (code %d):\n%s", code, out)
+	}
+	out, _, code = runNoclint(t, "-C", "testdata/fixturemod", "-tests", "./core")
+	if code != 1 || !strings.Contains(out, "core_test.go") {
+		t.Fatalf("with -tests, the wallclock finding in core_test.go must appear (code %d):\n%s", code, out)
+	}
+}
+
+// TestListFlag pins the analyzer inventory.
+func TestListFlag(t *testing.T) {
+	out, _, code := runNoclint(t, "-list")
+	if code != 0 {
+		t.Fatalf("exit code = %d, want 0", code)
+	}
+	for _, name := range []string{"maprange:", "floateq:", "errdrop:", "wallclock:", "bannedcall:"} {
+		if !strings.Contains(out, name) {
+			t.Errorf("-list output missing %q:\n%s", name, out)
+		}
+	}
+}
+
+// TestMissingModuleExitsTwo pins the load-error path.
+func TestMissingModuleExitsTwo(t *testing.T) {
+	_, errOut, code := runNoclint(t, "-C", "testdata/nonexistent", "./...")
+	if code != 2 {
+		t.Fatalf("exit code = %d, want 2", code)
+	}
+	if !strings.Contains(errOut, "noclint:") {
+		t.Fatalf("stderr should carry the load error, got:\n%s", errOut)
+	}
+}

@@ -1,0 +1,5 @@
+// Package clean is the spotless half of the end-to-end fixture.
+package clean
+
+// Add is beyond reproach.
+func Add(a, b int) int { return a + b }

@@ -1,0 +1,56 @@
+// Package core is the dirty half of the end-to-end fixture: one
+// finding per analyzer, plus one suppressed site.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+)
+
+// Values iterates a map in random order and keeps the order: maprange.
+func Values(m map[string]int) []int {
+	var out []int
+	for _, v := range m {
+		out = append(out, v)
+	}
+	return out
+}
+
+// Keys is the blessed collect-then-sort shape: clean.
+func Keys(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// CacheKey formats a slice into a string key: bannedcall.
+func CacheKey(counts []int) string {
+	return fmt.Sprintf("%v", counts)
+}
+
+// Stamp reads the wall clock: wallclock.
+func Stamp() int64 {
+	return time.Now().UnixNano()
+}
+
+// Validate drops its own error: errdrop.
+func Validate() {
+	check()
+}
+
+func check() error { return errors.New("invalid") }
+
+// CloseEnough compares floats exactly: floateq.
+func CloseEnough(a, b float64) bool {
+	return a == b
+}
+
+// Exact is the same comparison with a suppression: clean.
+func Exact(a, b float64) bool {
+	return a == b //noclint:ignore floateq fixture exercises suppression end to end
+}

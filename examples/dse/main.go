@@ -108,10 +108,10 @@ func pickKnee(front []nocvi.ParetoPoint) nocvi.ParetoPoint {
 		}
 	}
 	dx, dy := maxX-minX, maxY-minY
-	if dx == 0 {
+	if dx == 0 { //noclint:ignore floateq exact zero extent guards the plot-scale division
 		dx = 1
 	}
-	if dy == 0 {
+	if dy == 0 { //noclint:ignore floateq exact zero extent guards the plot-scale division
 		dy = 1
 	}
 	best, bestD := front[0], 1e308

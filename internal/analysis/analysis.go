@@ -1,0 +1,214 @@
+// Package analysis is a minimal static-analysis framework for the
+// nocvi tree, built exclusively on the standard library (go/parser,
+// go/ast, go/types and the source go/importer — no golang.org/x/tools).
+//
+// The framework exists to enforce, mechanically, the coding discipline
+// the synthesis engine's guarantees rest on: bit-identical parallel
+// sweeps, injective cache keys, and the paper's tie-break-sensitive
+// argmin over Pareto points. An Analyzer inspects one type-checked
+// package at a time through a Pass and reports Diagnostics; the Run
+// entry point executes a set of analyzers over loaded packages,
+// applies suppression directives, and returns the surviving
+// diagnostics in deterministic order.
+//
+// # Suppression directives
+//
+// A finding can be silenced with a line comment of the form
+//
+//	//noclint:ignore <analyzer> <reason...>
+//
+// either trailing the offending line or standing alone on the line
+// directly above it. The analyzer name must be one of the registered
+// analyzers and the reason is mandatory; malformed or unknown
+// directives are themselves reported (and cannot be suppressed), so a
+// typo'd suppression fails loudly instead of silently masking a real
+// finding.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"path"
+	"sort"
+	"strings"
+)
+
+// An Analyzer is one named check. Run inspects a single package via the
+// Pass and reports findings with Pass.Reportf.
+type Analyzer struct {
+	Name string // short lower-case identifier, used in diagnostics and directives
+	Doc  string // one-paragraph description of the invariant the check protects
+	Run  func(*Pass)
+}
+
+// A Diagnostic is one finding at a resolved source position.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+}
+
+// A Pass carries one type-checked package to one analyzer.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Files    []*ast.File
+	PkgPath  string
+	Pkg      *types.Package
+	Info     *types.Info
+
+	diags *[]Diagnostic
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:      p.Fset.Position(pos),
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// PkgBase returns the last segment of the package import path. Scoped
+// analyzers (maprange, wallclock, bannedcall) match package identity on
+// this segment so the same rules apply to the real tree and to golden
+// testdata fixtures.
+func (p *Pass) PkgBase() string { return path.Base(p.PkgPath) }
+
+// Analyzers is the full registered suite, in reporting order.
+var Analyzers = []*Analyzer{MapRange, FloatEq, ErrDrop, WallClock, BannedCall}
+
+// Run executes every analyzer over every package, filters findings
+// through //noclint:ignore directives, and returns the survivors sorted
+// by file, line, column, analyzer and message.
+func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	// Directives are validated against the full registered suite, not
+	// just the analyzers of this run: a directive naming a real but
+	// currently-unselected analyzer is fine, a typo never is.
+	known := make(map[string]bool, len(Analyzers)+len(analyzers))
+	for _, a := range Analyzers {
+		known[a.Name] = true
+	}
+	for _, a := range analyzers {
+		known[a.Name] = true
+	}
+	var all []Diagnostic
+	for _, pkg := range pkgs {
+		var diags []Diagnostic
+		for _, a := range analyzers {
+			a.Run(&Pass{
+				Analyzer: a,
+				Fset:     pkg.Fset,
+				Files:    pkg.Files,
+				PkgPath:  pkg.Path,
+				Pkg:      pkg.Types,
+				Info:     pkg.Info,
+				diags:    &diags,
+			})
+		}
+		dirs, bad := parseDirectives(pkg, known)
+		all = append(all, bad...)
+		for _, d := range diags {
+			if !dirs.suppresses(d) {
+				all = append(all, d)
+			}
+		}
+	}
+	sort.Slice(all, func(i, j int) bool {
+		a, b := all[i], all[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Message < b.Message
+	})
+	return all
+}
+
+// directiveKey identifies one source line of one file.
+type directiveKey struct {
+	file string
+	line int
+}
+
+// directiveIndex maps a source line to the analyzers suppressed there.
+type directiveIndex map[directiveKey]map[string]bool
+
+// suppresses reports whether a directive on the diagnostic's line (a
+// trailing comment) or on the line above (a standalone comment) names
+// the diagnostic's analyzer.
+func (idx directiveIndex) suppresses(d Diagnostic) bool {
+	for _, line := range [2]int{d.Pos.Line, d.Pos.Line - 1} {
+		if idx[directiveKey{d.Pos.Filename, line}][d.Analyzer] {
+			return true
+		}
+	}
+	return false
+}
+
+// parseDirectives scans every comment of the package for
+// //noclint:ignore directives. Well-formed directives land in the
+// returned index; malformed ones (missing analyzer, unknown analyzer,
+// or missing reason) are returned as diagnostics from the framework
+// itself under the name "noclint".
+func parseDirectives(pkg *Package, known map[string]bool) (directiveIndex, []Diagnostic) {
+	idx := directiveIndex{}
+	var bad []Diagnostic
+	report := func(pos token.Pos, format string, args ...any) {
+		bad = append(bad, Diagnostic{
+			Pos:      pkg.Fset.Position(pos),
+			Analyzer: "noclint",
+			Message:  fmt.Sprintf(format, args...),
+		})
+	}
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, "//")
+				if !ok {
+					continue // block comments do not carry directives
+				}
+				text = strings.TrimSpace(text)
+				rest, ok := strings.CutPrefix(text, "noclint:ignore")
+				if !ok {
+					continue
+				}
+				fields := strings.Fields(rest)
+				if len(fields) == 0 {
+					report(c.Pos(), "malformed directive: //noclint:ignore needs an analyzer name and a reason")
+					continue
+				}
+				name := fields[0]
+				if !known[name] {
+					report(c.Pos(), "directive names unknown analyzer %q", name)
+					continue
+				}
+				if len(fields) < 2 {
+					report(c.Pos(), "directive suppressing %s has no reason; justify the suppression", name)
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				key := directiveKey{pos.Filename, pos.Line}
+				if idx[key] == nil {
+					idx[key] = map[string]bool{}
+				}
+				idx[key][name] = true
+			}
+		}
+	}
+	return idx, bad
+}

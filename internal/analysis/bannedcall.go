@@ -1,0 +1,94 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// A bannedRule denies one callee (exact name or prefix when the rule
+// name ends in "*") within a set of packages, identified by final
+// import-path segment. A nil scope means every package.
+type bannedRule struct {
+	scope   map[string]bool
+	name    string // "fmt.Sprint*" or "reflect.DeepEqual"
+	message string
+}
+
+func pkgSet(names ...string) map[string]bool {
+	m := make(map[string]bool, len(names))
+	for _, n := range names {
+		m[n] = true
+	}
+	return m
+}
+
+// bannedRules seeds the deny-list with the two regressions the engine
+// has already paid for once: fmt.Sprint*-built cache keys on the sweep
+// hot path (replaced by the varint countsKey in PR 2 — a Sprint key is
+// slower and, worse, not guaranteed injective) and reflect.DeepEqual on
+// routing/partitioning hot paths (allocates, reflects, and hides the
+// comparison semantics the equivalence tests pin down).
+var bannedRules = []bannedRule{
+	{
+		scope: pkgSet("core", "partition"),
+		name:  "fmt.Sprint*",
+		message: "fmt.Sprint* on the synthesis hot path: string-formatted cache keys are slow and non-injective " +
+			"(the PR 2 varint countsKey regression); build a typed or varint key instead",
+	},
+	{
+		scope: pkgSet("core", "route", "graph", "partition", "pareto", "topology"),
+		name:  "reflect.DeepEqual",
+		message: "reflect.DeepEqual on a hot path allocates and reflects per comparison; " +
+			"write a typed equality the equivalence tests can pin down",
+	},
+}
+
+// BannedCall enforces a per-package deny-list of callees. It guards
+// hot-path regressions that vet cannot see: the rules carry the project
+// history of why each callee is banned where it is.
+var BannedCall = &Analyzer{
+	Name: "bannedcall",
+	Doc: "flags calls on the per-package deny-list (fmt.Sprint* as cache " +
+		"keys in core/partition, reflect.DeepEqual on hot paths)",
+	Run: runBannedCall,
+}
+
+func runBannedCall(p *Pass) {
+	var rules []bannedRule
+	for _, r := range bannedRules {
+		if r.scope == nil || r.scope[p.PkgBase()] {
+			rules = append(rules, r)
+		}
+	}
+	if len(rules) == 0 {
+		return
+	}
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calleeObj(p, call)
+			if fn == nil || fn.Pkg() == nil {
+				return true
+			}
+			if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+				return true // rules name package-level functions only
+			}
+			full := fn.Pkg().Path() + "." + fn.Name()
+			for _, r := range rules {
+				if prefix, wild := strings.CutSuffix(r.name, "*"); wild {
+					if !strings.HasPrefix(full, prefix) {
+						continue
+					}
+				} else if full != r.name {
+					continue
+				}
+				p.Reportf(call.Pos(), "call to %s is banned in package %s: %s", full, p.PkgBase(), r.message)
+			}
+			return true
+		})
+	}
+}

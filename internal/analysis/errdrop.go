@@ -1,0 +1,207 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// ErrDrop flags statements that silently discard an error result: a
+// call used as a statement whose results include an error, and blank
+// assignments (`_ = ...`, `v, _ := f()`) at error-typed positions. A
+// drop is accepted when a non-empty comment stands alone on the line
+// directly above the statement — the justification the reviewer would
+// otherwise ask for — or under a //noclint:ignore errdrop directive.
+//
+// Calls that cannot fail by contract are excluded: fmt.Print/Printf/
+// Println, fmt.Fprint* into a *bytes.Buffer, *strings.Builder,
+// os.Stdout or os.Stderr, and any method on *bytes.Buffer or
+// *strings.Builder (their error results are documented always-nil).
+// `defer` and `go` statements are out of scope.
+var ErrDrop = &Analyzer{
+	Name: "errdrop",
+	Doc: "flags call statements and blank assignments that discard an " +
+		"error result without an adjacent justification comment",
+	Run: runErrDrop,
+}
+
+var errorType = types.Universe.Lookup("error").Type()
+
+func runErrDrop(p *Pass) {
+	for _, f := range p.Files {
+		justified := justifiedLines(p, f)
+		exempt := func(pos token.Pos) bool {
+			return justified[p.Fset.Position(pos).Line-1]
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch st := n.(type) {
+			case *ast.ExprStmt:
+				call, ok := st.X.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if len(errResultIndexes(p, call)) == 0 || excludedCall(p, call) || exempt(st.Pos()) {
+					return true
+				}
+				p.Reportf(st.Pos(), "error result of %s is silently discarded; handle it, justify the drop with a comment on the line above, or //noclint:ignore errdrop <reason>", calleeLabel(p, call))
+			case *ast.AssignStmt:
+				runErrDropAssign(p, st, exempt)
+			}
+			return true
+		})
+	}
+}
+
+func runErrDropAssign(p *Pass, st *ast.AssignStmt, exempt func(token.Pos) bool) {
+	report := func(what string) {
+		if exempt(st.Pos()) {
+			return
+		}
+		p.Reportf(st.Pos(), "%s is assigned to _; handle it, justify the drop with a comment on the line above, or //noclint:ignore errdrop <reason>", what)
+	}
+	if len(st.Rhs) == 1 && len(st.Lhs) > 1 {
+		// v, _ := f() — a single multi-result call.
+		call, ok := st.Rhs[0].(*ast.CallExpr)
+		if !ok || excludedCall(p, call) {
+			return
+		}
+		for _, i := range errResultIndexes(p, call) {
+			if i < len(st.Lhs) && isBlank(st.Lhs[i]) {
+				report("error result of " + calleeLabel(p, call))
+			}
+		}
+		return
+	}
+	if len(st.Lhs) != len(st.Rhs) {
+		return
+	}
+	for i, lhs := range st.Lhs {
+		if !isBlank(lhs) {
+			continue
+		}
+		t := p.Info.TypeOf(st.Rhs[i])
+		if t == nil || !types.Identical(t, errorType) {
+			continue
+		}
+		if call, ok := st.Rhs[i].(*ast.CallExpr); ok {
+			if excludedCall(p, call) {
+				continue
+			}
+			report("error result of " + calleeLabel(p, call))
+			continue
+		}
+		report("error value " + types.ExprString(st.Rhs[i]))
+	}
+}
+
+func isBlank(e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	return ok && id.Name == "_"
+}
+
+// errResultIndexes returns the result positions of call that have type
+// error.
+func errResultIndexes(p *Pass, call *ast.CallExpr) []int {
+	t := p.Info.TypeOf(call)
+	if t == nil {
+		return nil
+	}
+	if tup, ok := t.(*types.Tuple); ok {
+		var idx []int
+		for i := 0; i < tup.Len(); i++ {
+			if types.Identical(tup.At(i).Type(), errorType) {
+				idx = append(idx, i)
+			}
+		}
+		return idx
+	}
+	if types.Identical(t, errorType) {
+		return []int{0}
+	}
+	return nil
+}
+
+// calleeObj resolves the called function or method, if it is a plain
+// identifier or selector.
+func calleeObj(p *Pass, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		fn, _ := p.Info.Uses[fun].(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		fn, _ := p.Info.Uses[fun.Sel].(*types.Func)
+		return fn
+	}
+	return nil
+}
+
+func calleeLabel(p *Pass, call *ast.CallExpr) string {
+	return types.ExprString(call.Fun)
+}
+
+// excludedCall reports whether call is on the cannot-fail allow list.
+func excludedCall(p *Pass, call *ast.CallExpr) bool {
+	fn := calleeObj(p, call)
+	if fn == nil {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return false
+	}
+	if recv := sig.Recv(); recv != nil {
+		switch recv.Type().String() {
+		case "*bytes.Buffer", "*strings.Builder":
+			return true
+		}
+		return false
+	}
+	if fn.Pkg() == nil || fn.Pkg().Path() != "fmt" {
+		return false
+	}
+	switch fn.Name() {
+	case "Print", "Printf", "Println":
+		return true
+	}
+	if strings.HasPrefix(fn.Name(), "Fprint") && len(call.Args) > 0 {
+		return safeWriter(p, call.Args[0])
+	}
+	return false
+}
+
+// safeWriter reports whether the expression is a writer whose Write
+// never returns an error in practice: an in-memory buffer/builder or
+// the process's own stdout/stderr (where a write failure has no
+// in-process recovery anyway).
+func safeWriter(p *Pass, e ast.Expr) bool {
+	switch p.Info.TypeOf(e).String() {
+	case "*bytes.Buffer", "*strings.Builder":
+		return true
+	}
+	sel, ok := ast.Unparen(e).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	obj, ok := p.Info.Uses[sel.Sel].(*types.Var)
+	if !ok || obj.Pkg() == nil || obj.Pkg().Path() != "os" {
+		return false
+	}
+	return obj.Name() == "Stdout" || obj.Name() == "Stderr"
+}
+
+// justifiedLines records the lines carrying a standalone non-empty
+// comment; a statement on the following line counts as justified.
+// Trailing same-line comments deliberately do not count: the golden
+// annotation syntax lives there, and a justification reads better on
+// its own line anyway.
+func justifiedLines(p *Pass, f *ast.File) map[int]bool {
+	lines := map[int]bool{}
+	for _, cg := range f.Comments {
+		if strings.TrimSpace(cg.Text()) == "" {
+			continue
+		}
+		lines[p.Fset.Position(cg.End()).Line] = true
+	}
+	return lines
+}

@@ -1,0 +1,52 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// FloatEq flags == and != between floating-point operands anywhere in
+// the tree. The engine's constraint checks (bandwidth headroom, latency
+// bounds, utilization) are tolerance-based for a reason: exact float
+// comparison flips on the last ulp of an accumulation, and the paper's
+// argmin tie-break then selects a different design point on different
+// hardware. Comparisons where both operands are compile-time constants
+// are exempt (the result is fixed at build time). Intentional exact
+// comparisons — zero sentinels, sort tie-breaks — carry a
+// //noclint:ignore floateq directive with the reason spelled out.
+var FloatEq = &Analyzer{
+	Name: "floateq",
+	Doc: "flags ==/!= between floating-point operands; constraint checks " +
+		"should use the internal/num tolerance helpers (num.AlmostEq, " +
+		"num.Within, num.Leq) or an explicit epsilon",
+	Run: runFloatEq,
+}
+
+func runFloatEq(p *Pass) {
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			be, ok := n.(*ast.BinaryExpr)
+			if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+				return true
+			}
+			x, y := p.Info.Types[be.X], p.Info.Types[be.Y]
+			if x.Value != nil && y.Value != nil {
+				return true // constant-folded at compile time
+			}
+			if !isFloat(x.Type) && !isFloat(y.Type) {
+				return true
+			}
+			p.Reportf(be.OpPos, "%s between float operands is brittle under rounding; use the internal/num tolerance helpers (num.AlmostEq/num.Within/num.Leq) or an explicit epsilon", be.Op)
+			return true
+		})
+	}
+}
+
+func isFloat(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}

@@ -1,0 +1,241 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// deterministicPathPkgs names the packages (by final import-path
+// segment) whose outputs feed the synthesized design point directly.
+// PR 1's serial-vs-parallel identity and the paper's tie-break-aware
+// argmin (Algorithm 1, §4) are only as deterministic as iteration order
+// in these packages.
+var deterministicPathPkgs = map[string]bool{
+	"core":      true,
+	"route":     true,
+	"partition": true,
+	"topology":  true,
+	"graph":     true,
+	"pareto":    true,
+	"soc":       true,
+}
+
+// disableSortedKeysExemption is a test hook: internal/analysis tests
+// flip it to prove the sorted-key-collection exemption is load-bearing
+// (with it disabled, maprange must flag internal/soc/usecase.go).
+var disableSortedKeysExemption bool
+
+// MapRange flags `range` over a map in deterministic-path packages. Go
+// randomizes map iteration order, so any such loop whose effect depends
+// on visit order silently breaks reproducible sweeps. Two shapes are
+// exempt because they provably do not depend on order:
+//
+//   - key collection: every statement appends the iteration variables
+//     to slices that are sorted later in the same function (the idiom
+//     at internal/soc/usecase.go:88);
+//   - commuting writes: every statement writes (or deletes) an entry of
+//     another map indexed by the iteration key, so each iteration
+//     touches a distinct entry.
+var MapRange = &Analyzer{
+	Name: "maprange",
+	Doc: "flags unordered map iteration in deterministic-path packages " +
+		"(core, route, partition, topology, graph, pareto, soc) unless the " +
+		"body only collects keys that are later sorted or only performs " +
+		"per-key commuting map writes",
+	Run: runMapRange,
+}
+
+func runMapRange(p *Pass) {
+	if !deterministicPathPkgs[p.PkgBase()] {
+		return
+	}
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				rs, ok := n.(*ast.RangeStmt)
+				if !ok {
+					return true
+				}
+				t := p.Info.TypeOf(rs.X)
+				if t == nil {
+					return true
+				}
+				if _, isMap := t.Underlying().(*types.Map); !isMap {
+					return true
+				}
+				if rs.Key == nil && rs.Value == nil {
+					return true // `for range m` cannot observe order
+				}
+				if !disableSortedKeysExemption && sortedKeyCollection(p, rs, fd.Body) {
+					return true
+				}
+				if commutingMapWrites(p, rs) {
+					return true
+				}
+				p.Reportf(rs.For, "range over map %s has nondeterministic iteration order on a deterministic path; collect the keys into a slice and sort it, or iterate a sorted index", types.ExprString(rs.X))
+				return true
+			})
+		}
+	}
+}
+
+// sortedKeyCollection reports whether the range body only appends to
+// slice variables declared outside the loop, every one of which is
+// later (after the loop, in the same function body) passed to a sort or
+// slices call. That pairing makes the map's random visit order
+// unobservable: the collected contents are order-canonicalized before
+// anything reads them.
+func sortedKeyCollection(p *Pass, rs *ast.RangeStmt, enclosing *ast.BlockStmt) bool {
+	targets := map[types.Object]bool{}
+	for _, st := range rs.Body.List {
+		as, ok := st.(*ast.AssignStmt)
+		if !ok || as.Tok != token.ASSIGN || len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+			return false
+		}
+		lhs, ok := as.Lhs[0].(*ast.Ident)
+		if !ok {
+			return false
+		}
+		call, ok := as.Rhs[0].(*ast.CallExpr)
+		if !ok || len(call.Args) < 2 {
+			return false
+		}
+		fn, ok := call.Fun.(*ast.Ident)
+		if !ok || fn.Name != "append" {
+			return false
+		}
+		if b, ok := p.Info.Uses[fn].(*types.Builtin); !ok || b.Name() != "append" {
+			return false
+		}
+		first, ok := call.Args[0].(*ast.Ident)
+		if !ok || first.Name != lhs.Name {
+			return false
+		}
+		obj := p.Info.Uses[lhs]
+		if obj == nil {
+			return false
+		}
+		targets[obj] = true
+	}
+	if len(targets) == 0 {
+		return false
+	}
+	sorted := map[types.Object]bool{}
+	ast.Inspect(enclosing, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < rs.End() {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		pkgIdent, ok := sel.X.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		pn, ok := p.Info.Uses[pkgIdent].(*types.PkgName)
+		if !ok {
+			return true
+		}
+		if path := pn.Imported().Path(); path != "sort" && path != "slices" {
+			return true
+		}
+		for _, a := range call.Args {
+			id, ok := a.(*ast.Ident)
+			if !ok {
+				continue
+			}
+			if obj := p.Info.Uses[id]; obj != nil && targets[obj] {
+				sorted[obj] = true
+			}
+		}
+		return true
+	})
+	for obj := range targets {
+		if !sorted[obj] {
+			return false
+		}
+	}
+	return true
+}
+
+// commutingMapWrites reports whether every statement of the range body
+// assigns through (or deletes) a map index whose index expression is
+// exactly the iteration key. Map keys are unique, so each iteration
+// touches a distinct entry of the destination map and the loop's effect
+// is independent of visit order.
+func commutingMapWrites(p *Pass, rs *ast.RangeStmt) bool {
+	key, ok := rs.Key.(*ast.Ident)
+	if !ok || key.Name == "_" {
+		return false
+	}
+	keyObj := p.Info.Defs[key]
+	if keyObj == nil {
+		keyObj = p.Info.Uses[key]
+	}
+	if keyObj == nil {
+		return false
+	}
+	isKey := func(e ast.Expr) bool {
+		id, ok := e.(*ast.Ident)
+		if !ok {
+			return false
+		}
+		obj := p.Info.Uses[id]
+		return obj != nil && obj == keyObj
+	}
+	mapIndexedByKey := func(e ast.Expr) bool {
+		ix, ok := e.(*ast.IndexExpr)
+		if !ok {
+			return false
+		}
+		t := p.Info.TypeOf(ix.X)
+		if t == nil {
+			return false
+		}
+		if _, isMap := t.Underlying().(*types.Map); !isMap {
+			return false
+		}
+		return isKey(ix.Index)
+	}
+	if len(rs.Body.List) == 0 {
+		return false
+	}
+	for _, st := range rs.Body.List {
+		switch st := st.(type) {
+		case *ast.AssignStmt:
+			if st.Tok != token.ASSIGN {
+				return false
+			}
+			for _, lhs := range st.Lhs {
+				if !mapIndexedByKey(lhs) {
+					return false
+				}
+			}
+		case *ast.ExprStmt:
+			call, ok := st.X.(*ast.CallExpr)
+			if !ok || len(call.Args) != 2 {
+				return false
+			}
+			fn, ok := call.Fun.(*ast.Ident)
+			if !ok {
+				return false
+			}
+			if b, ok := p.Info.Uses[fn].(*types.Builtin); !ok || b.Name() != "delete" {
+				return false
+			}
+			if !isKey(call.Args[1]) {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,30 @@
+// Package partition mimics a hot-path package on the bannedcall
+// deny-list (scope is matched on the final import-path segment).
+package partition
+
+import (
+	"fmt"
+	"reflect"
+)
+
+// CacheKey is the exact shape the varint countsKey replaced.
+func CacheKey(counts []int) string {
+	return fmt.Sprintf("%v", counts) // want bannedcall "call to fmt.Sprintf is banned in package partition"
+}
+
+func SprintKey(v int) string {
+	return fmt.Sprint(v) // want bannedcall "call to fmt.Sprint is banned in package partition"
+}
+
+func SameSlice(a, b []int) bool {
+	return reflect.DeepEqual(a, b) // want bannedcall "call to reflect.DeepEqual is banned in package partition"
+}
+
+// ErrorfIsAllowed: only the Sprint* family is on the list.
+func ErrorfIsAllowed(v int) error {
+	return fmt.Errorf("partition: bad part %d", v)
+}
+
+func Suppressed(v int) string {
+	return fmt.Sprintln(v) //noclint:ignore bannedcall cold debug helper, never on the sweep path
+}

@@ -1,0 +1,11 @@
+// Package core exercises the framework's directive validation: a bad
+// suppression must fail loudly instead of silently masking findings.
+package core
+
+func placeholder() int { return 0 }
+
+/* want noclint "malformed directive" */ //noclint:ignore
+
+/* want noclint "has no reason" */ //noclint:ignore maprange
+
+/* want noclint "unknown analyzer" */ //noclint:ignore nosuchcheck because it sounded plausible

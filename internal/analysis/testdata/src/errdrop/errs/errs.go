@@ -1,0 +1,65 @@
+// Package errs exercises errdrop.
+package errs
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"strings"
+)
+
+func fallible() error { return errors.New("boom") }
+
+func twoResults() (int, error) { return 0, errors.New("boom") }
+
+func DropCallStatement() {
+	fallible() // want errdrop "error result of fallible is silently discarded"
+}
+
+func DropBlankAssign() {
+	_ = fallible() // want errdrop "error result of fallible is assigned to _"
+}
+
+func DropSecondResult() int {
+	n, _ := twoResults() // want errdrop "error result of twoResults is assigned to _"
+
+	return n
+}
+
+func DropPairwise() {
+	err := fallible()
+
+	_ = err // want errdrop "error value err is assigned to _"
+}
+
+func JustifiedByComment() {
+	// Best-effort: the result is already committed at this point.
+	fallible()
+}
+
+func SuppressedByDirective() {
+	_ = fallible() //noclint:ignore errdrop the directive form works here too
+}
+
+func ExcludedPrinters(buf *bytes.Buffer, sb *strings.Builder) {
+	fmt.Println("to stdout, nowhere to report a failure")
+	fmt.Fprintf(buf, "in-memory buffer never fails")
+	fmt.Fprintln(os.Stderr, "stderr is the error channel itself")
+	buf.WriteString("always-nil error by contract")
+	sb.WriteByte('x')
+	_, _ = fmt.Println("blank-assigned printer result is fine too")
+}
+
+func FprintfToRealWriterStillCounts(f *os.File) {
+	fmt.Fprintf(f, "a real file can fail") // want errdrop "error result of fmt.Fprintf is silently discarded"
+}
+
+func HandledIsFine() error {
+	if err := fallible(); err != nil {
+		return err
+	}
+	n, err := twoResults()
+	_ = n
+	return err
+}

@@ -1,0 +1,44 @@
+// Package floats exercises floateq; the analyzer is unscoped, so the
+// package name does not matter.
+package floats
+
+// Eq64 is the canonical miss.
+func Eq64(a, b float64) bool {
+	return a == b // want floateq "== between float operands"
+}
+
+// Neq32 covers float32 and !=.
+func Neq32(a, b float32) bool {
+	return a != b // want floateq "!= between float operands"
+}
+
+// MixedConst has one constant operand: still flagged (the variable side
+// carries rounding).
+func MixedConst(a float64) bool {
+	return a == 1.5 // want floateq "== between float operands"
+}
+
+const half = 0.5
+
+// ConstFolded compares two compile-time constants: exact by
+// construction, exempt.
+func ConstFolded() bool {
+	return half == 0.5
+}
+
+// Ints are exact: exempt.
+func Ints(a, b int) bool {
+	return a == b
+}
+
+// Celsius is a defined float type: its underlying kind is what counts.
+type Celsius float64
+
+func NamedFloat(a, b Celsius) bool {
+	return a != b // want floateq "!= between float operands"
+}
+
+// Suppressed shows the trailing-directive form.
+func Suppressed(a, b float64) bool {
+	return a == b //noclint:ignore floateq exact comparison is the contract under test
+}

@@ -1,0 +1,82 @@
+// Package core mimics a deterministic-path package (scope is matched
+// on the final import-path segment).
+package core
+
+import "sort"
+
+// CollectValues appends map values but never sorts them: flagged.
+func CollectValues(m map[int]string) []string {
+	var out []string
+	for _, v := range m { // want maprange "range over map m"
+		out = append(out, v)
+	}
+	return out
+}
+
+// SortedKeys is the blessed idiom (internal/soc/usecase.go:88): the
+// keys are collected and then order-canonicalized by a sort.
+func SortedKeys(m map[int]string) []int {
+	keys := make([]int, 0, len(m))
+	for k := range m { // exempt: keys collected, sorted below
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	return keys
+}
+
+// SortedViaSlice exercises sort.Slice (the key slice is the first
+// argument, not the only one).
+func SortedViaSlice(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m { // exempt: keys collected, sorted below
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(a, b int) bool { return keys[a] < keys[b] })
+	return keys
+}
+
+// CopyEntries only writes dst at the iteration key: every iteration
+// touches a distinct entry, so the loop commutes.
+func CopyEntries(src, dst map[int]int) {
+	for k, v := range src { // exempt: per-key writes commute
+		dst[k] = v + 1
+	}
+}
+
+// DropEntries deletes at the iteration key: commutes.
+func DropEntries(src map[int]bool, dst map[int]int) {
+	for k := range src { // exempt: per-key deletes commute
+		delete(dst, k)
+	}
+}
+
+// Accumulate folds values in visit order: flagged (float accumulation
+// order changes the rounded sum).
+func Accumulate(m map[int]float64) float64 {
+	var s float64
+	for _, v := range m { // want maprange "range over map m"
+		s += v
+	}
+	return s
+}
+
+// CountOnly cannot observe iteration order: exempt.
+func CountOnly(m map[int]int) int {
+	n := 0
+	for range m {
+		n++
+	}
+	return n
+}
+
+// Suppressed shows the directive on the line above the loop.
+func Suppressed(m map[int]int) int {
+	best := 0
+	//noclint:ignore maprange max over keys is order-independent even if the checker cannot prove it
+	for k := range m {
+		if k > best {
+			best = k
+		}
+	}
+	return best
+}

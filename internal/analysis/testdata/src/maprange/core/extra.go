@@ -1,0 +1,22 @@
+package core
+
+// second file of the package: diagnostics must surface from every file.
+
+// WriteAtValue writes dst indexed by the VALUE, not the key: two keys
+// may share a value, so iterations collide and order matters. Flagged.
+func WriteAtValue(src map[int]int, dst map[int]int) {
+	for _, v := range src { // want maprange "range over map src"
+		dst[v] = v
+	}
+}
+
+// NestedInClosure is found inside function literals too.
+func NestedInClosure(m map[int]int) func() int {
+	return func() int {
+		s := 0
+		for _, v := range m { // want maprange "range over map m"
+			s += v
+		}
+		return s
+	}
+}

@@ -1,0 +1,11 @@
+// Package helpers is NOT a deterministic-path package: maprange stays
+// silent here no matter what the loops do.
+package helpers
+
+func Values(m map[int]string) []string {
+	var out []string
+	for _, v := range m {
+		out = append(out, v)
+	}
+	return out
+}

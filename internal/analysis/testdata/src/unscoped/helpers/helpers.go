@@ -1,0 +1,24 @@
+// Package helpers sits outside every analyzer scope: the scoped checks
+// (maprange, wallclock, bannedcall) must all stay silent here, and the
+// unscoped ones (floateq, errdrop) have nothing to object to.
+package helpers
+
+import (
+	"fmt"
+	"reflect"
+	"time"
+)
+
+func Values(m map[int]string) []string {
+	var out []string
+	for _, v := range m {
+		out = append(out, v)
+	}
+	return out
+}
+
+func Stamp() time.Time { return time.Now() }
+
+func Key(counts []int) string { return fmt.Sprintf("%v", counts) }
+
+func Same(a, b []int) bool { return reflect.DeepEqual(a, b) }

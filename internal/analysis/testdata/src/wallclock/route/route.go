@@ -1,0 +1,29 @@
+// Package route mimics a synthesis-path package (scope is matched on
+// the final import-path segment).
+package route
+
+import (
+	"math/rand" // want wallclock "import of math/rand"
+	"time"
+)
+
+func Stamp() time.Time {
+	return time.Now() // want wallclock "time.Now in a synthesis-path package"
+}
+
+func Elapsed(t0 time.Time) time.Duration {
+	return time.Since(t0) // want wallclock "time.Since in a synthesis-path package"
+}
+
+func Remaining(deadline time.Time) time.Duration {
+	return time.Until(deadline) // want wallclock "time.Until in a synthesis-path package"
+}
+
+// DurationMathIsFine: only the wall-clock readers are flagged.
+func DurationMathIsFine(d time.Duration) time.Duration {
+	return 2*d + time.Millisecond
+}
+
+func Roll() int {
+	return rand.Intn(6)
+}

@@ -1,0 +1,12 @@
+package route
+
+import (
+	//noclint:ignore wallclock generator is explicitly seeded by the caller; no process-global state
+	"math/rand"
+)
+
+// Seeded threads an explicit seed: the import directive documents why
+// this file may touch math/rand at all.
+func Seeded(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}

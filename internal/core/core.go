@@ -91,7 +91,7 @@ type Options struct {
 }
 
 func (o Options) alpha() float64 {
-	if o.Alpha == 0 {
+	if o.Alpha == 0 { //noclint:ignore floateq 0 is the documented unset sentinel for Alpha
 		return vcg.DefaultAlpha
 	}
 	return o.Alpha
@@ -420,7 +420,7 @@ func IslandClocks(spec *soc.Spec, lib *model.Library) (freqs []float64, maxSizes
 	return freqs, maxSizes, nil
 }
 
-/// countsKey encodes a switch-count vector into a compact map key. Each
+// countsKey encodes a switch-count vector into a compact map key. Each
 // element is appended as a uvarint; varints are prefix codes, so the
 // concatenation of two distinct vectors can never collide. Unlike the
 // fmt.Sprint key it replaces, it performs no reflection and allocates
@@ -600,7 +600,7 @@ func (r *Result) argmin(metric func(*DesignPoint) float64) *DesignPoint {
 		switch {
 		case d.WireViolations != bestViol:
 			better = d.WireViolations < bestViol
-		case v != bestVal:
+		case v != bestVal: //noclint:ignore floateq exact compare keeps the argmin tie-break chain bit-identical across serial and parallel sweeps
 			better = v < bestVal
 		case best != nil && totalSwitches(d) != totalSwitches(best):
 			better = totalSwitches(d) < totalSwitches(best)

@@ -31,10 +31,10 @@ func Front(points []Point) []Point {
 	}
 	sorted := append([]Point(nil), points...)
 	sort.SliceStable(sorted, func(i, j int) bool {
-		if sorted[i].X != sorted[j].X {
+		if sorted[i].X != sorted[j].X { //noclint:ignore floateq exact sort tie-break; any epsilon would make the order intransitive
 			return sorted[i].X < sorted[j].X
 		}
-		if sorted[i].Y != sorted[j].Y {
+		if sorted[i].Y != sorted[j].Y { //noclint:ignore floateq exact sort tie-break; any epsilon would make the order intransitive
 			return sorted[i].Y < sorted[j].Y
 		}
 		return sorted[i].Index < sorted[j].Index
@@ -44,7 +44,7 @@ func Front(points []Point) []Point {
 	for i, p := range sorted {
 		if i == 0 || p.Y < bestY {
 			// Skip exact duplicates of the previous front point.
-			if len(front) > 0 && front[len(front)-1].X == p.X && front[len(front)-1].Y == p.Y {
+			if len(front) > 0 && front[len(front)-1].X == p.X && front[len(front)-1].Y == p.Y { //noclint:ignore floateq deliberately drops exact duplicates only; near-equal points stay on the front
 				continue
 			}
 			front = append(front, p)
@@ -79,10 +79,10 @@ func Knee(front []Point) Point {
 	}
 	dx := maxX - minX
 	dy := maxY - minY
-	if dx == 0 {
+	if dx == 0 { //noclint:ignore floateq exact zero extent guards the normalization division
 		dx = 1
 	}
-	if dy == 0 {
+	if dy == 0 { //noclint:ignore floateq exact zero extent guards the normalization division
 		dy = 1
 	}
 	best := front[0]

@@ -128,7 +128,7 @@ func bisect(g *graph.Undirected, vertices []int, sizeA int, opt Options) []bool 
 				wd += w
 			}
 		})
-		if wd > best || (wd == best && vertices[i] < vertices[seed]) {
+		if wd > best || (wd == best && vertices[i] < vertices[seed]) { //noclint:ignore floateq exact tie-break on weighted degree keeps seed selection deterministic
 			best = wd
 			seed = i
 		}
@@ -148,7 +148,7 @@ func bisect(g *graph.Undirected, vertices []int, sizeA int, opt Options) []bool 
 			if side[i] {
 				continue
 			}
-			if attract[i] > bestW || (attract[i] == bestW && pick >= 0 && vertices[i] < vertices[pick]) {
+			if attract[i] > bestW || (attract[i] == bestW && pick >= 0 && vertices[i] < vertices[pick]) { //noclint:ignore floateq exact tie-break on attraction keeps growth order deterministic
 				bestW = attract[i]
 				pick = i
 			}
@@ -223,7 +223,7 @@ func fmSwapPass(g *graph.Undirected, vertices []int, idxOf map[int]int, side []b
 					continue
 				}
 				gain := d[i] + d[j] - 2*weightBetween(g, vertices[i], vertices[j])
-				if gain > bestGain ||
+				if gain > bestGain || //noclint:ignore floateq exact tie-break on KL gain keeps swap selection deterministic
 					(gain == bestGain && (bi == -1 || vertices[i] < vertices[bi] || (vertices[i] == vertices[bi] && vertices[j] < vertices[bj]))) {
 					bestGain = gain
 					bi, bj = i, j
@@ -320,7 +320,7 @@ func Sizes(part []int, k int) []int {
 	size := make([]int, k)
 	for _, p := range part {
 		if p < 0 || p >= k {
-			panic(fmt.Sprintf("partition: part id %d out of range [0,%d)", p, k))
+			panic(fmt.Sprintf("partition: part id %d out of range [0,%d)", p, k)) //noclint:ignore bannedcall cold-path validation panic, not a cache key
 		}
 		size[p]++
 	}

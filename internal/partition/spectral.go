@@ -60,7 +60,7 @@ func spectralRecurse(g *graph.Undirected, vertices []int, k, base int, part []in
 		idx[i] = i
 	}
 	sortByKey(idx, func(a, b int) bool {
-		if fiedler[a] != fiedler[b] {
+		if fiedler[a] != fiedler[b] { //noclint:ignore floateq exact sort tie-break on the Fiedler vector; epsilon would break transitivity
 			return fiedler[a] < fiedler[b]
 		}
 		return vertices[a] < vertices[b]

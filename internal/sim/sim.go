@@ -124,7 +124,7 @@ type eventHeap []event
 
 func (h eventHeap) Len() int { return len(h) }
 func (h eventHeap) Less(i, j int) bool {
-	if h[i].time != h[j].time {
+	if h[i].time != h[j].time { //noclint:ignore floateq exact heap tie-break keeps event order deterministic
 		return h[i].time < h[j].time
 	}
 	return h[i].flow < h[j].flow

@@ -35,7 +35,7 @@ func RunTraced(top *topology.Topology, cfg Config) (*Result, *Trace, error) {
 		return nil, nil, err
 	}
 	sort.SliceStable(tr.Packets, func(i, j int) bool {
-		if tr.Packets[i].InjectNs != tr.Packets[j].InjectNs {
+		if tr.Packets[i].InjectNs != tr.Packets[j].InjectNs { //noclint:ignore floateq exact sort tie-break keeps trace order deterministic
 			return tr.Packets[i].InjectNs < tr.Packets[j].InjectNs
 		}
 		if tr.Packets[i].Src != tr.Packets[j].Src {

@@ -295,7 +295,7 @@ func (s *Spec) MaxFlowBandwidth() float64 {
 func (s *Spec) MinLatencyConstraint() float64 {
 	min := 0.0
 	for _, f := range s.Flows {
-		if f.MaxLatencyCycles > 0 && (min == 0 || f.MaxLatencyCycles < min) {
+		if f.MaxLatencyCycles > 0 && (min == 0 || f.MaxLatencyCycles < min) { //noclint:ignore floateq 0 is the documented no-constraint sentinel, set only from the zero value
 			min = f.MaxLatencyCycles
 		}
 	}
@@ -343,7 +343,7 @@ func (s *Spec) MergedSingleIsland() *Spec {
 func (s *Spec) SortFlowsByBandwidth() []Flow {
 	out := append([]Flow(nil), s.Flows...)
 	sort.SliceStable(out, func(i, j int) bool {
-		if out[i].BandwidthBps != out[j].BandwidthBps {
+		if out[i].BandwidthBps != out[j].BandwidthBps { //noclint:ignore floateq exact tie-break fixes the paper's step-15 routing order
 			return out[i].BandwidthBps > out[j].BandwidthBps
 		}
 		if out[i].Src != out[j].Src {

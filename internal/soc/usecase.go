@@ -75,7 +75,7 @@ func MergeUseCases(base *Spec, cases ...UseCase) (*Spec, error) {
 			if f.BandwidthBps > a.bw {
 				a.bw = f.BandwidthBps
 			}
-			if f.MaxLatencyCycles > 0 && (a.lat == 0 || f.MaxLatencyCycles < a.lat) {
+			if f.MaxLatencyCycles > 0 && (a.lat == 0 || f.MaxLatencyCycles < a.lat) { //noclint:ignore floateq 0 is the documented no-constraint sentinel, set only from the zero value
 				a.lat = f.MaxLatencyCycles
 			}
 			merged[k] = a

@@ -13,6 +13,7 @@ import (
 
 	"nocvi/internal/deadlock"
 	"nocvi/internal/floorplan"
+	"nocvi/internal/num"
 	"nocvi/internal/power"
 	"nocvi/internal/sim"
 	"nocvi/internal/soc"
@@ -62,7 +63,7 @@ type Report struct {
 // OK reports overall sign-off: structurally valid, deadlock free, every
 // gateable island verified, no capacity overruns.
 func (r *Report) OK() bool {
-	if r.Structural != nil || !r.Deadlock.Free() || r.MaxUtilization > 1+1e-9 {
+	if r.Structural != nil || !r.Deadlock.Free() || !num.Leq(r.MaxUtilization, 1) {
 		return false
 	}
 	for _, isl := range r.Islands {
@@ -172,7 +173,7 @@ func RoundTripUtilization(top *topology.Topology) float64 {
 	}
 	var worst float64
 	for i, l := range top.Links {
-		if math.Abs(traffic[i]-l.TrafficBps) > 1e-6 {
+		if !num.Within(traffic[i], l.TrafficBps, 1e-6) {
 			return math.Inf(1) // bookkeeping broken
 		}
 		if l.CapacityBps > 0 {

@@ -204,7 +204,7 @@ func IntraIslandBandwidth(spec *soc.Spec) float64 {
 			intra += f.BandwidthBps
 		}
 	}
-	if total == 0 {
+	if total == 0 { //noclint:ignore floateq exact zero total guards the ratio division
 		return 0
 	}
 	return intra / total

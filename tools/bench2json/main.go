@@ -150,7 +150,7 @@ func deltas(base, cur map[string]result) map[string]delta {
 	out := make(map[string]delta)
 	for name, b := range base {
 		c, ok := cur[name]
-		if !ok || c.NsPerOp == 0 {
+		if !ok || c.NsPerOp == 0 { //noclint:ignore floateq exact zero ns/op guards the speedup division
 			continue
 		}
 		d := delta{NsSpeedup: round2(b.NsPerOp / c.NsPerOp)}
