@@ -36,13 +36,21 @@ test:
 race:
 	$(GO) test -race ./...
 
-# bench re-measures the routing fast path and folds the numbers into
-# BENCH_routing.json next to the preserved pre-optimization baseline.
+# bench re-measures the routing fast path and the full synthesis sweep,
+# folding the numbers into BENCH_routing.json and BENCH_synthesize.json
+# next to their preserved pre-optimization baselines.
 bench:
-	$(GO) test -bench='RouteAll|SynthesizeParallel' -benchmem -run='^$$' . | $(GO) run ./tools/bench2json -o BENCH_routing.json
+	$(GO) test -bench=RouteAll -benchmem -run='^$$' . | $(GO) run ./tools/bench2json -o BENCH_routing.json
+	$(GO) test -bench=SynthesizeParallel -benchmem -run='^$$' . | $(GO) run ./tools/bench2json -o BENCH_synthesize.json
 
+# bench-smoke keeps the benchmarks runnable and pins the parallel
+# efficiency floor on the largest suite: the widest workers variant must
+# never be materially slower than workers=1 (0.6 tolerates single-run
+# noise on a single-core machine; real regressions — a reintroduced
+# contention point — push the ratio far below it).
 bench-smoke:
 	$(GO) test -bench=RouteAll -benchtime=1x -benchmem -run='^$$' .
+	$(GO) test -bench='SynthesizeParallel/d48_network' -benchtime=3x -benchmem -run='^$$' . | $(GO) run ./tools/bench2json -o '' -floor 0.6
 
 bench-all:
 	$(GO) test -bench=. -benchmem -run='^$$' ./...

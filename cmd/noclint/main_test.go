@@ -4,6 +4,8 @@ import (
 	"bytes"
 	"strings"
 	"testing"
+
+	"nocvi/internal/analysis"
 )
 
 func runNoclint(t *testing.T, args ...string) (stdout, stderr string, code int) {
@@ -86,5 +88,42 @@ func TestMissingModuleExitsTwo(t *testing.T) {
 	}
 	if !strings.Contains(errOut, "noclint:") {
 		t.Fatalf("stderr should carry the load error, got:\n%s", errOut)
+	}
+}
+
+// TestRunIsOrderDeterministic pins that the worker-pool analyzer pass
+// yields byte-identical reports across repeated runs: the final sort in
+// analysis.Run, not goroutine scheduling, decides the output order.
+func TestRunIsOrderDeterministic(t *testing.T) {
+	first, _, code := runNoclint(t, "-C", "testdata/fixturemod", "./...")
+	if code != 1 {
+		t.Fatalf("exit code = %d, want 1", code)
+	}
+	for i := 0; i < 5; i++ {
+		out, _, _ := runNoclint(t, "-C", "testdata/fixturemod", "./...")
+		if out != first {
+			t.Fatalf("run %d diverged from run 0:\n--- first ---\n%s\n--- now ---\n%s", i+1, first, out)
+		}
+	}
+}
+
+// BenchmarkAnalyzeModule measures the wall-clock of the analyzer pass
+// itself — every registered analyzer over every package of the real
+// module, packages fanned out to the worker pool — with loading and
+// type-checking kept outside the timed loop.
+func BenchmarkAnalyzeModule(b *testing.B) {
+	loader, err := analysis.NewLoader("../..")
+	if err != nil {
+		b.Fatal(err)
+	}
+	pkgs, err := loader.LoadPatterns("./...")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if diags := analysis.Run(pkgs, analysis.Analyzers); len(diags) != 0 {
+			b.Fatalf("tree not clean: %d findings", len(diags))
+		}
 	}
 }

@@ -31,8 +31,11 @@ import (
 	"go/token"
 	"go/types"
 	"path"
+	"runtime"
 	"sort"
 	"strings"
+	"sync"
+	"sync/atomic"
 )
 
 // An Analyzer is one named check. Run inspects a single package via the
@@ -87,6 +90,13 @@ var Analyzers = []*Analyzer{MapRange, FloatEq, ErrDrop, WallClock, BannedCall}
 // Run executes every analyzer over every package, filters findings
 // through //noclint:ignore directives, and returns the survivors sorted
 // by file, line, column, analyzer and message.
+//
+// Packages are analyzed concurrently by a worker pool bounded at
+// GOMAXPROCS: analyzer passes over distinct packages are independent
+// (analyzers only read shared tables, token.FileSet position lookups
+// are concurrency-safe, and each package's types.Info is immutable
+// after loading), and the final total-order sort makes the output
+// independent of execution order.
 func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 	// Directives are validated against the full registered suite, not
 	// just the analyzers of this run: a directive naming a real but
@@ -98,27 +108,36 @@ func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 	for _, a := range analyzers {
 		known[a.Name] = true
 	}
+	perPkg := make([][]Diagnostic, len(pkgs))
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(pkgs) {
+		workers = len(pkgs)
+	}
+	if workers <= 1 {
+		for i, pkg := range pkgs {
+			perPkg[i] = runPackage(pkg, analyzers, known)
+		}
+	} else {
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					i := int(next.Add(1)) - 1
+					if i >= len(pkgs) {
+						return
+					}
+					perPkg[i] = runPackage(pkgs[i], analyzers, known)
+				}
+			}()
+		}
+		wg.Wait()
+	}
 	var all []Diagnostic
-	for _, pkg := range pkgs {
-		var diags []Diagnostic
-		for _, a := range analyzers {
-			a.Run(&Pass{
-				Analyzer: a,
-				Fset:     pkg.Fset,
-				Files:    pkg.Files,
-				PkgPath:  pkg.Path,
-				Pkg:      pkg.Types,
-				Info:     pkg.Info,
-				diags:    &diags,
-			})
-		}
-		dirs, bad := parseDirectives(pkg, known)
-		all = append(all, bad...)
-		for _, d := range diags {
-			if !dirs.suppresses(d) {
-				all = append(all, d)
-			}
-		}
+	for _, d := range perPkg {
+		all = append(all, d...)
 	}
 	sort.Slice(all, func(i, j int) bool {
 		a, b := all[i], all[j]
@@ -137,6 +156,33 @@ func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 		return a.Message < b.Message
 	})
 	return all
+}
+
+// runPackage applies every analyzer to one package and filters the
+// findings through the package's suppression directives. It touches no
+// shared mutable state, which is what lets Run fan packages out to
+// workers.
+func runPackage(pkg *Package, analyzers []*Analyzer, known map[string]bool) []Diagnostic {
+	var diags []Diagnostic
+	for _, a := range analyzers {
+		a.Run(&Pass{
+			Analyzer: a,
+			Fset:     pkg.Fset,
+			Files:    pkg.Files,
+			PkgPath:  pkg.Path,
+			Pkg:      pkg.Types,
+			Info:     pkg.Info,
+			diags:    &diags,
+		})
+	}
+	dirs, bad := parseDirectives(pkg, known)
+	out := bad
+	for _, d := range diags {
+		if !dirs.suppresses(d) {
+			out = append(out, d)
+		}
+	}
+	return out
 }
 
 // directiveKey identifies one source line of one file.

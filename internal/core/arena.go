@@ -1,0 +1,76 @@
+package core
+
+import (
+	"nocvi/internal/floorplan"
+	"nocvi/internal/graph"
+	"nocvi/internal/model"
+	"nocvi/internal/route"
+	"nocvi/internal/soc"
+	"nocvi/internal/topology"
+)
+
+// sweepEnv is the read-only context shared by every worker of one
+// synthesis sweep: the spec, the library, the step-1/2 outcomes and the
+// pre-sorted flow list. Workers never write through it.
+type sweepEnv struct {
+	spec        *soc.Spec
+	lib         *model.Library
+	opt         Options
+	freqs       []float64
+	midFreq     float64
+	islandCores [][]soc.CoreID
+	flows       []soc.Flow // decreasing-bandwidth order, shared read-only
+}
+
+// buildContext is one worker's reusable build arena: the pooled
+// topology under construction, the router (with its subgraph cache and
+// pinned Dijkstra scratch) and the floorplanner's scratch buffers, all
+// recycled across the candidates the worker evaluates. One buildContext
+// must not be used by two goroutines concurrently.
+//
+// The reset discipline that keeps reuse invisible: the topology is
+// Reset before every build and surrendered (bc.top = nil) the moment it
+// escapes into a DesignPoint, so published results never alias arena
+// storage; the router's Reset re-targets it at the fresh topology with
+// semantics identical to route.New; the floorplan scratch only ever
+// holds temporaries that die inside one Place call. Every candidate
+// therefore observes exactly the state a fresh allocation would give
+// it, which is what keeps the sweep bit-identical to the serial,
+// arena-free path.
+type buildContext struct {
+	env *sweepEnv
+
+	top     *topology.Topology // nil until first use or after handoff
+	router  *route.Router      // nil until first use
+	scratch graph.Scratch      // pinned to router, replaces pool traffic
+	fp      floorplan.Scratch
+}
+
+// newBuildContext creates an empty arena for one worker. Buffers grow
+// on first use and stabilize after the first candidate.
+func newBuildContext(env *sweepEnv) *buildContext {
+	return &buildContext{env: env}
+}
+
+// takeTop returns a topology ready for construction: the pooled one
+// reset in place, or a fresh allocation when the previous build's
+// topology escaped into a design point.
+func (bc *buildContext) takeTop() *topology.Topology {
+	if bc.top == nil {
+		bc.top = topology.New(bc.env.spec, bc.env.lib)
+	} else {
+		bc.top.Reset()
+	}
+	return bc.top
+}
+
+// takeRouter returns the arena's router re-targeted at top.
+func (bc *buildContext) takeRouter(top *topology.Topology) *route.Router {
+	if bc.router == nil {
+		bc.router = route.New(top, bc.env.opt.Router)
+		bc.router.SetScratch(&bc.scratch)
+	} else {
+		bc.router.Reset(top)
+	}
+	return bc.router
+}

@@ -1,0 +1,202 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"runtime"
+	"testing"
+	"time"
+
+	"nocvi/internal/bench"
+	"nocvi/internal/model"
+	"nocvi/internal/soc"
+	"nocvi/internal/vcg"
+)
+
+// newTestSweep mirrors SynthesizeContext's setup up to the sweep
+// itself, exposing the environment, partitioner and candidate list so
+// tests can drive buildPoint directly.
+func newTestSweep(t *testing.T, spec *soc.Spec, lib *model.Library, opt Options) (*sweepEnv, *partitioner, []candidate) {
+	t.Helper()
+	freqs, maxSizes, err := IslandClocks(spec, lib)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nIsl := len(spec.Islands)
+	minSw := make([]int, nIsl)
+	islandCores := make([][]soc.CoreID, nIsl)
+	maxCores := 0
+	for j := 0; j < nIsl; j++ {
+		islandCores[j] = spec.CoresIn(soc.IslandID(j))
+		usable := maxSizes[j] - 1
+		if usable < 1 {
+			t.Fatalf("island %d infeasible", j)
+		}
+		minSw[j] = (len(islandCores[j]) + usable - 1) / usable
+		if minSw[j] < 1 {
+			minSw[j] = 1
+		}
+		if len(islandCores[j]) > maxCores {
+			maxCores = len(islandCores[j])
+		}
+	}
+	vcgs, err := vcg.BuildAll(spec, opt.alpha())
+	if err != nil {
+		t.Fatal(err)
+	}
+	maxMid := opt.MaxIntermediateSwitches
+	if maxMid <= 0 {
+		maxMid = maxCores
+	}
+	if !opt.AllowIntermediate {
+		maxMid = 0
+	}
+	midFreq := lib.FreqGridHz
+	for _, f := range freqs {
+		if f > midFreq {
+			midFreq = f
+		}
+	}
+	env := &sweepEnv{
+		spec:        spec,
+		lib:         lib,
+		opt:         opt,
+		freqs:       freqs,
+		midFreq:     midFreq,
+		islandCores: islandCores,
+		flows:       spec.SortFlowsByBandwidth(),
+	}
+	parter := newPartitioner(vcgs, maxSizes, opt)
+	return env, parter, enumerateCandidates(minSw, islandCores, maxCores, maxMid)
+}
+
+// sameBuiltPoint asserts two independently built design points are
+// bit-identical in every observable: configuration, metrics, the full
+// topology (switches with their core lists, links, routes hop by hop)
+// and the full placement.
+func sameBuiltPoint(t *testing.T, label string, a, b *DesignPoint) {
+	t.Helper()
+	if !reflect.DeepEqual(a.SwitchCounts, b.SwitchCounts) || a.MidSwitches != b.MidSwitches {
+		t.Fatalf("%s: config differs: %v/%d vs %v/%d",
+			label, a.SwitchCounts, a.MidSwitches, b.SwitchCounts, b.MidSwitches)
+	}
+	if a.NoCPower != b.NoCPower || a.MeanLatencyCycles != b.MeanLatencyCycles ||
+		a.NoCAreaMM2 != b.NoCAreaMM2 || a.WireViolations != b.WireViolations {
+		t.Fatalf("%s: metrics differ:\n%+v\nvs\n%+v", label, *a, *b)
+	}
+	if !reflect.DeepEqual(a.Top.Switches, b.Top.Switches) {
+		t.Fatalf("%s: switches differ:\n%v\nvs\n%v", label, a.Top.Switches, b.Top.Switches)
+	}
+	if !reflect.DeepEqual(a.Top.Links, b.Top.Links) {
+		t.Fatalf("%s: links differ:\n%v\nvs\n%v", label, a.Top.Links, b.Top.Links)
+	}
+	if !reflect.DeepEqual(a.Top.Routes, b.Top.Routes) {
+		t.Fatalf("%s: routes differ:\n%v\nvs\n%v", label, a.Top.Routes, b.Top.Routes)
+	}
+	if !reflect.DeepEqual(a.Top.SwitchOf, b.Top.SwitchOf) {
+		t.Fatalf("%s: core attachment differs", label)
+	}
+	if !reflect.DeepEqual(a.Placement, b.Placement) {
+		t.Fatalf("%s: placements differ:\n%+v\nvs\n%+v", label, a.Placement, b.Placement)
+	}
+}
+
+// TestArenaNoStateLeak drives one shared buildContext through
+// candidates with different switch-count vectors — the situation where
+// a stale core list, route buffer or subgraph surviving a Reset would
+// corrupt the next build — and checks every point against a build from
+// a fresh, never-used arena. The A-B-A order makes the first candidate
+// also rebuild on an arena dirtied by a differently-shaped one.
+func TestArenaNoStateLeak(t *testing.T) {
+	spec := miniSoC()
+	lib := model.Default65nm()
+	opt := Options{AllowIntermediate: true, MaxIntermediateSwitches: 2}
+	env, parter, cands := newTestSweep(t, spec, lib, opt)
+
+	// Pick one feasible candidate per distinct counts vector, up to
+	// four, then replay the first again (A-B-...-A).
+	var picks []candidate
+	seen := map[*vecParts]bool{}
+	for _, c := range cands {
+		parter.resolve(c.vec)
+		if c.vec.err != nil || seen[c.vec] {
+			continue
+		}
+		seen[c.vec] = true
+		picks = append(picks, c)
+		if len(picks) == 4 {
+			break
+		}
+	}
+	if len(picks) < 2 {
+		t.Fatalf("need at least two distinct feasible counts vectors, got %d", len(picks))
+	}
+	picks = append(picks, picks[0])
+
+	shared := newBuildContext(env)
+	for i, c := range picks {
+		fresh, err := buildPoint(newBuildContext(env), c.vec.counts, c.vec.parts, c.mid)
+		if err != nil {
+			t.Fatalf("pick %d (%v/%d): fresh build failed: %v", i, c.vec.counts, c.mid, err)
+		}
+		reused, err := buildPoint(shared, c.vec.counts, c.vec.parts, c.mid)
+		if err != nil {
+			t.Fatalf("pick %d (%v/%d): arena build failed: %v", i, c.vec.counts, c.mid, err)
+		}
+		sameBuiltPoint(t, "pick "+string(rune('0'+i)), fresh, reused)
+		if fresh.Top == reused.Top {
+			t.Fatal("arena handed out the same topology twice")
+		}
+	}
+}
+
+// TestMidSweepCancellationDrainsWorkers cancels sweeps at racy,
+// unsynchronized moments — before, during and after the worker pool's
+// lifetime — and asserts that every goroutine the sweep spawned has
+// drained afterwards. Run under -race this also exercises the
+// cancellation paths of the chunk coordinator and the atomic claiming
+// loop.
+func TestMidSweepCancellationDrainsWorkers(t *testing.T) {
+	spec, err := bench.Islanded("d26_media")
+	if err != nil {
+		t.Fatal(err)
+	}
+	lib := model.Default65nm()
+	before := runtime.NumGoroutine()
+	for i := 0; i < 8; i++ {
+		ctx, cancel := context.WithCancel(context.Background())
+		done := make(chan error, 1)
+		go func() {
+			_, err := SynthesizeContext(ctx, spec, lib, Options{
+				AllowIntermediate: true,
+				Workers:           8,
+				// A cap forces chunked dispatch, covering the
+				// cancellation checks between chunks too.
+				MaxDesignPoints: 20,
+			})
+			done <- err
+		}()
+		if i%2 == 0 {
+			runtime.Gosched() // let the sweep get going before the cancel
+		}
+		cancel()
+		if err := <-done; err != nil && !errors.Is(err, context.Canceled) {
+			t.Fatalf("iteration %d: want nil or context.Canceled, got %v", i, err)
+		}
+	}
+	// Workers exit via the claiming loop's context check; give the
+	// scheduler a moment, then require the goroutine count back at (or
+	// below) the baseline plus slack for runtime housekeeping.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		runtime.GC()
+		if n := runtime.NumGoroutine(); n <= before+2 {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines did not drain: %d before, %d after", before, runtime.NumGoroutine())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}

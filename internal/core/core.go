@@ -29,6 +29,7 @@ import (
 	"math"
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"nocvi/internal/deadlock"
 	"nocvi/internal/floorplan"
@@ -134,6 +135,11 @@ type DesignPoint struct {
 	// WireViolations counts links exceeding the single-cycle wire
 	// budget after placement.
 	WireViolations int
+
+	// FloorplanOpt records the floorplan options the point was
+	// synthesized with, so RefinePlacement re-floorplans under the same
+	// whitespace/annotation settings instead of zero-value defaults.
+	FloorplanOpt floorplan.Options
 }
 
 // Result is the outcome of a synthesis run.
@@ -235,21 +241,33 @@ func SynthesizeContext(ctx context.Context, spec *soc.Spec, lib *model.Library, 
 	// Steps 4-17, restructured for parallel evaluation: enumerate every
 	// unique (switch-count vector, intermediate-switch count) candidate
 	// in sweep order first, then evaluate buildPoint over a bounded
-	// worker pool, collecting results back in candidate order so the
-	// outcome is identical for every worker count.
+	// worker pool — each worker building inside its own reusable arena —
+	// collecting results back in candidate order so the outcome is
+	// identical for every worker count.
 	cands := enumerateCandidates(res.MinSwitches, islandCores, maxCores, maxMid)
 
 	// Step 11 memoization: the min-cut partition of island j into k
 	// switches depends only on (j, k), so it is computed once and shared
 	// by every mid value and every counts-vector assigning j the same k.
+	// Each counts vector's assembled partition set lives in its vecParts,
+	// resolved on the coordinating goroutine before workers touch it, so
+	// the worker read path is lock-free.
 	parter := newPartitioner(vcgs, maxSizes, opt)
 
-	eval := func(c candidate) *DesignPoint {
-		parts, err := parter.partition(c.counts)
-		if err != nil {
+	env := &sweepEnv{
+		spec:        spec,
+		lib:         lib,
+		opt:         opt,
+		freqs:       freqs,
+		midFreq:     midFreq,
+		islandCores: islandCores,
+		flows:       spec.SortFlowsByBandwidth(),
+	}
+	eval := func(bc *buildContext, c candidate) *DesignPoint {
+		if c.vec.err != nil {
 			return nil // attempted but infeasible: no k-way cut fits
 		}
-		dp, err := buildPoint(spec, lib, freqs, c.counts, parts, c.mid, midFreq, opt)
+		dp, err := buildPoint(bc, c.vec.counts, c.vec.parts, c.mid)
 		if err != nil {
 			return nil
 		}
@@ -260,7 +278,7 @@ func SynthesizeContext(ctx context.Context, spec *soc.Spec, lib *model.Library, 
 	if opt.workers() == 1 {
 		sweep = synthesizeSerial
 	}
-	if err := sweep(ctx, res, cands, opt, eval); err != nil {
+	if err := sweep(ctx, res, cands, opt, env, parter, eval); err != nil {
 		return nil, err
 	}
 	if len(res.Points) == 0 {
@@ -270,10 +288,23 @@ func SynthesizeContext(ctx context.Context, spec *soc.Spec, lib *model.Library, 
 }
 
 // candidate is one (switch-count vector, intermediate-switch count)
-// combination of the design-space sweep.
+// combination of the design-space sweep. Candidates sharing a counts
+// vector share one vecParts.
 type candidate struct {
-	counts []int // shared, read-only
-	mid    int
+	vec *vecParts
+	mid int
+}
+
+// vecParts is one distinct switch-count vector of the sweep together
+// with its memoized per-island partitions. The coordinator resolves it
+// (partitioner.resolve) before any worker evaluates a candidate that
+// references it; workers then read counts/parts/err without
+// synchronization.
+type vecParts struct {
+	counts   []int
+	parts    [][]int
+	err      error
+	resolved bool
 }
 
 // enumerateCandidates lists the sweep's candidates in deterministic
@@ -300,8 +331,9 @@ func enumerateCandidates(minSwitches []int, islandCores [][]soc.CoreID, maxCores
 		key := countsKey(counts)
 		if !seen[key] {
 			seen[key] = true
+			vec := &vecParts{counts: counts}
 			for m := 0; m <= maxMid; m++ {
-				cands = append(cands, candidate{counts: counts, mid: m})
+				cands = append(cands, candidate{vec: vec, mid: m})
 			}
 		}
 		if saturated {
@@ -330,55 +362,76 @@ func collect(res *Result, dp *DesignPoint, total int, opt Options) (stop bool) {
 }
 
 // synthesizeSerial is the Workers=1 path: one candidate at a time, in
-// order, stopping as soon as MaxDesignPoints is met.
-func synthesizeSerial(ctx context.Context, res *Result, cands []candidate, opt Options, eval func(candidate) *DesignPoint) error {
+// order, built inside a single arena, stopping as soon as
+// MaxDesignPoints is met. Partitions are resolved lazily so a truncated
+// sweep never partitions vectors beyond the stopping point.
+func synthesizeSerial(ctx context.Context, res *Result, cands []candidate, opt Options, env *sweepEnv, parter *partitioner, eval func(*buildContext, candidate) *DesignPoint) error {
+	bc := newBuildContext(env)
 	for _, c := range cands {
 		if err := ctx.Err(); err != nil {
 			return fmt.Errorf("core: synthesis of %q interrupted: %w", res.Spec.Name, err)
 		}
-		if collect(res, eval(c), len(cands), opt) {
+		parter.resolve(c.vec)
+		if collect(res, eval(bc, c), len(cands), opt) {
 			return nil
 		}
 	}
 	return nil
 }
 
-// synthesizeParallel fans candidates out over opt.workers() goroutines.
-// Candidates are dispatched in chunks and their outcomes folded into
-// the result strictly in candidate order, so Points, Explored, Feasible
-// and Truncated are identical to the serial path. Chunking bounds the
-// work wasted beyond the stopping point when MaxDesignPoints is set;
-// without a cap the whole space is one chunk.
-func synthesizeParallel(ctx context.Context, res *Result, cands []candidate, opt Options, eval func(candidate) *DesignPoint) error {
+// synthesizeParallel fans candidates out over opt.workers() goroutines,
+// each owning one reusable build arena for the whole sweep. Candidates
+// are claimed from an atomic cursor — no dispatch channel, no producer
+// goroutine — and their outcomes folded into the result strictly in
+// candidate order, so Points, Explored, Feasible and Truncated are
+// identical to the serial path. Chunking bounds the work wasted beyond
+// the stopping point when MaxDesignPoints is set; without a cap the
+// whole space is one chunk. The coordinator resolves each chunk's
+// counts-vector partitions up front, so workers share only immutable
+// state: cancellation stops workers at the next claim, and nothing
+// keeps feeding work after it.
+func synthesizeParallel(ctx context.Context, res *Result, cands []candidate, opt Options, env *sweepEnv, parter *partitioner, eval func(*buildContext, candidate) *DesignPoint) error {
 	workers := opt.workers()
 	chunk := len(cands)
 	if opt.MaxDesignPoints > 0 && workers*4 < chunk {
 		chunk = workers * 4
 	}
+	arenas := make([]*buildContext, workers)
 	for lo := 0; lo < len(cands); lo += chunk {
 		hi := lo + chunk
 		if hi > len(cands) {
 			hi = len(cands)
 		}
+		for i := lo; i < hi; i++ {
+			if ctx.Err() != nil {
+				break
+			}
+			parter.resolve(cands[i].vec)
+		}
+		if err := ctx.Err(); err != nil {
+			return fmt.Errorf("core: synthesis of %q interrupted: %w", res.Spec.Name, err)
+		}
 		points := make([]*DesignPoint, hi-lo)
-		idx := make(chan int)
+		var next atomic.Int64 // next unclaimed index into points
 		var wg sync.WaitGroup
 		for w := 0; w < workers && w < hi-lo; w++ {
 			wg.Add(1)
-			go func() {
+			go func(w int) {
 				defer wg.Done()
-				for i := range idx {
-					if ctx.Err() != nil {
-						continue // drain without evaluating
-					}
-					points[i] = eval(cands[lo+i])
+				bc := arenas[w]
+				if bc == nil {
+					bc = newBuildContext(env)
+					arenas[w] = bc
 				}
-			}()
+				for ctx.Err() == nil {
+					i := int(next.Add(1)) - 1
+					if i >= len(points) {
+						return
+					}
+					points[i] = eval(bc, cands[lo+i])
+				}
+			}(w)
 		}
-		for i := range points {
-			idx <- i
-		}
-		close(idx)
 		wg.Wait()
 		if err := ctx.Err(); err != nil {
 			return fmt.Errorf("core: synthesis of %q interrupted: %w", res.Spec.Name, err)
@@ -436,25 +489,20 @@ func countsKey(counts []int) string {
 
 // partitioner memoizes step 11 at two levels: one partition.Cache per
 // island (keyed by switch count) and the assembled per-counts-vector
-// partition set (keyed by the vector), shared read-only across every
-// candidate and every worker.
+// partition set, stored in the vector's vecParts. Resolution happens
+// only on the coordinating goroutine (resolve), so workers read the
+// assembled partitions without any lock — the per-island caches'
+// internal mutex is touched only by the coordinator.
 type partitioner struct {
 	caches []*partition.Cache
-
-	mu    sync.Mutex
-	byVec map[string]vecEntry
-}
-
-type vecEntry struct {
-	parts [][]int
-	err   error
 }
 
 // newPartitioner builds one cache per island VCG, with the same
 // engine selection and MaxPartSize clamping the serial flow applied per
 // call. The undirected VCG views are materialized once, up front.
 func newPartitioner(vcgs []*vcg.VCG, maxSizes []int, opt Options) *partitioner {
-	var engine partition.Engine = partition.KWay
+	// A nil engine selects the cache's scratch-pooled built-in KWay.
+	var engine partition.Engine
 	if opt.SpectralPartition {
 		engine = partition.SpectralKWay
 	}
@@ -467,80 +515,80 @@ func newPartitioner(vcgs []*vcg.VCG, maxSizes []int, opt Options) *partitioner {
 		}
 		caches[j] = partition.NewCache(v.Undirected(), engine, pOpt)
 	}
-	return &partitioner{caches: caches, byVec: make(map[string]vecEntry)}
+	return &partitioner{caches: caches}
 }
 
-// partition returns the per-island partitions for one counts-vector,
+// resolve fills in the per-island partitions of one counts-vector,
 // min-cut partitioning every island's VCG into the requested switch
-// counts. The result is memoized and read-only.
-func (p *partitioner) partition(counts []int) ([][]int, error) {
-	key := countsKey(counts)
-	p.mu.Lock()
-	e, ok := p.byVec[key]
-	p.mu.Unlock()
-	if ok {
-		return e.parts, e.err
+// counts. It must be called from the coordinating goroutine only,
+// before any worker evaluates a candidate referencing v; after it
+// returns, v is immutable.
+func (p *partitioner) resolve(v *vecParts) {
+	if v.resolved {
+		return
 	}
+	v.resolved = true
 	parts := make([][]int, len(p.caches))
-	var err error
 	for j, c := range p.caches {
-		parts[j], err = c.Partition(counts[j])
+		var err error
+		parts[j], err = c.Partition(v.counts[j])
 		if err != nil {
-			parts = nil
-			break
+			v.err = err
+			return // v.parts stays nil: the vector is infeasible
 		}
 	}
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	if prev, ok := p.byVec[key]; ok {
-		return prev.parts, prev.err
-	}
-	p.byVec[key] = vecEntry{parts: parts, err: err}
-	return parts, err
+	v.parts = parts
 }
 
 // buildPoint constructs, routes, floorplans and costs one candidate
-// design. An error means the point is infeasible.
-func buildPoint(spec *soc.Spec, lib *model.Library, freqs []float64,
-	counts []int, parts [][]int, mid int, midFreq float64, opt Options) (*DesignPoint, error) {
+// design inside the worker's arena. An error means the point is
+// infeasible. On success the built topology and placement are handed
+// off to the returned DesignPoint and the arena forgets them; on
+// failure they stay pooled for the next candidate.
+func buildPoint(bc *buildContext, counts []int, parts [][]int, mid int) (*DesignPoint, error) {
+	env := bc.env
+	lib, opt := env.lib, env.opt
 
-	top := topology.New(spec, lib)
-	for j, f := range freqs {
+	top := bc.takeTop()
+	for j, f := range env.freqs {
 		top.SetIslandFreq(soc.IslandID(j), f)
 		if opt.AutoVoltage {
 			top.SetIslandVoltage(soc.IslandID(j), lib.VoltageForFreq(f))
 		}
 	}
-	// Direct switches per island, one per partition.
-	swID := make([][]topology.SwitchID, len(counts))
+	// Direct switches per island, one per partition. AddSwitch assigns
+	// IDs sequentially, so island j's switches occupy the half-open ID
+	// range starting at the sum of the preceding islands' counts — no
+	// per-candidate ID table needed.
 	for j, k := range counts {
-		swID[j] = make([]topology.SwitchID, k)
 		for p := 0; p < k; p++ {
-			swID[j][p] = top.AddSwitch(soc.IslandID(j), false)
+			top.AddSwitch(soc.IslandID(j), false)
 		}
 	}
-	for j := range counts {
-		cores := spec.CoresIn(soc.IslandID(j))
-		for i, c := range cores {
-			if err := top.AttachCore(c, swID[j][parts[j][i]]); err != nil {
+	base := 0
+	for j, k := range counts {
+		for i, c := range env.islandCores[j] {
+			if err := top.AttachCore(c, topology.SwitchID(base+parts[j][i])); err != nil {
 				return nil, err
 			}
 		}
+		base += k
 	}
 	if mid > 0 {
 		midV := opt.midVoltage()
 		if opt.AutoVoltage {
-			midV = lib.VoltageForFreq(midFreq)
+			midV = lib.VoltageForFreq(env.midFreq)
 		}
-		ni := top.AddNoCIsland(midFreq, midV)
+		ni := top.AddNoCIsland(env.midFreq, midV)
 		for p := 0; p < mid; p++ {
 			top.AddSwitch(ni, true)
 		}
 	}
 
-	// Step 15: route flows in bandwidth order.
-	r := route.New(top, opt.Router)
-	if err := r.RouteAll(); err != nil {
+	// Step 15: route flows in bandwidth order (pre-sorted once per
+	// sweep, shared read-only).
+	r := bc.takeRouter(top)
+	if err := r.RouteFlows(env.flows); err != nil {
 		return nil, err
 	}
 	// A design point whose routes could deadlock is invalid; the island
@@ -550,7 +598,7 @@ func buildPoint(spec *soc.Spec, lib *model.Library, freqs []float64,
 	}
 
 	// Floorplan, then validate with real wire lengths.
-	pl, err := floorplan.Place(top, opt.Floorplan)
+	pl, err := floorplan.PlaceWith(top, opt.Floorplan, &bc.fp)
 	if err != nil {
 		return nil, err
 	}
@@ -567,7 +615,9 @@ func buildPoint(spec *soc.Spec, lib *model.Library, freqs []float64,
 		MeanLatencyCycles: top.MeanZeroLoadLatency(),
 		NoCAreaMM2:        power.NoCAreaMM2(top),
 		WireViolations:    len(floorplan.WireDelayViolations(top, pl)),
+		FloorplanOpt:      opt.Floorplan,
 	}
+	bc.top = nil // escaped into the design point: never reset again
 	return dp, nil
 }
 
@@ -628,7 +678,7 @@ func totalSwitches(d *DesignPoint) int {
 // power and wire-delay violations. iters <= 0 selects the optimizer's
 // default budget.
 func (d *DesignPoint) RefinePlacement(iters int) error {
-	pl, err := floorplan.PlaceOptimized(d.Top, floorplan.Options{}, iters)
+	pl, err := floorplan.PlaceOptimized(d.Top, d.FloorplanOpt, iters)
 	if err != nil {
 		return err
 	}

@@ -73,15 +73,44 @@ type Placement struct {
 	LinkLengthMM []float64
 }
 
+// Scratch holds the floorplanner's reusable working buffers: island
+// areas, the slicing order, the per-island core gather/sort buffer and
+// the centroid point accumulator. A zero Scratch is ready to use; one
+// Scratch must not be used by two goroutines concurrently. Sweeps that
+// floorplan many candidate topologies reuse one Scratch per worker so
+// each placement allocates only the Placement it returns.
+type Scratch struct {
+	areas []float64
+	order []int
+	cores []soc.CoreID
+	pts   []Point
+
+	// ids and tmp are the recursive bisection's working copies of the
+	// island order: sliceRegions partitions ids in place using tmp as
+	// the shuttle buffer, leaving the caller's order untouched.
+	ids []int
+	tmp []int
+}
+
 // Place floorplans the topology. Every core must be attached to a
 // switch.
 func Place(top *topology.Topology, opt Options) (*Placement, error) {
-	return placeWithOrder(top, opt, nil)
+	return placeWithOrder(top, opt, nil, nil)
+}
+
+// PlaceWith is Place drawing temporary buffers from sc, which may be
+// reused across calls. The returned Placement does not alias sc.
+func PlaceWith(top *topology.Topology, opt Options, sc *Scratch) (*Placement, error) {
+	return placeWithOrder(top, opt, nil, sc)
 }
 
 // placeWithOrder floorplans using the given island slicing order (nil
-// selects descending area, the default heuristic).
-func placeWithOrder(top *topology.Topology, opt Options, order []int) (*Placement, error) {
+// selects descending area, the default heuristic), drawing temporaries
+// from sc (nil allocates fresh buffers).
+func placeWithOrder(top *topology.Topology, opt Options, order []int, sc *Scratch) (*Placement, error) {
+	if sc == nil {
+		sc = &Scratch{}
+	}
 	spec := top.Spec
 	for c := range spec.Cores {
 		if top.SwitchOf[c] < 0 {
@@ -89,7 +118,8 @@ func placeWithOrder(top *topology.Topology, opt Options, order []int) (*Placemen
 		}
 	}
 	nIsl := top.NumIslands()
-	areas := islandAreas(top, opt)
+	sc.areas = islandAreasInto(sc.areas[:0], top, opt)
+	areas := sc.areas
 
 	var total float64
 	for _, a := range areas {
@@ -101,16 +131,29 @@ func placeWithOrder(top *topology.Topology, opt Options, order []int) (*Placemen
 	// island list sorted by descending area (stable on ID) unless the
 	// caller supplies an explicit order.
 	if order == nil {
-		order = make([]int, nIsl)
+		if cap(sc.order) < nIsl {
+			sc.order = make([]int, nIsl)
+		}
+		order = sc.order[:nIsl]
 		for i := range order {
 			order[i] = i
 		}
-		sort.SliceStable(order, func(a, b int) bool { return areas[order[a]] > areas[order[b]] })
+		// Stable insertion sort by descending area: identical output to
+		// sort.SliceStable with the same key, no closure/swapper allocs.
+		for i := 1; i < nIsl; i++ {
+			for j := i; j > 0 && areas[order[j]] > areas[order[j-1]]; j-- {
+				order[j], order[j-1] = order[j-1], order[j]
+			}
+		}
 	} else if len(order) != nIsl {
 		return nil, fmt.Errorf("floorplan: order has %d entries for %d islands", len(order), nIsl)
 	}
 	rects := make([]Rect, nIsl)
-	sliceRegions(die, order, areas, rects)
+	sc.ids = append(sc.ids[:0], order...)
+	if cap(sc.tmp) < nIsl {
+		sc.tmp = make([]int, nIsl)
+	}
+	sliceRegions(die, sc.ids, areas, rects, sc.tmp[:nIsl])
 
 	p := &Placement{
 		Die:          die,
@@ -124,8 +167,8 @@ func placeWithOrder(top *topology.Topology, opt Options, order []int) (*Placemen
 	// Place cores per island, grouped by their switch so that a
 	// switch's clients sit in adjacent cells.
 	for isl := 0; isl < nIsl; isl++ {
-		cores := coresGroupedBySwitch(top, soc.IslandID(isl))
-		placeGrid(rects[isl], cores, p.CorePos)
+		sc.cores = coresGroupedBySwitchInto(sc.cores[:0], top, soc.IslandID(isl))
+		placeGrid(rects[isl], sc.cores, p.CorePos)
 	}
 
 	// Direct switches at the centroid of their attached cores; indirect
@@ -135,7 +178,7 @@ func placeWithOrder(top *topology.Topology, opt Options, order []int) (*Placemen
 	for pass := 0; pass < 2; pass++ {
 		for i := range top.Switches {
 			s := &top.Switches[i]
-			var pts []Point
+			pts := sc.pts[:0]
 			if !s.Indirect {
 				for _, c := range s.Cores {
 					pts = append(pts, p.CorePos[c])
@@ -151,6 +194,7 @@ func placeWithOrder(top *topology.Topology, opt Options, order []int) (*Placemen
 				}
 			}
 			r := rects[s.Island]
+			sc.pts = pts // keep the grown capacity for the next switch
 			pos := r.Center()
 			if len(pts) > 0 {
 				var sx, sy float64
@@ -189,7 +233,19 @@ func placeWithOrder(top *topology.Topology, opt Options, order []int) (*Placemen
 // island (no cores) gets its switches plus a fixed floor so the region
 // remains placeable.
 func islandAreas(top *topology.Topology, opt Options) []float64 {
-	areas := make([]float64, top.NumIslands())
+	return islandAreasInto(nil, top, opt)
+}
+
+// islandAreasInto is islandAreas appending into a reusable buffer.
+func islandAreasInto(buf []float64, top *topology.Topology, opt Options) []float64 {
+	n := top.NumIslands()
+	if cap(buf) < n {
+		buf = make([]float64, n)
+	}
+	areas := buf[:n]
+	for i := range areas {
+		areas[i] = 0
+	}
 	for c, isl := range top.Spec.IslandOf {
 		areas[isl] += top.Spec.Cores[c].AreaMM2 + top.Lib.NIAreaMM2
 	}
@@ -208,7 +264,7 @@ func islandAreas(top *topology.Topology, opt Options) []float64 {
 // sliceRegions recursively bisects rect among the islands listed in ids
 // (pre-sorted by descending area), splitting along the longer side with
 // the area ratio of the two halves.
-func sliceRegions(rect Rect, ids []int, areas []float64, out []Rect) {
+func sliceRegions(rect Rect, ids []int, areas []float64, out []Rect, tmp []int) {
 	if len(ids) == 0 {
 		return
 	}
@@ -216,17 +272,26 @@ func sliceRegions(rect Rect, ids []int, areas []float64, out []Rect) {
 		out[ids[0]] = rect
 		return
 	}
-	// Balanced greedy split of ids into two groups by area.
+	// Balanced greedy split of ids into two groups by area. The groups
+	// are written into tmp (a-group as a prefix, b-group as a suffix,
+	// both in ids order) and copied back, so the split is in place and
+	// the recursion allocates nothing.
 	var aSum, bSum float64
-	var aIDs, bIDs []int
+	na, nb := 0, 0
 	for _, id := range ids {
 		if aSum <= bSum {
-			aIDs = append(aIDs, id)
+			tmp[na] = id
+			na++
 			aSum += areas[id]
 		} else {
-			bIDs = append(bIDs, id)
+			nb++
+			tmp[len(ids)-nb] = id
 			bSum += areas[id]
 		}
+	}
+	copy(ids[:na], tmp[:na])
+	for i := 0; i < nb; i++ { // un-reverse the suffix
+		ids[na+i] = tmp[len(ids)-1-i]
 	}
 	frac := aSum / (aSum + bSum)
 	var ra, rb Rect
@@ -237,23 +302,33 @@ func sliceRegions(rect Rect, ids []int, areas []float64, out []Rect) {
 		ra = Rect{rect.X, rect.Y, rect.W, rect.H * frac}
 		rb = Rect{rect.X, rect.Y + rect.H*frac, rect.W, rect.H * (1 - frac)}
 	}
-	sliceRegions(ra, aIDs, areas, out)
-	sliceRegions(rb, bIDs, areas, out)
+	sliceRegions(ra, ids[:na], areas, out, tmp[:na])
+	sliceRegions(rb, ids[na:], areas, out, tmp[na:])
 }
 
-// coresGroupedBySwitch returns the island's cores ordered so that cores
-// sharing a switch are contiguous (switch ID ascending, core ID
-// ascending within a switch).
-func coresGroupedBySwitch(top *topology.Topology, isl soc.IslandID) []soc.CoreID {
-	cores := top.Spec.CoresIn(isl)
-	sort.SliceStable(cores, func(a, b int) bool {
-		sa, sb := top.SwitchOf[cores[a]], top.SwitchOf[cores[b]]
-		if sa != sb {
-			return sa < sb
+// coresGroupedBySwitchInto appends the island's cores to buf ordered so
+// that cores sharing a switch are contiguous (switch ID ascending, core
+// ID ascending within a switch). The (switch, core) key is a strict
+// total order — core IDs are unique — so the insertion sort produces
+// exactly the ordering the previous sort.SliceStable did, without the
+// CoresIn copy or the sort closure allocations.
+func coresGroupedBySwitchInto(buf []soc.CoreID, top *topology.Topology, isl soc.IslandID) []soc.CoreID {
+	for c, id := range top.Spec.IslandOf {
+		if id == isl {
+			buf = append(buf, soc.CoreID(c))
 		}
-		return cores[a] < cores[b]
-	})
-	return cores
+	}
+	for i := 1; i < len(buf); i++ {
+		for j := i; j > 0; j-- {
+			a, b := buf[j-1], buf[j]
+			sa, sb := top.SwitchOf[a], top.SwitchOf[b]
+			if sa < sb || (sa == sb && a < b) {
+				break
+			}
+			buf[j-1], buf[j] = buf[j], buf[j-1]
+		}
+	}
+	return buf
 }
 
 // placeGrid assigns the cores to cell centers of a row-major grid
@@ -369,8 +444,9 @@ func PlaceOptimized(top *topology.Topology, opt Options, iters int) (*Placement,
 	}
 	evalOpt := opt
 	evalOpt.SkipAnnotate = true
+	sc := &Scratch{}
 
-	best, err := placeWithOrder(top, evalOpt, nil)
+	best, err := placeWithOrder(top, evalOpt, nil, sc)
 	if err != nil {
 		return nil, err
 	}
@@ -404,7 +480,7 @@ func PlaceOptimized(top *topology.Topology, opt Options, iters int) (*Placement,
 		}
 		cand := append([]int(nil), cur...)
 		cand[i], cand[j] = cand[j], cand[i]
-		p, err := placeWithOrder(top, evalOpt, cand)
+		p, err := placeWithOrder(top, evalOpt, cand, sc)
 		if err != nil {
 			return nil, err
 		}
@@ -431,5 +507,5 @@ func PlaceOptimized(top *topology.Topology, opt Options, iters int) (*Placement,
 // finishOptimized produces the final placement (with annotation per the
 // caller's options) for the chosen order.
 func finishOptimized(top *topology.Topology, opt Options, order []int) (*Placement, error) {
-	return placeWithOrder(top, opt, order)
+	return placeWithOrder(top, opt, order, nil)
 }

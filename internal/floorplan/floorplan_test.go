@@ -240,7 +240,7 @@ func TestSlicingTilesDie(t *testing.T) {
 			ids[i] = i
 		}
 		out := make([]Rect, n)
-		sliceRegions(die, ids, areas, out)
+		sliceRegions(die, ids, areas, out, make([]int, n))
 		var sum float64
 		for _, r := range out {
 			if r.W < 0 || r.H < 0 {
@@ -322,7 +322,7 @@ func TestPlaceOptimizedAnnotates(t *testing.T) {
 
 func TestPlaceWithBadOrder(t *testing.T) {
 	top := buildTop(t)
-	if _, err := placeWithOrder(top, Options{}, []int{0}); err == nil {
+	if _, err := placeWithOrder(top, Options{}, []int{0}, nil); err == nil {
 		t.Fatal("short order accepted")
 	}
 }

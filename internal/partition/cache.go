@@ -31,6 +31,13 @@ type Cache struct {
 
 	// misses counts engine invocations (not lookups); see Stats.
 	misses int
+
+	// sc pools the built-in engine's working storage across the cache's
+	// k values (non-nil only when NewCache was given a nil engine).
+	// scMu serializes computes through it; distinct k values of the
+	// built-in engine therefore share buffers instead of overlapping.
+	scMu sync.Mutex
+	sc   *kwayScratch
 }
 
 type cacheEntry struct {
@@ -41,10 +48,13 @@ type cacheEntry struct {
 // NewCache wraps the engine over a fixed graph and option set. A nil
 // engine selects KWay.
 func NewCache(g *graph.Undirected, engine Engine, opt Options) *Cache {
+	c := &Cache{g: g, engine: engine, opt: opt, byK: make(map[int]cacheEntry)}
 	if engine == nil {
-		engine = KWay
+		// Built-in KWay runs through a cache-held scratch, so repeated
+		// k values amortize the partitioner's working storage.
+		c.sc = &kwayScratch{}
 	}
-	return &Cache{g: g, engine: engine, opt: opt, byK: make(map[int]cacheEntry)}
+	return c
 }
 
 // Partition returns the canonical k-way partition of the cached graph,
@@ -58,9 +68,19 @@ func (c *Cache) Partition(k int) ([]int, error) {
 	if ok {
 		return e.part, e.err
 	}
-	// Compute outside the lock so distinct k values do not serialize;
-	// determinism makes a racing duplicate computation identical.
-	part, err := c.engine(c.g, k, c.opt)
+	// Compute outside the byK lock; determinism makes a racing
+	// duplicate computation identical. The built-in engine serializes
+	// on the scratch lock instead — shared buffers beat the rare
+	// concurrent-compute overlap on these small graphs.
+	var part []int
+	var err error
+	if c.sc != nil {
+		c.scMu.Lock()
+		part, err = kwayWith(c.g, k, c.opt, c.sc)
+		c.scMu.Unlock()
+	} else {
+		part, err = c.engine(c.g, k, c.opt)
+	}
 	if err == nil {
 		part = Canonical(part, k)
 	}

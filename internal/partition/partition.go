@@ -43,6 +43,56 @@ func (o Options) passes() int {
 // n/k split before the refinement sweep; refinement preserves the size
 // bounds [floor(n/k), ceil(n/k)] unless MaxPartSize forces tighter caps.
 func KWay(g *graph.Undirected, k int, opt Options) ([]int, error) {
+	return kwayWith(g, k, opt, &kwayScratch{})
+}
+
+// kwayScratch pools the working storage of KWay invocations: every
+// slice and map the bisection/refinement machinery needs, grown once
+// and reused across calls. A Cache running the built-in engine holds
+// one, so the dozens of engine invocations of a synthesis sweep share
+// buffers instead of allocating ~7 slices per bisection. One scratch
+// must not be used by two goroutines concurrently.
+type kwayScratch struct {
+	vertices []int
+	tmp      []int
+	side     []bool
+	attract  []float64
+	locked   []bool
+	d        []float64
+	swaps    []swapPair
+	gains    []float64
+	idxOf    map[int]int
+	size     []int
+	conn     []float64
+}
+
+type swapPair struct{ a, b int }
+
+func growInts(buf []int, n int) []int {
+	if cap(buf) < n {
+		return make([]int, n)
+	}
+	return buf[:n]
+}
+
+func growFloats(buf []float64, n int) []float64 {
+	if cap(buf) < n {
+		return make([]float64, n)
+	}
+	return buf[:n]
+}
+
+func growBools(buf []bool, n int) []bool {
+	if cap(buf) < n {
+		return make([]bool, n)
+	}
+	return buf[:n]
+}
+
+// kwayWith is KWay computing through the given scratch. Only the
+// returned part slice is freshly allocated (it escapes into caches and
+// results); everything else lives in sc.
+func kwayWith(g *graph.Undirected, k int, opt Options, sc *kwayScratch) ([]int, error) {
 	n := g.N()
 	if k <= 0 {
 		return nil, fmt.Errorf("partition: k=%d must be positive", k)
@@ -54,18 +104,24 @@ func KWay(g *graph.Undirected, k int, opt Options) ([]int, error) {
 		return nil, fmt.Errorf("partition: %d parts of at most %d vertices cannot hold %d vertices", k, opt.MaxPartSize, n)
 	}
 	part := make([]int, n)
-	vertices := make([]int, n)
-	for i := range vertices {
-		vertices[i] = i
+	sc.vertices = growInts(sc.vertices, n)
+	for i := range sc.vertices {
+		sc.vertices[i] = i
 	}
-	recursiveBisect(g, vertices, k, 0, part, opt)
-	refineKWay(g, part, k, opt)
+	sc.tmp = growInts(sc.tmp, n)
+	if sc.idxOf == nil {
+		sc.idxOf = make(map[int]int, n)
+	}
+	recursiveBisect(g, sc.vertices, k, 0, part, opt, sc, sc.tmp)
+	refineKWay(g, part, k, opt, sc)
 	return part, nil
 }
 
 // recursiveBisect splits vertices into k parts labelled base..base+k-1,
-// writing assignments into part.
-func recursiveBisect(g *graph.Undirected, vertices []int, k, base int, part []int, opt Options) {
+// writing assignments into part. vertices is permuted in place (side A
+// becomes a prefix, side B a suffix, both keeping their relative
+// order), with tmp — parallel to vertices — as the shuttle buffer.
+func recursiveBisect(g *graph.Undirected, vertices []int, k, base int, part []int, opt Options, sc *kwayScratch, tmp []int) {
 	if k == 1 {
 		for _, v := range vertices {
 			part[v] = base
@@ -82,25 +138,38 @@ func recursiveBisect(g *graph.Undirected, vertices []int, k, base int, part []in
 	if len(vertices)-sizeA < kB {
 		sizeA = len(vertices) - kB
 	}
-	sideA := bisect(g, vertices, sizeA, opt)
-	var va, vb []int
+	sideA := bisect(g, vertices, sizeA, opt, sc)
+	// Stable in-place split: A-group to tmp's prefix in vertices order,
+	// B-group to its suffix in reverse, then copy back un-reversed.
+	na, nb := 0, 0
 	for i, v := range vertices {
 		if sideA[i] {
-			va = append(va, v)
+			tmp[na] = v
+			na++
 		} else {
-			vb = append(vb, v)
+			nb++
+			tmp[len(vertices)-nb] = v
 		}
 	}
-	recursiveBisect(g, va, kA, base, part, opt)
-	recursiveBisect(g, vb, kB, base+kA, part, opt)
+	copy(vertices[:na], tmp[:na])
+	for i := 0; i < nb; i++ {
+		vertices[na+i] = tmp[len(vertices)-1-i]
+	}
+	recursiveBisect(g, vertices[:na], kA, base, part, opt, sc, tmp[:na])
+	recursiveBisect(g, vertices[na:], kB, base+kA, part, opt, sc, tmp[na:])
 }
 
 // bisect splits the given vertex subset into side A (true) of exactly
 // sizeA vertices and side B, minimizing the cut between them within g.
-// The result is indexed parallel to vertices.
-func bisect(g *graph.Undirected, vertices []int, sizeA int, opt Options) []bool {
+// The result is indexed parallel to vertices; it lives in sc.side and
+// is only valid until the next bisect call on the same scratch.
+func bisect(g *graph.Undirected, vertices []int, sizeA int, opt Options, sc *kwayScratch) []bool {
 	n := len(vertices)
-	side := make([]bool, n)
+	sc.side = growBools(sc.side, n)
+	side := sc.side
+	for i := range side {
+		side[i] = false
+	}
 	if sizeA <= 0 {
 		return side
 	}
@@ -110,7 +179,8 @@ func bisect(g *graph.Undirected, vertices []int, sizeA int, opt Options) []bool 
 		}
 		return side
 	}
-	idxOf := make(map[int]int, n) // graph vertex -> local index
+	idxOf := sc.idxOf // graph vertex -> local index
+	clear(idxOf)
 	for i, v := range vertices {
 		idxOf[v] = i
 	}
@@ -134,7 +204,8 @@ func bisect(g *graph.Undirected, vertices []int, sizeA int, opt Options) []bool 
 		}
 	}
 	side[seed] = true
-	attract := make([]float64, n) // connection weight to current A
+	sc.attract = growFloats(sc.attract, n)
+	attract := sc.attract // connection weight to current A
 	for i, v := range vertices {
 		if i == seed {
 			continue
@@ -165,7 +236,7 @@ func bisect(g *graph.Undirected, vertices []int, sizeA int, opt Options) []bool 
 	// (one A->B and one B->A move per step keeps sizes constant), then
 	// rolls back to the best prefix.
 	for pass := 0; pass < opt.passes(); pass++ {
-		if !fmSwapPass(g, vertices, idxOf, side) {
+		if !fmSwapPass(g, vertices, idxOf, side, sc) {
 			break
 		}
 	}
@@ -181,16 +252,21 @@ func weightBetween(g *graph.Undirected, a, b int) float64 {
 // fmSwapPass performs one Kernighan–Lin style pass of best-gain vertex
 // swaps with rollback to the best prefix. It reports whether the pass
 // strictly improved the cut.
-func fmSwapPass(g *graph.Undirected, vertices []int, idxOf map[int]int, side []bool) bool {
+func fmSwapPass(g *graph.Undirected, vertices []int, idxOf map[int]int, side []bool, sc *kwayScratch) bool {
 	n := len(vertices)
-	locked := make([]bool, n)
-	type swap struct{ a, b int }
-	var swaps []swap
-	var gains []float64
+	sc.locked = growBools(sc.locked, n)
+	locked := sc.locked
+	for i := range locked {
+		locked[i] = false
+	}
+	swaps := sc.swaps[:0]
+	gains := sc.gains[:0]
+	defer func() { sc.swaps, sc.gains = swaps[:0], gains[:0] }()
 
 	// d[i] = external - internal connection weight of vertex i under the
 	// current side assignment (classic KL D-values, subset-local).
-	d := make([]float64, n)
+	sc.d = growFloats(sc.d, n)
+	d := sc.d
 	recompute := func() {
 		for i, v := range vertices {
 			var ext, int_ float64
@@ -235,7 +311,7 @@ func fmSwapPass(g *graph.Undirected, vertices []int, idxOf map[int]int, side []b
 		}
 		side[bi], side[bj] = false, true
 		locked[bi], locked[bj] = true, true
-		swaps = append(swaps, swap{bi, bj})
+		swaps = append(swaps, swapPair{bi, bj})
 		gains = append(gains, bestGain)
 		recompute()
 	}
@@ -261,7 +337,7 @@ func fmSwapPass(g *graph.Undirected, vertices []int, idxOf map[int]int, side []b
 // the cut while keeping every part within [1, cap] and within balance
 // bounds ceil(n/k) (+MaxPartSize if tighter). Deterministic and runs
 // opt.passes() sweeps at most.
-func refineKWay(g *graph.Undirected, part []int, k int, opt Options) {
+func refineKWay(g *graph.Undirected, part []int, k int, opt Options, sc *kwayScratch) {
 	n := len(part)
 	if k <= 1 {
 		return
@@ -273,11 +349,16 @@ func refineKWay(g *graph.Undirected, part []int, k int, opt Options) {
 	if maxSize < 1 {
 		maxSize = 1
 	}
-	size := make([]int, k)
+	sc.size = growInts(sc.size, k)
+	size := sc.size
+	for i := range size {
+		size[i] = 0
+	}
 	for _, p := range part {
 		size[p]++
 	}
-	conn := make([]float64, k)
+	sc.conn = growFloats(sc.conn, k)
+	conn := sc.conn
 	for pass := 0; pass < opt.passes(); pass++ {
 		improved := false
 		for v := 0; v < n; v++ {

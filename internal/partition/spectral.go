@@ -31,12 +31,13 @@ func SpectralKWay(g *graph.Undirected, k int, opt Options) ([]int, error) {
 	for i := range vertices {
 		vertices[i] = i
 	}
-	spectralRecurse(g, vertices, k, 0, part, opt)
-	refineKWay(g, part, k, opt)
+	sc := &kwayScratch{}
+	spectralRecurse(g, vertices, k, 0, part, opt, sc)
+	refineKWay(g, part, k, opt, sc)
 	return part, nil
 }
 
-func spectralRecurse(g *graph.Undirected, vertices []int, k, base int, part []int, opt Options) {
+func spectralRecurse(g *graph.Undirected, vertices []int, k, base int, part []int, opt Options, sc *kwayScratch) {
 	if k == 1 {
 		for _, v := range vertices {
 			part[v] = base
@@ -83,7 +84,7 @@ func spectralRecurse(g *graph.Undirected, vertices []int, k, base int, part []in
 		side[idxOf[v]] = true
 	}
 	for pass := 0; pass < 2; pass++ {
-		if !fmSwapPass(g, vertices, idxOf, side) {
+		if !fmSwapPass(g, vertices, idxOf, side, sc) {
 			break
 		}
 	}
@@ -95,8 +96,8 @@ func spectralRecurse(g *graph.Undirected, vertices []int, k, base int, part []in
 			vb = append(vb, v)
 		}
 	}
-	spectralRecurse(g, va, kA, base, part, opt)
-	spectralRecurse(g, vb, kB, base+kA, part, opt)
+	spectralRecurse(g, va, kA, base, part, opt, sc)
+	spectralRecurse(g, vb, kB, base+kA, part, opt, sc)
 }
 
 // fiedlerVector approximates the Fiedler vector of the subgraph induced

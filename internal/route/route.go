@@ -84,9 +84,20 @@ type Router struct {
 	// re-checked inside the per-edge cost closure.
 	subs map[islPair]*subgraph
 
+	// free recycles subgraphs across Reset cycles: a reused Router keeps
+	// the vertex/rank/local buffers of the previous candidate's
+	// subgraphs and refills them instead of allocating. Populated only
+	// by Reset, consumed by subgraphFor.
+	free []*subgraph
+
 	// scratch is the pooled Dijkstra state, reused across the Router's
 	// flows and (through scratchPool) across candidates on a worker.
 	scratch *graph.Scratch
+
+	// pathBuf holds the switch path of the current shortest query. It
+	// is overwritten by every call and never escapes: commit copies it
+	// into topology-owned route storage.
+	pathBuf []topology.SwitchID
 
 	// costFn is allocated once; it prices the current query described
 	// by curSub/curFlow/latOnly.
@@ -147,6 +158,39 @@ func New(top *topology.Topology, opt Options) *Router {
 	return r
 }
 
+// Reset re-targets the router at a new topology under the same options,
+// recycling the subgraph cache, the per-island size bounds and the cost
+// closure of the previous candidate. After Reset the router behaves
+// exactly like New(top, opt) with the original opt: the synthesis
+// arena's identity guarantee rests on that equivalence.
+func (r *Router) Reset(top *topology.Topology) {
+	r.top = top
+	r.minLat = top.Spec.MinLatencyConstraint()
+	if r.opt.MaxSwitchSize != nil {
+		r.maxSz = r.opt.MaxSwitchSize
+	} else {
+		n := top.NumIslands()
+		if cap(r.maxSz) < n {
+			r.maxSz = make([]int, n)
+		}
+		r.maxSz = r.maxSz[:n]
+		for i := range r.maxSz {
+			r.maxSz[i] = top.Lib.MaxSwitchSize(top.IslandFreqHz[i])
+		}
+	}
+	//noclint:ignore maprange freelist harvest order is invisible: subgraphFor fully refills a recycled subgraph, so any order yields identical routing
+	for _, s := range r.subs {
+		r.free = append(r.free, s)
+	}
+	clear(r.subs)
+}
+
+// SetScratch pins caller-owned Dijkstra scratch state to the router,
+// bypassing the shared pool: RouteAll then neither borrows nor returns
+// pooled state. Workers of the synthesis sweep own one scratch each and
+// pin it so repeated candidates never touch the pool's lock.
+func (r *Router) SetScratch(sc *graph.Scratch) { r.scratch = sc }
+
 // subgraphFor returns (building and caching on first use) the
 // admissible subgraph for flows from srcIsl to dstIsl. The switch set
 // is fixed before routing starts, so a cached subgraph stays valid for
@@ -159,7 +203,19 @@ func (r *Router) subgraphFor(srcIsl, dstIsl soc.IslandID) *subgraph {
 	top := r.top
 	mid := top.NoCIsland
 	n := len(top.Switches)
-	s := &subgraph{local: make([]int32, n)}
+	var s *subgraph
+	if k := len(r.free); k > 0 {
+		s = r.free[k-1]
+		r.free = r.free[:k-1]
+		s.verts = s.verts[:0]
+		s.rank = s.rank[:0]
+		if cap(s.local) < n {
+			s.local = make([]int32, n)
+		}
+		s.local = s.local[:n]
+	} else {
+		s = &subgraph{local: make([]int32, n)}
+	}
 	for i := range s.local {
 		s.local[i] = -1
 	}
@@ -197,6 +253,14 @@ func (r *Router) MaxSwitchSizes() []int { return r.maxSz }
 // scratch state is borrowed from the pool for the duration of the call
 // and returned when it completes, whatever the outcome.
 func (r *Router) RouteAll() error {
+	return r.RouteFlows(r.top.Spec.SortFlowsByBandwidth())
+}
+
+// RouteFlows routes the given flows in order. The slice must hold the
+// spec's flows in decreasing-bandwidth order (SortFlowsByBandwidth);
+// sweeps that evaluate many candidates of one spec sort once and pass
+// the shared slice, skipping the per-candidate copy and sort.
+func (r *Router) RouteFlows(flows []soc.Flow) error {
 	if r.scratch == nil {
 		r.scratch = scratchPool.Get().(*graph.Scratch)
 		defer func() {
@@ -204,7 +268,7 @@ func (r *Router) RouteAll() error {
 			r.scratch = nil
 		}()
 	}
-	for _, f := range r.top.Spec.SortFlowsByBandwidth() {
+	for _, f := range flows {
 		if err := r.Route(f); err != nil {
 			return err
 		}
@@ -220,7 +284,9 @@ func (r *Router) Route(f soc.Flow) error {
 		return fmt.Errorf("route: flow %d->%d has unattached endpoint", f.Src, f.Dst)
 	}
 	if src == dst {
-		return r.top.AddRoute(topology.Route{Flow: f, Switches: []topology.SwitchID{src}})
+		sw := r.top.TakeRouteSwitches(1)
+		sw[0] = src
+		return r.top.AddRoute(topology.Route{Flow: f, Switches: sw})
 	}
 	// First attempt: blended power+latency cost; fall back to a pure
 	// latency objective when the cheap path misses the constraint.
@@ -368,10 +434,11 @@ func (r *Router) shortest(f soc.Flow, src, dst topology.SwitchID, latOnly bool) 
 	if math.IsInf(c, 1) {
 		return nil
 	}
-	out := make([]topology.SwitchID, len(path))
-	for i, p := range path {
-		out[i] = sub.verts[p]
+	out := r.pathBuf[:0]
+	for _, p := range path {
+		out = append(out, sub.verts[p])
 	}
+	r.pathBuf = out
 	return out
 }
 
@@ -392,16 +459,20 @@ func (r *Router) latencyOK(f soc.Flow, path []topology.SwitchID) bool {
 }
 
 // commit opens any missing links along the path and records the route.
+// The path (typically the router's reusable pathBuf) is copied into
+// topology-owned storage, so the route survives the next query.
 func (r *Router) commit(f soc.Flow, path []topology.SwitchID) error {
-	links := make([]topology.LinkID, 0, len(path)-1)
+	links := r.top.TakeRouteLinks(len(path) - 1)
 	for i := 1; i < len(path); i++ {
 		lid, err := r.top.EnsureLink(path[i-1], path[i])
 		if err != nil {
 			return fmt.Errorf("route: opening link for flow %d->%d: %w", f.Src, f.Dst, err)
 		}
-		links = append(links, lid)
+		links[i-1] = lid
 	}
-	return r.top.AddRoute(topology.Route{Flow: f, Switches: path, Links: links})
+	sw := r.top.TakeRouteSwitches(len(path))
+	copy(sw, path)
+	return r.top.AddRoute(topology.Route{Flow: f, Switches: sw, Links: links})
 }
 
 func max(a, b int) int {

@@ -104,6 +104,21 @@ type Topology struct {
 	linkIdx  map[linkKey]LinkID
 	inLinks  []int
 	outLinks []int
+
+	// coresFree recycles Switch.Cores backing arrays across Reset
+	// cycles: Reset harvests the slices of the dismantled switches and
+	// AttachCore pops them back, so a reused topology attaches cores
+	// without growing fresh arrays. Slices live either here or in a
+	// switch, never both.
+	coresFree [][]soc.CoreID
+
+	// swPathFree and lnkPathFree recycle Route.Switches and Route.Links
+	// backing arrays the same way: Reset harvests the dismantled
+	// routes' slices, TakeRouteSwitches/TakeRouteLinks hand them back
+	// to the router. Like coresFree, a slice lives either in a free
+	// list or in a route, never both.
+	swPathFree  [][]SwitchID
+	lnkPathFree [][]LinkID
 }
 
 // linkKey identifies a directed link by its endpoints.
@@ -149,6 +164,49 @@ func New(spec *soc.Spec, lib *model.Library) *Topology {
 	}
 	t.linkIdx = make(map[linkKey]LinkID)
 	return t
+}
+
+// Reset returns t to the state New(t.Spec, t.Lib) would produce while
+// retaining the backing storage of the previous build: the switch, link
+// and route slices keep their capacity, the link index keeps its
+// buckets, and the per-switch core lists are recycled through an
+// internal free list. The synthesis sweep resets one topology per
+// worker across candidates instead of allocating a fresh one each time.
+//
+// Reset must never be called on a topology that has escaped into a
+// DesignPoint: the recycled storage would alias the published result.
+func (t *Topology) Reset() {
+	for i := range t.Switches {
+		if c := t.Switches[i].Cores; cap(c) > 0 {
+			t.coresFree = append(t.coresFree, c[:0])
+		}
+	}
+	for i := range t.Routes {
+		if s := t.Routes[i].Switches; cap(s) > 0 {
+			t.swPathFree = append(t.swPathFree, s[:0])
+		}
+		if l := t.Routes[i].Links; cap(l) > 0 {
+			t.lnkPathFree = append(t.lnkPathFree, l[:0])
+		}
+	}
+	t.Switches = t.Switches[:0]
+	t.Links = t.Links[:0]
+	t.Routes = t.Routes[:0]
+	t.NoCIsland = soc.NoIsland
+	t.IslandFreqHz = t.IslandFreqHz[:len(t.Spec.Islands)]
+	t.IslandVoltage = t.IslandVoltage[:len(t.Spec.Islands)]
+	for i := range t.IslandFreqHz {
+		t.IslandFreqHz[i] = 0
+	}
+	for i, isl := range t.Spec.Islands {
+		t.IslandVoltage[i] = isl.VoltageV
+	}
+	for i := range t.SwitchOf {
+		t.SwitchOf[i] = -1
+	}
+	clear(t.linkIdx)
+	t.inLinks = t.inLinks[:0]
+	t.outLinks = t.outLinks[:0]
 }
 
 // AddNoCIsland declares the intermediate NoC island with the given clock
@@ -225,9 +283,41 @@ func (t *Topology) AttachCore(c soc.CoreID, sw SwitchID) error {
 	if t.SwitchOf[c] != -1 {
 		return fmt.Errorf("topology: core %d already attached to switch %d", c, t.SwitchOf[c])
 	}
+	if s.Cores == nil && len(t.coresFree) > 0 {
+		s.Cores = t.coresFree[len(t.coresFree)-1]
+		t.coresFree = t.coresFree[:len(t.coresFree)-1]
+	}
 	s.Cores = append(s.Cores, c)
 	t.SwitchOf[c] = sw
 	return nil
+}
+
+// TakeRouteSwitches returns a length-n switch buffer for a Route that
+// will be added to this topology, recycling storage reclaimed by
+// Reset when possible. The buffer belongs to the topology's route
+// storage from the moment it is taken: callers must store it in an
+// added Route (or discard it entirely), never retain it elsewhere.
+func (t *Topology) TakeRouteSwitches(n int) []SwitchID {
+	if k := len(t.swPathFree); k > 0 {
+		s := t.swPathFree[k-1]
+		t.swPathFree = t.swPathFree[:k-1]
+		if cap(s) >= n {
+			return s[:n]
+		}
+	}
+	return make([]SwitchID, n)
+}
+
+// TakeRouteLinks is TakeRouteSwitches for a Route's link list.
+func (t *Topology) TakeRouteLinks(n int) []LinkID {
+	if k := len(t.lnkPathFree); k > 0 {
+		l := t.lnkPathFree[k-1]
+		t.lnkPathFree = t.lnkPathFree[:k-1]
+		if cap(l) >= n {
+			return l[:n]
+		}
+	}
+	return make([]LinkID, n)
 }
 
 // FindLink returns the directed link from->to when it exists. It is an

@@ -1,6 +1,6 @@
 // Command bench2json converts `go test -bench` text output (on stdin)
-// into a checked-in JSON record of routing performance, preserving the
-// pre-optimization baseline so the file always carries before/after
+// into a checked-in JSON record of benchmark performance, preserving
+// the pre-optimization baseline so the file always carries before/after
 // numbers side by side:
 //
 //	go test -bench=RouteAll -benchmem -run='^$' . | go run ./tools/bench2json -o BENCH_routing.json
@@ -9,6 +9,19 @@
 // refresh "current" and recompute the per-benchmark deltas, leaving
 // the baseline untouched. Use -set baseline to re-seed deliberately
 // (e.g. after re-measuring on new hardware).
+//
+// Benchmarks following the `Suite/workers=K` sub-benchmark convention
+// additionally get a "parallel_efficiency" section: per suite, the
+// speedup of the widest workers variant over workers=1, alongside the
+// GOMAXPROCS of the measuring machine (parsed from the benchmark name
+// suffix) — a speedup near 1.0 on a single-core machine and near the
+// worker count on a wide one are both healthy; what the number guards
+// against is the parallel path being materially slower than serial.
+//
+// With -floor F the tool additionally asserts that every suite's
+// speedup is at least F and exits nonzero otherwise, which is how the
+// CI smoke run pins "parallelism never costs more than it pays".
+// Passing an empty -o checks without touching any file.
 package main
 
 import (
@@ -37,18 +50,33 @@ type delta struct {
 	AllocsRatio float64 `json:"allocs_ratio,omitempty"`
 }
 
+// efficiency summarizes one Suite/workers=K family: the speedup of the
+// widest measured worker count over workers=1 (ns(w=1)/ns(w=max)).
+type efficiency struct {
+	Workers int     `json:"workers"`
+	Speedup float64 `json:"speedup_vs_workers1"`
+}
+
 type record struct {
-	Baseline map[string]result `json:"baseline,omitempty"`
-	Current  map[string]result `json:"current,omitempty"`
-	Delta    map[string]delta  `json:"delta,omitempty"`
+	// GoMaxProcs is the GOMAXPROCS of the machine that produced the
+	// most recent write, parsed from the benchmark-name suffix. It
+	// contextualizes the efficiency numbers: a 1.0 speedup is expected
+	// on gomaxprocs=1 and a red flag on gomaxprocs=8.
+	GoMaxProcs int               `json:"gomaxprocs,omitempty"`
+	Baseline   map[string]result `json:"baseline,omitempty"`
+	Current    map[string]result `json:"current,omitempty"`
+	Delta      map[string]delta  `json:"delta,omitempty"`
+	// Efficiency is computed from Current when present, else Baseline.
+	Efficiency map[string]efficiency `json:"parallel_efficiency,omitempty"`
 }
 
 func main() {
-	out := flag.String("o", "BENCH_routing.json", "output JSON file (merged in place)")
+	out := flag.String("o", "BENCH_routing.json", "output JSON file (merged in place); empty checks without writing")
 	section := flag.String("set", "auto", "section to write: baseline|current|auto (auto seeds the baseline on first run)")
+	floor := flag.Float64("floor", 0, "fail unless every workers= suite on stdin reaches this speedup over workers=1")
 	flag.Parse()
 
-	results, err := parseBench(os.Stdin)
+	results, gomaxprocs, err := parseBench(os.Stdin)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "bench2json:", err)
 		os.Exit(1)
@@ -56,6 +84,16 @@ func main() {
 	if len(results) == 0 {
 		fmt.Fprintln(os.Stderr, "bench2json: no benchmark lines on stdin")
 		os.Exit(1)
+	}
+	if *floor > 0 {
+		if err := assertFloor(results, *floor); err != nil {
+			fmt.Fprintln(os.Stderr, "bench2json:", err)
+			os.Exit(1)
+		}
+	}
+	if *out == "" {
+		fmt.Printf("[checked %d benchmarks, no output file]\n", len(results))
+		return
 	}
 
 	var rec record
@@ -84,6 +122,12 @@ func main() {
 		os.Exit(1)
 	}
 	rec.Delta = deltas(rec.Baseline, rec.Current)
+	rec.GoMaxProcs = gomaxprocs
+	if len(rec.Current) > 0 {
+		rec.Efficiency = efficiencies(rec.Current)
+	} else {
+		rec.Efficiency = efficiencies(rec.Baseline)
+	}
 
 	data, err := json.MarshalIndent(&rec, "", "  ")
 	if err != nil {
@@ -102,10 +146,12 @@ func main() {
 //
 //	BenchmarkRouteAll/d26_media-64   8527   118499 ns/op   56082 B/op   770 allocs/op
 //
-// where the -64 suffix is GOMAXPROCS and is stripped so records from
-// machines with different core counts merge under one key.
-func parseBench(r io.Reader) (map[string]result, error) {
+// where the -64 suffix is GOMAXPROCS; it is stripped so records from
+// machines with different core counts merge under one key, and
+// returned so the record can note the measuring machine's parallelism.
+func parseBench(r io.Reader) (map[string]result, int, error) {
 	out := make(map[string]result)
+	gomaxprocs := 0
 	sc := bufio.NewScanner(r)
 	for sc.Scan() {
 		fields := strings.Fields(sc.Text())
@@ -114,8 +160,9 @@ func parseBench(r io.Reader) (map[string]result, error) {
 		}
 		name := strings.TrimPrefix(fields[0], "Benchmark")
 		if i := strings.LastIndex(name, "-"); i > 0 {
-			if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			if p, err := strconv.Atoi(name[i+1:]); err == nil {
 				name = name[:i]
+				gomaxprocs = p
 			}
 		}
 		iters, err := strconv.ParseInt(fields[1], 10, 64)
@@ -134,12 +181,77 @@ func parseBench(r io.Reader) (map[string]result, error) {
 				res.AllocsPerOp, err = strconv.ParseInt(val, 10, 64)
 			}
 			if err != nil {
-				return nil, fmt.Errorf("parsing %q: %w", sc.Text(), err)
+				return nil, 0, fmt.Errorf("parsing %q: %w", sc.Text(), err)
 			}
 		}
 		out[name] = res
+		if gomaxprocs == 0 {
+			gomaxprocs = 1 // go test omits the suffix when GOMAXPROCS=1
+		}
 	}
-	return out, sc.Err()
+	return out, gomaxprocs, sc.Err()
+}
+
+// efficiencies pairs every `Suite/workers=K` family's workers=1 timing
+// with its widest workers variant. Suites missing a workers=1 leg are
+// skipped.
+func efficiencies(results map[string]result) map[string]efficiency {
+	type legs struct {
+		w1     float64
+		maxW   int
+		maxWNs float64
+	}
+	suites := make(map[string]*legs)
+	for name, r := range results {
+		i := strings.LastIndex(name, "/workers=")
+		if i < 0 {
+			continue
+		}
+		k, err := strconv.Atoi(name[i+len("/workers="):])
+		if err != nil || r.NsPerOp <= 0 {
+			continue
+		}
+		suite := name[:i]
+		l := suites[suite]
+		if l == nil {
+			l = &legs{}
+			suites[suite] = l
+		}
+		if k == 1 {
+			l.w1 = r.NsPerOp
+		}
+		if k > l.maxW {
+			l.maxW = k
+			l.maxWNs = r.NsPerOp
+		}
+	}
+	out := make(map[string]efficiency)
+	for suite, l := range suites {
+		if l.w1 <= 0 || l.maxW <= 1 {
+			continue
+		}
+		out[suite] = efficiency{Workers: l.maxW, Speedup: round2(l.w1 / l.maxWNs)}
+	}
+	if len(out) == 0 {
+		return nil
+	}
+	return out
+}
+
+// assertFloor enforces the parallel-efficiency floor over the parsed
+// input: every workers= suite must reach the given speedup.
+func assertFloor(results map[string]result, floor float64) error {
+	effs := efficiencies(results)
+	if len(effs) == 0 {
+		return fmt.Errorf("-floor %.2f: no Suite/workers=K benchmarks on stdin", floor)
+	}
+	for suite, e := range effs {
+		if e.Speedup < floor {
+			return fmt.Errorf("parallel efficiency floor violated: %s workers=%d speedup %.2f < %.2f",
+				suite, e.Workers, e.Speedup, floor)
+		}
+	}
+	return nil
 }
 
 // deltas pairs up benchmarks present in both sections.

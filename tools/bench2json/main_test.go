@@ -16,12 +16,15 @@ ok  	nocvi	12.345s
 `
 
 func TestParseBench(t *testing.T) {
-	got, err := parseBench(strings.NewReader(sample))
+	got, gomaxprocs, err := parseBench(strings.NewReader(sample))
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(got) != 3 {
 		t.Fatalf("parsed %d results, want 3: %v", len(got), got)
+	}
+	if gomaxprocs != 64 {
+		t.Fatalf("gomaxprocs = %d, want 64 (from the -64 name suffix)", gomaxprocs)
 	}
 	r, ok := got["RouteAll/d16_industrial"]
 	if !ok {
@@ -47,5 +50,46 @@ func TestDeltas(t *testing.T) {
 	}
 	if deltas(nil, cur) != nil {
 		t.Fatal("deltas without a baseline should be nil")
+	}
+}
+
+func TestEfficiencies(t *testing.T) {
+	results := map[string]result{
+		"Synth/a/workers=1":    {NsPerOp: 1000},
+		"Synth/a/workers=2":    {NsPerOp: 600},
+		"Synth/a/workers=8":    {NsPerOp: 250},
+		"Synth/b/workers=1":    {NsPerOp: 500},
+		"Synth/b/workers=4":    {NsPerOp: 550}, // slower in parallel
+		"RouteAll/d26":         {NsPerOp: 100}, // no workers= leg: ignored
+		"Synth/lone/workers=4": {NsPerOp: 5},   // no workers=1 leg: skipped
+	}
+	effs := efficiencies(results)
+	if len(effs) != 2 {
+		t.Fatalf("want 2 suites, got %v", effs)
+	}
+	if e := effs["Synth/a"]; e.Workers != 8 || e.Speedup != 4 {
+		t.Fatalf("Synth/a = %+v, want workers=8 speedup=4", e)
+	}
+	if e := effs["Synth/b"]; e.Workers != 4 || e.Speedup >= 1 {
+		t.Fatalf("Synth/b = %+v, want workers=4 speedup<1", e)
+	}
+	if effs := efficiencies(map[string]result{"x": {NsPerOp: 1}}); effs != nil {
+		t.Fatalf("no workers= suites should yield nil, got %v", effs)
+	}
+}
+
+func TestAssertFloor(t *testing.T) {
+	results := map[string]result{
+		"S/x/workers=1": {NsPerOp: 1000},
+		"S/x/workers=8": {NsPerOp: 1100},
+	}
+	if err := assertFloor(results, 0.6); err != nil {
+		t.Fatalf("speedup 0.91 should pass floor 0.6: %v", err)
+	}
+	if err := assertFloor(results, 0.95); err == nil {
+		t.Fatal("speedup 0.91 must fail floor 0.95")
+	}
+	if err := assertFloor(map[string]result{"plain": {NsPerOp: 1}}, 0.5); err == nil {
+		t.Fatal("a floor with no workers= suites must fail loudly")
 	}
 }
