@@ -2,14 +2,15 @@
 # vet, gofmt cleanliness, the project's own static-analysis suite
 # (cmd/noclint), build, the full test suite under the race detector
 # (the synthesis sweep is concurrent by default, so races are
-# first-class failures), and a single-iteration routing-benchmark smoke
+# first-class failures), a single-iteration routing-benchmark smoke
 # run so a broken benchmark cannot sit unnoticed until the next perf
-# pass.
+# pass, and a power-state fault-campaign smoke run on the paper's D26
+# case study.
 GO ?= go
 
-.PHONY: ci vet fmt lint build test race bench bench-smoke bench-all
+.PHONY: ci vet fmt lint build test race bench bench-smoke bench-all campaign-smoke
 
-ci: vet fmt lint build race bench-smoke
+ci: vet fmt lint build race bench-smoke campaign-smoke
 
 vet:
 	$(GO) vet ./...
@@ -21,7 +22,7 @@ fmt:
 		echo "gofmt -l found unformatted files:"; echo "$$out"; exit 1; fi
 
 # lint runs the determinism/invariant analyzers (maprange, floateq,
-# errdrop, wallclock, bannedcall) over every package — including
+# errdrop, wallclock, bannedcall, goroutineleak) over every package — including
 # internal/analysis and cmd/noclint themselves, so the linter stays
 # clean on its own code. See DESIGN.md "Static analysis layer".
 lint:
@@ -54,3 +55,16 @@ bench-smoke:
 
 bench-all:
 	$(GO) test -bench=. -benchmem -run='^$$' ./...
+
+# campaign-smoke runs the power-state fault campaign end-to-end on the
+# paper's d26 case study: synthesize, enumerate all power states,
+# compose single-link faults under each, and fold the aggregate through
+# bench2json — which fails on any shutdown-invariant violation. The
+# power-minimal design point carries no link redundancy (0% of link
+# faults recoverable by re-routing), so no recoverability floor is set;
+# the aggregate is still computed, validated and reported.
+campaign-smoke:
+	@tmp=$$(mktemp); \
+	$(GO) run ./cmd/nocsynth -bench d26_media -campaign -campaign-json $$tmp >/dev/null && \
+	$(GO) run ./tools/bench2json -campaign $$tmp -o '' </dev/null; \
+	rc=$$?; rm -f $$tmp; exit $$rc

@@ -7,6 +7,7 @@
 //	nocbench -exp fig5       its floorplan, SVG + ASCII (Fig. 5)
 //	nocbench -exp tab1       shutdown-support overhead across the suite
 //	nocbench -exp tab2       island-shutdown power savings scenarios
+//	nocbench -exp campaign   power-state fault campaign across the suite
 //	nocbench -exp abl-alpha  ablation: VCG weight alpha
 //	nocbench -exp abl-mid    ablation: intermediate NoC island on/off
 //	nocbench -exp abl-width  ablation: link data width
@@ -29,7 +30,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run (fig2|fig3|fig4|fig5|tab1|tab2|abl-alpha|abl-mid|abl-part|abl-buffer|abl-dvs|abl-width|all)")
+	exp := flag.String("exp", "all", "experiment to run (fig2|fig3|fig4|fig5|tab1|tab2|campaign|abl-alpha|abl-mid|abl-part|abl-buffer|abl-dvs|abl-width|all)")
 	out := flag.String("out", "", "directory to write DOT/SVG artifacts to (optional)")
 	width := flag.Int("width", 32, "NoC link data width in bits")
 	workers := flag.Int("workers", 0, "design-point evaluation goroutines per synthesis (0 = all CPUs, 1 = serial)")
@@ -130,6 +131,13 @@ func run(exp, out string, lib *model.Library) error {
 		}
 		fmt.Println(experiments.FormatCmpFault(rows))
 	}
+	if all || exp == "campaign" {
+		rows, err := experiments.CampaignSweep(lib)
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiments.FormatCampaign(rows))
+	}
 	if all || exp == "abl-alpha" {
 		rows, err := experiments.AblAlpha(lib)
 		if err != nil {
@@ -173,7 +181,7 @@ func run(exp, out string, lib *model.Library) error {
 		fmt.Println(experiments.FormatAblation("Ablation — link data width (D26, 6 logical VIs)", rows))
 	}
 	switch exp {
-	case "all", "fig2", "fig3", "fig4", "fig5", "tab1", "tab2", "tab3", "load", "cmp-mesh", "cmp-fault", "abl-alpha", "abl-mid", "abl-part", "abl-buffer", "abl-dvs", "abl-width":
+	case "all", "fig2", "fig3", "fig4", "fig5", "tab1", "tab2", "tab3", "load", "cmp-mesh", "cmp-fault", "campaign", "abl-alpha", "abl-mid", "abl-part", "abl-buffer", "abl-dvs", "abl-width":
 		return nil
 	}
 	return fmt.Errorf("unknown experiment %q", exp)

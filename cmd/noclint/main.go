@@ -81,8 +81,8 @@ func run(stdout, stderr io.Writer, args []string) int {
 // analysis exit code, since a truncated report must not look clean.
 func emit(w, stderr io.Writer, out *bytes.Buffer, code int) int {
 	if _, err := w.Write(out.Bytes()); err != nil {
-		// Last-resort note; if stderr is also broken there is nothing
-		// left to report to.
+		// besteffort: last-resort note; if stderr is also broken there
+		// is nothing left to report to.
 		fmt.Fprintf(stderr, "noclint: writing report: %v\n", err)
 		return 2
 	}

@@ -4,6 +4,7 @@
 //
 //	nocsim -bench d26_media -islands 6 -duration 50000
 //	nocsim -bench d26_media -islands 6 -off 2,3 -scale 2.0
+//	nocsim -bench d26_media -campaign
 package main
 
 import (
@@ -25,15 +26,17 @@ func main() {
 	offList := flag.String("off", "", "comma-separated island IDs to power gate")
 	tracePath := flag.String("trace", "", "write a per-packet CSV trace to this file")
 	workers := flag.Int("workers", 0, "design-point evaluation goroutines (0 = all CPUs, 1 = serial)")
+	campaign := flag.Bool("campaign", false, "run the power-state fault campaign (with simulator verification) instead of one simulation")
+	campaignStates := flag.Int("campaign-states", 0, "power-state cap for -campaign (0 = default, sampled above it)")
 	flag.Parse()
 
-	if err := run(*benchName, *method, *islands, *duration, *scale, *offList, *tracePath, *workers); err != nil {
+	if err := run(*benchName, *method, *islands, *duration, *scale, *offList, *tracePath, *workers, *campaign, *campaignStates); err != nil {
 		fmt.Fprintln(os.Stderr, "nocsim:", err)
 		os.Exit(1)
 	}
 }
 
-func run(benchName, method string, islands int, duration, scale float64, offList, tracePath string, workers int) error {
+func run(benchName, method string, islands int, duration, scale float64, offList, tracePath string, workers int, campaign bool, campaignStates int) error {
 	var spec *nocvi.Spec
 	var err error
 	if islands == 0 {
@@ -53,6 +56,25 @@ func run(benchName, method string, islands int, duration, scale float64, offList
 		return err
 	}
 	top := res.Best().Top
+
+	if campaign {
+		// The simulator's view of shutdown: the campaign with SimVerify
+		// checks delivery under every power state, not just the one -off
+		// mask a single run exercises.
+		camp, err := nocvi.RunCampaign(top, nocvi.CampaignOptions{
+			MaxStates: campaignStates,
+			SimVerify: true,
+			Workers:   workers,
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Print(camp.Format())
+		if !camp.OK() {
+			return fmt.Errorf("shutdown invariant violated in %d power state(s)", camp.InvariantViolations)
+		}
+		return nil
+	}
 
 	off := make([]bool, len(spec.Islands))
 	if offList != "" {

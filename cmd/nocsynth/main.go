@@ -9,10 +9,12 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 
 	"nocvi"
@@ -28,6 +30,10 @@ func main() {
 	verilogPath := flag.String("verilog", "", "write a structural Verilog netlist to this file")
 	doVerify := flag.Bool("verify", false, "run the full design-rule sign-off on the selected point")
 	doFault := flag.Bool("fault", false, "sweep single-link failures on the selected point")
+	doCampaign := flag.Bool("campaign", false, "run the power-state fault campaign on the selected point")
+	campaignStates := flag.Int("campaign-states", 0, "power-state cap for -campaign (0 = default, sampled above it)")
+	campaignJSON := flag.String("campaign-json", "", "write the -campaign report as JSON to this file")
+	relax := flag.Bool("relax", false, "retry an infeasible spec under the degradation ladder")
 	method := flag.String("method", "logical", "island partitioning: logical|communication")
 	islands := flag.Int("islands", 0, "voltage island count (0 = benchmark default)")
 	alpha := flag.Float64("alpha", 0, "VCG bandwidth/latency weight in (0,1] (0 = default)")
@@ -53,7 +59,8 @@ func main() {
 		method: *method, islands: *islands, alpha: *alpha, mid: !*noMid,
 		width: *width, node: *node, dotPath: *dotPath, svgPath: *svgPath, jsonPath: *jsonPath,
 		verilogPath: *verilogPath, verify: *doVerify, fault: *doFault,
-		workers: *workers,
+		campaign: *doCampaign, campaignStates: *campaignStates, campaignJSON: *campaignJSON,
+		relax: *relax, workers: *workers,
 	}
 	// Ctrl-C / SIGTERM (and -timeout) cancel the synthesis sweep.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -87,6 +94,10 @@ type runConfig struct {
 	width                         int
 	node                          string
 	fault                         bool
+	campaign                      bool
+	campaignStates                int
+	campaignJSON                  string
+	relax                         bool
 	dotPath, svgPath, jsonPath    string
 	verilogPath                   string
 	verify                        bool
@@ -139,6 +150,7 @@ func run(ctx context.Context, cfg runConfig) error {
 		Alpha:             alpha,
 		AllowIntermediate: mid,
 		Workers:           cfg.workers,
+		Relax:             cfg.relax,
 	})
 	if err != nil {
 		return err
@@ -151,7 +163,24 @@ func run(ctx context.Context, cfg runConfig) error {
 	if res.Truncated {
 		trunc = " (sweep truncated at the design-point cap)"
 	}
-	fmt.Printf("explored %d configurations, %d valid design points%s\n\n", res.Explored, res.Feasible, trunc)
+	fmt.Printf("explored %d configurations, %d valid design points%s\n", res.Explored, res.Feasible, trunc)
+	if res.Partial {
+		fmt.Printf("sweep stopped early (%s): reporting the best-so-far partial result\n", res.StopReason)
+	}
+	if len(res.Errors) > 0 {
+		fmt.Fprintf(os.Stderr, "nocsynth: %d candidate(s) panicked and were skipped:\n", len(res.Errors))
+		for i := range res.Errors {
+			fmt.Fprintln(os.Stderr, "  "+res.Errors[i].Error())
+		}
+	}
+	if len(res.Relaxations) > 0 {
+		fmt.Printf("spec was infeasible as given; relaxations applied: %s\n",
+			strings.Join(res.Relaxations, ", "))
+	}
+	if len(res.Points) == 0 {
+		return fmt.Errorf("no design points found before the sweep stopped (%s); retry with a longer -timeout", res.StopReason)
+	}
+	fmt.Println()
 
 	front := nocvi.ParetoFront(res)
 	fmt.Println("pareto front (NoC dynamic power vs mean zero-load latency):")
@@ -196,6 +225,27 @@ func run(ctx context.Context, cfg runConfig) error {
 		}
 		fmt.Println()
 		fmt.Print(rep.Format())
+	}
+	if cfg.campaign || cfg.campaignJSON != "" {
+		camp, err := nocvi.RunCampaign(best.Top, nocvi.CampaignOptions{
+			MaxStates: cfg.campaignStates,
+			Workers:   cfg.workers,
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Println()
+		fmt.Print(camp.Format())
+		if cfg.campaignJSON != "" {
+			data, err := json.MarshalIndent(camp, "", "  ")
+			if err != nil {
+				return err
+			}
+			if err := os.WriteFile(cfg.campaignJSON, append(data, '\n'), 0o644); err != nil {
+				return err
+			}
+			fmt.Printf("[wrote %s]\n", cfg.campaignJSON)
+		}
 	}
 	if cfg.verilogPath != "" {
 		v, err := nocvi.GenerateVerilog(best.Top, nocvi.NetlistConfig{})

@@ -34,6 +34,28 @@ func TestRunBenchmarkWithArtifacts(t *testing.T) {
 	}
 }
 
+func TestRunCampaign(t *testing.T) {
+	dir := t.TempDir()
+	cfg := runConfig{
+		benchName:    "d16_industrial",
+		method:       "logical",
+		mid:          true,
+		width:        32,
+		campaign:     true,
+		campaignJSON: filepath.Join(dir, "campaign.json"),
+	}
+	if err := run(context.Background(), cfg); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(cfg.campaignJSON)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), `"invariant_violations": 0`) {
+		t.Fatalf("campaign JSON missing a clean invariant count:\n%s", data)
+	}
+}
+
 func TestRunVerilogExport(t *testing.T) {
 	dir := t.TempDir()
 	cfg := runConfig{

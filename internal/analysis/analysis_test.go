@@ -106,6 +106,10 @@ func TestBannedCallGolden(t *testing.T) {
 	runGolden(t, []*Analyzer{BannedCall}, "./bannedcall/...")
 }
 
+func TestGoroutineLeakGolden(t *testing.T) {
+	runGolden(t, []*Analyzer{GoroutineLeak}, "./goroutineleak/...")
+}
+
 // TestDirectiveValidation runs the full suite so the framework's own
 // "noclint" diagnostics for malformed suppressions are exercised.
 func TestDirectiveValidation(t *testing.T) {

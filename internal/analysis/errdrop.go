@@ -10,9 +10,11 @@ import (
 // ErrDrop flags statements that silently discard an error result: a
 // call used as a statement whose results include an error, and blank
 // assignments (`_ = ...`, `v, _ := f()`) at error-typed positions. A
-// drop is accepted when a non-empty comment stands alone on the line
-// directly above the statement — the justification the reviewer would
-// otherwise ask for — or under a //noclint:ignore errdrop directive.
+// drop is accepted when a `// besteffort: <reason>` comment stands
+// alone on the line directly above the statement — the keyword makes
+// every accepted drop greppable — or under a //noclint:ignore errdrop
+// directive. An arbitrary comment above the statement does not count:
+// prose that merely happens to precede a drop is not a justification.
 //
 // Calls that cannot fail by contract are excluded: fmt.Print/Printf/
 // Println, fmt.Fprint* into a *bytes.Buffer, *strings.Builder,
@@ -22,7 +24,8 @@ import (
 var ErrDrop = &Analyzer{
 	Name: "errdrop",
 	Doc: "flags call statements and blank assignments that discard an " +
-		"error result without an adjacent justification comment",
+		"error result without a besteffort: justification comment on the " +
+		"line above",
 	Run: runErrDrop,
 }
 
@@ -44,7 +47,7 @@ func runErrDrop(p *Pass) {
 				if len(errResultIndexes(p, call)) == 0 || excludedCall(p, call) || exempt(st.Pos()) {
 					return true
 				}
-				p.Reportf(st.Pos(), "error result of %s is silently discarded; handle it, justify the drop with a comment on the line above, or //noclint:ignore errdrop <reason>", calleeLabel(p, call))
+				p.Reportf(st.Pos(), "error result of %s is silently discarded; handle it, justify the drop with a besteffort: comment on the line above, or //noclint:ignore errdrop <reason>", calleeLabel(p, call))
 			case *ast.AssignStmt:
 				runErrDropAssign(p, st, exempt)
 			}
@@ -58,7 +61,7 @@ func runErrDropAssign(p *Pass, st *ast.AssignStmt, exempt func(token.Pos) bool) 
 		if exempt(st.Pos()) {
 			return
 		}
-		p.Reportf(st.Pos(), "%s is assigned to _; handle it, justify the drop with a comment on the line above, or //noclint:ignore errdrop <reason>", what)
+		p.Reportf(st.Pos(), "%s is assigned to _; handle it, justify the drop with a besteffort: comment on the line above, or //noclint:ignore errdrop <reason>", what)
 	}
 	if len(st.Rhs) == 1 && len(st.Lhs) > 1 {
 		// v, _ := f() — a single multi-result call.
@@ -190,15 +193,19 @@ func safeWriter(p *Pass, e ast.Expr) bool {
 	return obj.Name() == "Stdout" || obj.Name() == "Stderr"
 }
 
-// justifiedLines records the lines carrying a standalone non-empty
-// comment; a statement on the following line counts as justified.
-// Trailing same-line comments deliberately do not count: the golden
-// annotation syntax lives there, and a justification reads better on
-// its own line anyway.
+// justifiedLines records the lines ending a standalone comment that
+// starts with the `besteffort:` keyword; a statement on the following
+// line counts as justified. The keyword is required — any other
+// comment does not exempt the drop — so `grep -rn besteffort:` audits
+// every accepted drop in the tree. Trailing same-line comments
+// deliberately do not count: the golden annotation syntax lives there,
+// and a justification reads better on its own line anyway.
 func justifiedLines(p *Pass, f *ast.File) map[int]bool {
 	lines := map[int]bool{}
 	for _, cg := range f.Comments {
-		if strings.TrimSpace(cg.Text()) == "" {
+		text := strings.TrimSpace(cg.Text())
+		rest, ok := strings.CutPrefix(text, "besteffort:")
+		if !ok || strings.TrimSpace(rest) == "" {
 			continue
 		}
 		lines[p.Fset.Position(cg.End()).Line] = true

@@ -1,0 +1,145 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// GoroutineLeak flags `go` statements that spawn a goroutine with no
+// reachable completion signal — no channel send, no close, no
+// sync.WaitGroup.Done and no sync.Cond Signal/Broadcast anywhere in
+// the spawned function or the same-package functions it calls. The
+// synthesis sweep's drain guarantee (a canceled or panicking sweep
+// leaves no worker behind) rests on every spawned goroutine signalling
+// a channel or WaitGroup the spawner waits on; a goroutine with no
+// such signal cannot be waited for at all, so a cancellation or panic
+// on any path leaks it until the race suite times out.
+//
+// The check is intraprocedural per spawn site with same-package call
+// resolution: `go f()` is analyzed when f's body is declared in the
+// package under analysis, and skipped (not flagged) when the body is
+// out of reach — a function value parameter, a method on an interface,
+// or another package's function. A signal anywhere in the reachable
+// bodies counts, including inside nested function literals and
+// deferred calls; the analyzer proves "cannot signal", not "signals on
+// every path" — the latter is the race detector's job.
+var GoroutineLeak = &Analyzer{
+	Name: "goroutineleak",
+	Doc: "flags go statements whose goroutine has no completion signal " +
+		"(channel send, close, WaitGroup.Done or Cond Signal/Broadcast) " +
+		"the spawner could wait on, so cancellation or panic leaks it",
+	Run: runGoroutineLeak,
+}
+
+func runGoroutineLeak(p *Pass) {
+	decls := map[*types.Func]*ast.FuncDecl{}
+	for _, f := range p.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if fn, ok := p.Info.Defs[fd.Name].(*types.Func); ok {
+				decls[fn] = fd
+			}
+		}
+	}
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			gs, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			body, known := spawnedBody(p, decls, gs.Call)
+			if known && !hasCompletionSignal(p, decls, body, map[*types.Func]bool{}) {
+				p.Reportf(gs.Pos(), "goroutine has no completion signal (channel send, close, or WaitGroup.Done) the spawner could wait on; cancellation or a panic in the spawner leaks it")
+			}
+			return true
+		})
+	}
+}
+
+// spawnedBody resolves the body the go statement will run: a function
+// literal's own body, or the declaration body of a same-package
+// function. Unresolvable spawn targets return known=false and are out
+// of scope by design — flagging every opaque function value would
+// drown real findings in false positives.
+func spawnedBody(p *Pass, decls map[*types.Func]*ast.FuncDecl, call *ast.CallExpr) (*ast.BlockStmt, bool) {
+	if lit, ok := ast.Unparen(call.Fun).(*ast.FuncLit); ok {
+		return lit.Body, true
+	}
+	if fn := calleeObj(p, call); fn != nil {
+		if fd, ok := decls[fn]; ok {
+			return fd.Body, true
+		}
+	}
+	return nil, false
+}
+
+// hasCompletionSignal walks body and, transitively, the bodies of
+// same-package functions it calls, looking for anything a spawner
+// could block on: a channel send (plain or in a select case), the
+// close builtin, sync.WaitGroup.Done, or sync.Cond Signal/Broadcast.
+// The visiting set breaks call cycles.
+func hasCompletionSignal(p *Pass, decls map[*types.Func]*ast.FuncDecl, body ast.Node, visiting map[*types.Func]bool) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.SendStmt:
+			found = true
+		case *ast.CallExpr:
+			if isCloseBuiltin(p, n) || isCompletionMethod(p, n) {
+				found = true
+				return false
+			}
+			if fn := calleeObj(p, n); fn != nil && !visiting[fn] {
+				if fd, ok := decls[fn]; ok {
+					visiting[fn] = true
+					if hasCompletionSignal(p, decls, fd.Body, visiting) {
+						found = true
+					}
+				}
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// isCloseBuiltin reports whether call is the predeclared close(ch).
+func isCloseBuiltin(p *Pass, call *ast.CallExpr) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || id.Name != "close" {
+		return false
+	}
+	_, ok = p.Info.Uses[id].(*types.Builtin)
+	return ok
+}
+
+// isCompletionMethod reports whether call is one of the sync-package
+// methods a spawner blocks on from the other side: WaitGroup.Done
+// (paired with Wait) or Cond.Signal/Broadcast (paired with Cond.Wait).
+func isCompletionMethod(p *Pass, call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	fn, ok := p.Info.Uses[sel.Sel].(*types.Func)
+	if !ok {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	switch sig.Recv().Type().String() {
+	case "*sync.WaitGroup":
+		return fn.Name() == "Done"
+	case "*sync.Cond":
+		return fn.Name() == "Signal" || fn.Name() == "Broadcast"
+	}
+	return false
+}

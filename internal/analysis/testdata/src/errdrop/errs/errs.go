@@ -33,9 +33,19 @@ func DropPairwise() {
 	_ = err // want errdrop "error value err is assigned to _"
 }
 
-func JustifiedByComment() {
-	// Best-effort: the result is already committed at this point.
+func JustifiedByKeyword() {
+	// besteffort: the result is already committed at this point.
 	fallible()
+}
+
+func PlainCommentDoesNotJustify() {
+	// The result is already committed at this point.
+	fallible() // want errdrop "error result of fallible is silently discarded"
+}
+
+func BareKeywordDoesNotJustify() {
+	// besteffort:
+	_ = fallible() // want errdrop "error result of fallible is assigned to _"
 }
 
 func SuppressedByDirective() {

@@ -1,0 +1,96 @@
+// Package leak exercises goroutineleak.
+package leak
+
+import "sync"
+
+func compute() int { return 42 }
+
+func FireAndForget() {
+	go func() { // want goroutineleak "no completion signal"
+		compute()
+	}()
+}
+
+func SendsOnChannel(done chan<- struct{}) {
+	go func() {
+		compute()
+		done <- struct{}{}
+	}()
+}
+
+func ClosesChannel(done chan struct{}) {
+	go func() {
+		defer close(done)
+		compute()
+	}()
+}
+
+func WaitGroupDone(wg *sync.WaitGroup) {
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		compute()
+	}()
+}
+
+func CondBroadcast(c *sync.Cond) {
+	go func() {
+		compute()
+		c.Broadcast()
+	}()
+}
+
+func SelectSend(out chan int) {
+	go func() {
+		select {
+		case out <- compute():
+		default:
+		}
+	}()
+}
+
+func helper(done chan struct{}) { done <- struct{}{} }
+
+func SignalsViaHelper(done chan struct{}) {
+	go func() {
+		compute()
+		helper(done)
+	}()
+}
+
+func leakyWorker() { compute() }
+
+func NamedLeaky() {
+	go leakyWorker() // want goroutineleak "no completion signal"
+}
+
+func cleanWorker(wg *sync.WaitGroup) {
+	defer wg.Done()
+	compute()
+}
+
+func NamedClean(wg *sync.WaitGroup) {
+	wg.Add(1)
+	go cleanWorker(wg)
+}
+
+func mutualA() { mutualB() }
+
+func mutualB() { mutualA() }
+
+func CycleWithoutSignal() {
+	go mutualA() // want goroutineleak "no completion signal"
+}
+
+// OpaqueTargetIsSkipped spawns a function value whose body the
+// analyzer cannot see; such spawns are out of scope, not findings.
+func OpaqueTargetIsSkipped(f func()) {
+	go f()
+}
+
+func Suppressed() {
+	//noclint:ignore goroutineleak long-lived metrics daemon by design
+	go func() {
+		compute()
+	}()
+}

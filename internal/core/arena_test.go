@@ -2,7 +2,6 @@ package core
 
 import (
 	"context"
-	"errors"
 	"reflect"
 	"runtime"
 	"testing"
@@ -181,8 +180,8 @@ func TestMidSweepCancellationDrainsWorkers(t *testing.T) {
 			runtime.Gosched() // let the sweep get going before the cancel
 		}
 		cancel()
-		if err := <-done; err != nil && !errors.Is(err, context.Canceled) {
-			t.Fatalf("iteration %d: want nil or context.Canceled, got %v", i, err)
+		if err := <-done; err != nil {
+			t.Fatalf("iteration %d: canceled sweep must degrade to a partial result, got %v", i, err)
 		}
 	}
 	// Workers exit via the claiming loop's context check; give the

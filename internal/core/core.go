@@ -25,9 +25,12 @@ package core
 import (
 	"context"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"math"
 	"runtime"
+	"runtime/debug"
+	"strings"
 	"sync"
 	"sync/atomic"
 
@@ -89,6 +92,14 @@ type Options struct {
 	// candidates are enumerated up front and collected in deterministic
 	// sweep order regardless of completion order.
 	Workers int
+
+	// Relax opts into the degradation ladder: when the sweep finds no
+	// valid design point, the spec is retried under cumulative
+	// Algorithm-1-style relaxations (more indirect switches, latency
+	// slack ×1.1, larger max switch size) instead of failing hard. The
+	// applied relaxations are stamped on the Result and on every
+	// DesignPoint it contains. See relax.go.
+	Relax bool
 }
 
 func (o Options) alpha() float64 {
@@ -140,6 +151,11 @@ type DesignPoint struct {
 	// synthesized with, so RefinePlacement re-floorplans under the same
 	// whitespace/annotation settings instead of zero-value defaults.
 	FloorplanOpt floorplan.Options
+
+	// Relaxations lists the degradation-ladder rungs (see Options.Relax)
+	// that were in force when the point was synthesized; nil for points
+	// of the unrelaxed spec.
+	Relaxations []string
 }
 
 // Result is the outcome of a synthesis run.
@@ -164,6 +180,68 @@ type Result struct {
 	// MaxDesignPoints was reached: Explored and Feasible then reflect
 	// only the evaluated prefix of the design space, not all of it.
 	Truncated bool
+
+	// Partial reports that the sweep was cut short by context
+	// cancellation or deadline. The result then holds everything found
+	// up to the stopping point — exactly the prefix a serial sweep of
+	// the same spec would have produced — instead of being discarded.
+	Partial bool
+
+	// StopReason records why the sweep stopped: StopComplete,
+	// StopTruncated, StopCanceled or StopDeadline.
+	StopReason string
+
+	// Errors records candidates whose evaluation panicked. Each panic is
+	// recovered on the worker that hit it, converted into a structured
+	// CandidateError, and the sweep continues; the slice is folded in
+	// candidate order, so its content is identical for every worker
+	// count.
+	Errors []CandidateError
+
+	// Relaxations lists the degradation-ladder rungs applied to obtain
+	// this result (Options.Relax); nil when the spec synthesized as
+	// given.
+	Relaxations []string
+}
+
+// StopReason values recorded on Result.StopReason.
+const (
+	// StopComplete: the sweep evaluated the entire candidate space.
+	StopComplete = "complete"
+	// StopTruncated: MaxDesignPoints was reached.
+	StopTruncated = "max-design-points"
+	// StopCanceled: the context was canceled mid-sweep.
+	StopCanceled = "canceled"
+	// StopDeadline: the context deadline passed mid-sweep.
+	StopDeadline = "deadline"
+)
+
+// ErrInfeasible marks synthesis failures the Relax degradation ladder
+// may retry: no switch meets an island's clock, or the sweep found no
+// valid design point. Malformed specs and libraries fail with ordinary
+// errors that no relaxation can repair.
+var ErrInfeasible = errors.New("spec infeasible")
+
+// CandidateError is one candidate design point whose evaluation
+// panicked. The sweep records it and moves on instead of dying: a panic
+// in one corner of the design space must not cost the caller every
+// other point already found.
+type CandidateError struct {
+	// SwitchCounts and MidSwitches identify the candidate.
+	SwitchCounts []int
+	MidSwitches  int
+
+	// Panic is the recovered panic value; Stack the normalized frames
+	// from the panic site down to the evaluation boundary (addresses
+	// and caller frames stripped, so the same panic produces the same
+	// stack on any worker count).
+	Panic string
+	Stack string
+}
+
+func (e *CandidateError) Error() string {
+	//noclint:ignore bannedcall error rendering, not a cache key; runs once per recovered panic
+	return fmt.Sprintf("core: candidate %v/mid=%d panicked: %s", e.SwitchCounts, e.MidSwitches, e.Panic)
 }
 
 // Synthesize runs Algorithm 1 on the spec.
@@ -172,10 +250,26 @@ func Synthesize(spec *soc.Spec, lib *model.Library, opt Options) (*Result, error
 }
 
 // SynthesizeContext runs Algorithm 1 on the spec, evaluating candidate
-// design points across opt.Workers goroutines. The context cancels the
-// sweep: on cancellation or deadline the partial result is discarded
-// and ctx.Err() is returned wrapped.
+// design points across opt.Workers goroutines.
+//
+// The engine degrades instead of failing hard. Context cancellation or
+// deadline stops the sweep and returns the best-so-far partial result
+// (Result.Partial, Result.StopReason) with a nil error; sweeps that run
+// to completion are bit-identical to what they produced before partial
+// results existed. A panicking candidate is recovered on its worker,
+// recorded on Result.Errors, and the sweep continues. With Options.Relax
+// an infeasible spec is retried down the degradation ladder (see
+// relax.go) before the infeasibility is reported.
 func SynthesizeContext(ctx context.Context, spec *soc.Spec, lib *model.Library, opt Options) (*Result, error) {
+	res, err := synthesizeAttempt(ctx, spec, lib, opt)
+	if err == nil || !opt.Relax || !errors.Is(err, ErrInfeasible) || ctx.Err() != nil {
+		return res, err
+	}
+	return relaxedSynthesize(ctx, spec, lib, opt, err)
+}
+
+// synthesizeAttempt is one unrelaxed run of Algorithm 1 on one spec.
+func synthesizeAttempt(ctx context.Context, spec *soc.Spec, lib *model.Library, opt Options) (*Result, error) {
 	if err := spec.Validate(); err != nil {
 		return nil, fmt.Errorf("core: %w", err)
 	}
@@ -202,8 +296,8 @@ func SynthesizeContext(ctx context.Context, spec *soc.Spec, lib *model.Library, 
 		n := len(islandCores[j])
 		usable := maxSizes[j] - 1
 		if usable < 1 {
-			return nil, fmt.Errorf("core: island %d needs %.0f MHz, too fast for any usable switch",
-				j, freqs[j]/1e6)
+			return nil, fmt.Errorf("core: island %d needs %.0f MHz, too fast for any usable switch: %w",
+				j, freqs[j]/1e6, ErrInfeasible)
 		}
 		res.MinSwitches[j] = (n + usable - 1) / usable
 		if res.MinSwitches[j] < 1 {
@@ -278,11 +372,20 @@ func SynthesizeContext(ctx context.Context, spec *soc.Spec, lib *model.Library, 
 	if opt.workers() == 1 {
 		sweep = synthesizeSerial
 	}
-	if err := sweep(ctx, res, cands, opt, env, parter, eval); err != nil {
-		return nil, err
+	sweep(ctx, res, cands, opt, env, parter, eval)
+	if res.Partial {
+		// Cut short by the context: everything found so far is the answer.
+		// An empty partial result is still a result, not an error — the
+		// caller asked the sweep to stop, and it did.
+		return res, nil
+	}
+	if res.Truncated {
+		res.StopReason = StopTruncated
+	} else {
+		res.StopReason = StopComplete
 	}
 	if len(res.Points) == 0 {
-		return res, fmt.Errorf("core: no valid design point for %q (explored %d)", spec.Name, res.Explored)
+		return res, fmt.Errorf("core: no valid design point for %q (explored %d): %w", spec.Name, res.Explored, ErrInfeasible)
 	}
 	return res, nil
 }
@@ -343,17 +446,105 @@ func enumerateCandidates(minSwitches []int, islandCores [][]soc.CoreID, maxCores
 	return cands
 }
 
+// evalOutcome is one candidate's evaluation: a valid design point, a
+// recovered panic, or neither (the candidate was infeasible).
+type evalOutcome struct {
+	dp  *DesignPoint
+	err *CandidateError
+}
+
+// testHookEvalStart, when non-nil, runs at the top of every candidate
+// evaluation — inside the panic boundary, on the evaluating goroutine.
+// Tests use it to inject panics into chosen candidates and to cancel
+// contexts after a deterministic number of evaluations. Always nil in
+// production; set it only in tests that run sweeps sequentially.
+var testHookEvalStart func(counts []int, mid int)
+
+// safeEval evaluates one candidate behind a panic boundary. A panic is
+// converted into a CandidateError carrying the candidate's parameters
+// and a normalized stack, and the worker's arena is dropped — a panic
+// can leave the pooled topology, router or floorplan scratch half
+// mutated, so the next candidate starts from fresh allocations.
+func safeEval(bc *buildContext, c candidate, eval func(*buildContext, candidate) *DesignPoint) (out evalOutcome) {
+	defer func() {
+		if r := recover(); r != nil {
+			out = evalOutcome{err: &CandidateError{
+				SwitchCounts: append([]int(nil), c.vec.counts...),
+				MidSwitches:  c.mid,
+				//noclint:ignore bannedcall stringifying a recovered panic value, off the hot path
+				Panic: fmt.Sprint(r),
+				Stack: normalizeStack(debug.Stack()),
+			}}
+			*bc = buildContext{env: bc.env}
+		}
+	}()
+	if testHookEvalStart != nil {
+		testHookEvalStart(c.vec.counts, c.mid)
+	}
+	return evalOutcome{dp: eval(bc, c)}
+}
+
+// normalizeStack reduces a debug.Stack dump to the frames between the
+// panic site and the evaluation boundary. The goroutine header,
+// argument values, code offsets and runtime frames are stripped, and
+// the walk stops at safeEval itself — everything below it differs
+// between the serial and parallel sweeps. The same panic therefore
+// yields a byte-identical stack on any worker count, which is what lets
+// Result.Errors compare equal across sweep configurations.
+func normalizeStack(stack []byte) string {
+	lines := strings.Split(string(stack), "\n")
+	var b strings.Builder
+	for i := 0; i < len(lines); i++ {
+		line := lines[i]
+		if line == "" || strings.HasPrefix(line, "goroutine ") || strings.HasPrefix(line, "\t") {
+			continue // header, or a location line of a skipped frame
+		}
+		fn := line
+		if j := strings.IndexByte(fn, '('); j >= 0 {
+			fn = fn[:j]
+		}
+		if fn == "nocvi/internal/core.safeEval" {
+			break // evaluation boundary: frames below depend on sweep mode
+		}
+		if fn == "panic" || strings.HasPrefix(fn, "runtime.") ||
+			strings.HasPrefix(fn, "runtime/debug.") ||
+			strings.HasPrefix(fn, "nocvi/internal/core.safeEval.func") {
+			continue
+		}
+		loc := ""
+		if i+1 < len(lines) && strings.HasPrefix(lines[i+1], "\t") {
+			loc = strings.TrimSpace(lines[i+1])
+			if j := strings.LastIndex(loc, " +0x"); j >= 0 {
+				loc = loc[:j]
+			}
+			i++
+		}
+		b.WriteString(fn)
+		if loc != "" {
+			b.WriteString("\n\t")
+			b.WriteString(loc)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
 // collect folds one evaluated candidate into the result in sweep order.
 // It returns true when the sweep should stop (MaxDesignPoints reached).
-// Every attempted candidate counts toward Explored, whether its
-// partitioning failed or its routing/floorplanning was infeasible.
-func collect(res *Result, dp *DesignPoint, total int, opt Options) (stop bool) {
+// Every attempted candidate counts toward Explored — whether its
+// partitioning failed, its routing/floorplanning was infeasible, or its
+// evaluation panicked (recorded on res.Errors).
+func collect(res *Result, out evalOutcome, total int, opt Options) (stop bool) {
 	res.Explored++
-	if dp == nil {
+	if out.err != nil {
+		res.Errors = append(res.Errors, *out.err)
+		return false
+	}
+	if out.dp == nil {
 		return false
 	}
 	res.Feasible++
-	res.Points = append(res.Points, *dp)
+	res.Points = append(res.Points, *out.dp)
 	if opt.MaxDesignPoints > 0 && len(res.Points) >= opt.MaxDesignPoints {
 		res.Truncated = res.Explored < total
 		return true
@@ -361,36 +552,55 @@ func collect(res *Result, dp *DesignPoint, total int, opt Options) (stop bool) {
 	return false
 }
 
+// markPartial stamps a context-stopped sweep onto the result. The
+// folded prefix stays; only the stop metadata changes.
+func markPartial(ctx context.Context, res *Result) {
+	res.Partial = true
+	if errors.Is(ctx.Err(), context.DeadlineExceeded) {
+		res.StopReason = StopDeadline
+	} else {
+		res.StopReason = StopCanceled
+	}
+}
+
 // synthesizeSerial is the Workers=1 path: one candidate at a time, in
 // order, built inside a single arena, stopping as soon as
 // MaxDesignPoints is met. Partitions are resolved lazily so a truncated
-// sweep never partitions vectors beyond the stopping point.
-func synthesizeSerial(ctx context.Context, res *Result, cands []candidate, opt Options, env *sweepEnv, parter *partitioner, eval func(*buildContext, candidate) *DesignPoint) error {
+// sweep never partitions vectors beyond the stopping point. On context
+// cancellation the candidates already folded stay on the result, which
+// is marked Partial.
+func synthesizeSerial(ctx context.Context, res *Result, cands []candidate, opt Options, env *sweepEnv, parter *partitioner, eval func(*buildContext, candidate) *DesignPoint) {
 	bc := newBuildContext(env)
 	for _, c := range cands {
-		if err := ctx.Err(); err != nil {
-			return fmt.Errorf("core: synthesis of %q interrupted: %w", res.Spec.Name, err)
+		if ctx.Err() != nil {
+			markPartial(ctx, res)
+			return
 		}
 		parter.resolve(c.vec)
-		if collect(res, eval(bc, c), len(cands), opt) {
-			return nil
+		if collect(res, safeEval(bc, c, eval), len(cands), opt) {
+			return
 		}
 	}
-	return nil
 }
 
 // synthesizeParallel fans candidates out over opt.workers() goroutines,
 // each owning one reusable build arena for the whole sweep. Candidates
 // are claimed from an atomic cursor — no dispatch channel, no producer
 // goroutine — and their outcomes folded into the result strictly in
-// candidate order, so Points, Explored, Feasible and Truncated are
-// identical to the serial path. Chunking bounds the work wasted beyond
-// the stopping point when MaxDesignPoints is set; without a cap the
-// whole space is one chunk. The coordinator resolves each chunk's
+// candidate order, so Points, Explored, Feasible, Truncated and Errors
+// are identical to the serial path. Chunking bounds the work wasted
+// beyond the stopping point when MaxDesignPoints is set; without a cap
+// the whole space is one chunk. The coordinator resolves each chunk's
 // counts-vector partitions up front, so workers share only immutable
 // state: cancellation stops workers at the next claim, and nothing
 // keeps feeding work after it.
-func synthesizeParallel(ctx context.Context, res *Result, cands []candidate, opt Options, env *sweepEnv, parter *partitioner, eval func(*buildContext, candidate) *DesignPoint) error {
+//
+// On cancellation the evaluated candidates form a contiguous prefix —
+// claims are issued in candidate order by the cursor, and a worker that
+// claims an index always finishes evaluating it before checking the
+// context again — so folding indices [0, next) yields exactly the
+// prefix a serial sweep of the same spec would have produced.
+func synthesizeParallel(ctx context.Context, res *Result, cands []candidate, opt Options, env *sweepEnv, parter *partitioner, eval func(*buildContext, candidate) *DesignPoint) {
 	workers := opt.workers()
 	chunk := len(cands)
 	if opt.MaxDesignPoints > 0 && workers*4 < chunk {
@@ -408,11 +618,12 @@ func synthesizeParallel(ctx context.Context, res *Result, cands []candidate, opt
 			}
 			parter.resolve(cands[i].vec)
 		}
-		if err := ctx.Err(); err != nil {
-			return fmt.Errorf("core: synthesis of %q interrupted: %w", res.Spec.Name, err)
+		if ctx.Err() != nil {
+			markPartial(ctx, res)
+			return
 		}
-		points := make([]*DesignPoint, hi-lo)
-		var next atomic.Int64 // next unclaimed index into points
+		outs := make([]evalOutcome, hi-lo)
+		var next atomic.Int64 // next unclaimed index into outs
 		var wg sync.WaitGroup
 		for w := 0; w < workers && w < hi-lo; w++ {
 			wg.Add(1)
@@ -425,24 +636,32 @@ func synthesizeParallel(ctx context.Context, res *Result, cands []candidate, opt
 				}
 				for ctx.Err() == nil {
 					i := int(next.Add(1)) - 1
-					if i >= len(points) {
+					if i >= len(outs) {
 						return
 					}
-					points[i] = eval(bc, cands[lo+i])
+					outs[i] = safeEval(bc, cands[lo+i], eval)
 				}
 			}(w)
 		}
 		wg.Wait()
-		if err := ctx.Err(); err != nil {
-			return fmt.Errorf("core: synthesis of %q interrupted: %w", res.Spec.Name, err)
-		}
-		for _, dp := range points {
-			if collect(res, dp, len(cands), opt) {
-				return nil
+		done := len(outs)
+		if ctx.Err() != nil {
+			// Every claimed index was evaluated; claims stop on
+			// cancellation, so [0, next) is the evaluated prefix.
+			if n := int(next.Load()); n < done {
+				done = n
 			}
 		}
+		for i := 0; i < done; i++ {
+			if collect(res, outs[i], len(cands), opt) {
+				return
+			}
+		}
+		if ctx.Err() != nil {
+			markPartial(ctx, res)
+			return
+		}
 	}
-	return nil
 }
 
 // IslandClocks implements step 1: the NoC clock of each island is fixed
@@ -463,7 +682,7 @@ func IslandClocks(spec *soc.Spec, lib *model.Library) (freqs []float64, maxSizes
 		maxSizes[j] = lib.MaxSwitchSize(freqs[j])
 		if maxSizes[j] == 0 {
 			return nil, nil, fmt.Errorf(
-				"core: island %d requires %.0f MHz which no switch meets; widen links", j, freqs[j]/1e6)
+				"core: island %d requires %.0f MHz which no switch meets; widen links: %w", j, freqs[j]/1e6, ErrInfeasible)
 		}
 		if maxSizes[j] > len(spec.Cores)+nIsl+8 {
 			// Unbounded in practice; clamp for sizing arithmetic.

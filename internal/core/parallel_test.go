@@ -2,7 +2,6 @@ package core
 
 import (
 	"context"
-	"errors"
 	"fmt"
 	"testing"
 
@@ -213,20 +212,32 @@ func TestArgminTieBreak(t *testing.T) {
 }
 
 // TestSynthesizeContextCancellation covers the context plumbing for
-// both sweep paths.
+// both sweep paths: a dead context yields a Partial result — possibly
+// empty, never an error — and a live one a complete sweep stamped
+// StopComplete.
 func TestSynthesizeContextCancellation(t *testing.T) {
 	spec := miniSoC()
 	lib := model.Default65nm()
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
 	for _, workers := range []int{1, 4} {
-		_, err := SynthesizeContext(ctx, spec, lib, Options{AllowIntermediate: true, Workers: workers})
-		if !errors.Is(err, context.Canceled) {
-			t.Fatalf("workers=%d: want context.Canceled, got %v", workers, err)
+		res, err := SynthesizeContext(ctx, spec, lib, Options{AllowIntermediate: true, Workers: workers})
+		if err != nil {
+			t.Fatalf("workers=%d: canceled sweep errored: %v", workers, err)
+		}
+		if !res.Partial || res.StopReason != StopCanceled {
+			t.Fatalf("workers=%d: want Partial/%s, got Partial=%v StopReason=%q",
+				workers, StopCanceled, res.Partial, res.StopReason)
+		}
+		if res.Explored != 0 {
+			t.Fatalf("workers=%d: pre-canceled context still explored %d candidates", workers, res.Explored)
 		}
 	}
 	res, err := SynthesizeContext(context.Background(), spec, lib, Options{Workers: 4})
 	if err != nil || len(res.Points) == 0 {
 		t.Fatalf("live context failed: %v", err)
+	}
+	if res.Partial || res.StopReason != StopComplete {
+		t.Fatalf("complete sweep stamped Partial=%v StopReason=%q", res.Partial, res.StopReason)
 	}
 }

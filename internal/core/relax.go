@@ -1,0 +1,125 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"nocvi/internal/model"
+	"nocvi/internal/soc"
+)
+
+// Degradation-ladder rung names, in the order they are applied. Each is
+// an Algorithm-1-style relaxation: it widens the design space the sweep
+// explores without changing the sweep itself, so a relaxed result is
+// still a faithful Algorithm 1 outcome — just of a slightly easier
+// problem, and labeled as such.
+const (
+	// RelaxIntermediate turns on the intermediate NoC island (or widens
+	// its switch sweep if already on): indirect switches give flows a
+	// second island to route through when direct inter-island links
+	// cannot meet constraints.
+	RelaxIntermediate = "intermediate-switches"
+
+	// RelaxLatency multiplies every flow's latency constraint by 1.1 —
+	// the slack a designer would grant before abandoning the spec.
+	RelaxLatency = "latency-slack"
+
+	// RelaxSwitchSize scales the library's switch critical-path intercept
+	// (MaxFreqA) by 1.15, allowing larger crossbars at every clock. Both
+	// synthesis sizing and topology validation read the same library, so
+	// relaxed points stay self-consistent.
+	RelaxSwitchSize = "max-switch-size"
+)
+
+// relaxLatencyFactor and relaxFreqAFactor are the documented rung
+// magnitudes; single-step, not compounding (each rung applies once).
+const (
+	relaxLatencyFactor = 1.1
+	relaxFreqAFactor   = 1.15
+)
+
+// relaxation is one rung of the degradation ladder: a name stamped on
+// results and an apply step producing the relaxed problem. Rungs are
+// cumulative — rung k retries with rungs 1..k all applied.
+type relaxation struct {
+	name  string
+	apply func(spec *soc.Spec, lib *model.Library, opt Options) (*soc.Spec, *model.Library, Options)
+}
+
+// ladder lists the rungs in escalation order: cheapest concession
+// first. More indirect switches cost area but honor every constraint;
+// latency slack bends the spec's constraints; a larger max switch size
+// bends the technology model. See DESIGN.md for the rationale.
+var ladder = []relaxation{
+	{RelaxIntermediate, relaxIntermediate},
+	{RelaxLatency, relaxLatency},
+	{RelaxSwitchSize, relaxSwitchSize},
+}
+
+func relaxIntermediate(spec *soc.Spec, lib *model.Library, opt Options) (*soc.Spec, *model.Library, Options) {
+	maxCores := 0
+	for j := range spec.Islands {
+		if n := len(spec.CoresIn(soc.IslandID(j))); n > maxCores {
+			maxCores = n
+		}
+	}
+	if opt.AllowIntermediate {
+		// Already on: double the indirect-switch sweep range instead.
+		base := opt.MaxIntermediateSwitches
+		if base <= 0 {
+			base = maxCores
+		}
+		opt.MaxIntermediateSwitches = 2 * base
+	} else {
+		opt.AllowIntermediate = true
+		opt.MaxIntermediateSwitches = maxCores
+	}
+	return spec, lib, opt
+}
+
+func relaxLatency(spec *soc.Spec, lib *model.Library, opt Options) (*soc.Spec, *model.Library, Options) {
+	relaxed := spec.Clone()
+	for i := range relaxed.Flows {
+		relaxed.Flows[i].MaxLatencyCycles *= relaxLatencyFactor
+	}
+	return relaxed, lib, opt
+}
+
+func relaxSwitchSize(spec *soc.Spec, lib *model.Library, opt Options) (*soc.Spec, *model.Library, Options) {
+	// Library is a flat value struct; a shallow copy is a deep copy.
+	relaxed := *lib
+	relaxed.MaxFreqA *= relaxFreqAFactor
+	return spec, &relaxed, opt
+}
+
+// relaxedSynthesize walks the degradation ladder after an unrelaxed
+// attempt failed with ErrInfeasible: each rung is applied on top of the
+// previous ones and the whole sweep retried. The first rung that yields
+// a result wins; the applied rung names are stamped on the Result and
+// on every DesignPoint it holds, so downstream consumers can tell a
+// relaxed design from a native one. When the ladder is exhausted — or
+// the context dies mid-ladder — the original infeasibility is returned.
+func relaxedSynthesize(ctx context.Context, spec *soc.Spec, lib *model.Library, opt Options, orig error) (*Result, error) {
+	applied := make([]string, 0, len(ladder))
+	for _, rung := range ladder {
+		if ctx.Err() != nil {
+			return nil, orig
+		}
+		spec, lib, opt = rung.apply(spec, lib, opt)
+		applied = append(applied, rung.name)
+		res, err := synthesizeAttempt(ctx, spec, lib, opt)
+		if err != nil {
+			if errors.Is(err, ErrInfeasible) {
+				continue // escalate to the next rung
+			}
+			return nil, err // structural failure no relaxation repairs
+		}
+		res.Relaxations = append([]string(nil), applied...)
+		for i := range res.Points {
+			res.Points[i].Relaxations = res.Relaxations
+		}
+		return res, nil
+	}
+	return nil, fmt.Errorf("core: degradation ladder exhausted (%d rungs): %w", len(ladder), orig)
+}

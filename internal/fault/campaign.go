@@ -1,0 +1,450 @@
+// Power-state fault campaign: the design-time guarantee of the paper,
+// exercised exhaustively. The single-link sweep in fault.go verifies
+// recoverability with every island powered; the campaign enumerates the
+// actual power states the design was synthesized for — every subset of
+// shut-downable islands gated — and under each state checks the
+// shutdown invariant (every flow between surviving islands keeps its
+// committed route) and composes single-link failures with re-routing
+// restricted to surviving links. A synthesized design must report zero
+// invariant violations for every state; the per-state link-fault
+// recoverability quantifies how much slack beyond the guarantee the
+// topology carries.
+package fault
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"nocvi/internal/route"
+	"nocvi/internal/sim"
+	"nocvi/internal/soc"
+	"nocvi/internal/topology"
+)
+
+// DefaultMaxStates caps the number of power states a campaign
+// evaluates. Designs with up to 6 shut-downable islands are enumerated
+// exhaustively; beyond that the state space is sampled.
+const DefaultMaxStates = 64
+
+// CampaignOptions configures a power-state fault campaign.
+type CampaignOptions struct {
+	// MaxStates caps the number of power states evaluated; zero selects
+	// DefaultMaxStates. When the full state space exceeds the cap, the
+	// campaign always keeps the all-on state and every single-island
+	// state, and fills the remainder with a deterministic sample of
+	// multi-island states — the same sample on every run.
+	MaxStates int
+
+	// SimVerify additionally runs the cycle-level simulator under each
+	// power state (sim.VerifyShutdownDelivery): beyond the structural
+	// invariant, surviving traffic must actually deliver.
+	SimVerify bool
+
+	// Workers bounds the goroutines evaluating power states
+	// concurrently. Zero evaluates serially. Every worker count yields a
+	// byte-identical report: states are enumerated up front and results
+	// collected in state order.
+	Workers int
+}
+
+// StateOutcome is the campaign result for one power state.
+type StateOutcome struct {
+	// Mask is the gated-subset bitmask over the shut-downable islands
+	// (bit i gates the i-th shut-downable island, in island order); the
+	// campaign's canonical state ordering is ascending Mask.
+	Mask uint64 `json:"mask"`
+
+	// State names the gated islands, "all-on" for the empty mask.
+	State string `json:"state"`
+
+	// Off is the per-spec-island gating mask the state denotes.
+	Off []bool `json:"-"`
+
+	// ActiveFlows counts flows with both endpoints on surviving islands
+	// — the traffic the invariant protects under this state.
+	ActiveFlows int `json:"active_flows"`
+
+	// InvariantOK reports the paper's guarantee for this state: every
+	// active flow's committed route avoids every gated island.
+	// InvariantErr holds the first violation when not OK.
+	InvariantOK  bool   `json:"invariant_ok"`
+	InvariantErr string `json:"invariant_err,omitempty"`
+
+	// Links counts the powered links subjected to single-link failure
+	// under this state; Recoverable how many of those failures the
+	// surviving links could route around.
+	Links       int `json:"links"`
+	Recoverable int `json:"recoverable"`
+
+	// Unrecovered lists the link failures the state could not absorb,
+	// sorted by LinkID.
+	Unrecovered []LinkOutcome `json:"unrecovered,omitempty"`
+}
+
+// Campaign is the aggregate report of a power-state fault campaign.
+type Campaign struct {
+	Design string `json:"design"`
+
+	// Islands and Shutdownable describe the state space: 2^Shutdownable
+	// power states in total, of which len(States) were evaluated.
+	Islands      int   `json:"islands"`
+	Shutdownable int   `json:"shutdownable"`
+	StateSpace   int64 `json:"state_space"`
+	Sampled      bool  `json:"sampled,omitempty"`
+
+	States []StateOutcome `json:"states"`
+
+	// InvariantViolations counts states whose shutdown invariant failed
+	// — zero for any design the synthesis engine produced.
+	InvariantViolations int `json:"invariant_violations"`
+
+	// LinkFaults and Recovered aggregate the per-state link-failure
+	// sweeps.
+	LinkFaults int `json:"link_faults"`
+	Recovered  int `json:"recovered"`
+}
+
+// OK reports whether every evaluated power state upheld the shutdown
+// invariant.
+func (c *Campaign) OK() bool { return c.InvariantViolations == 0 }
+
+// RecoverableFrac is the aggregate fraction of (power state, link
+// failure) combinations the surviving links could route around.
+func (c *Campaign) RecoverableFrac() float64 {
+	if c.LinkFaults == 0 {
+		return 1
+	}
+	return float64(c.Recovered) / float64(c.LinkFaults)
+}
+
+// RunCampaign evaluates the power-state fault campaign on a routed
+// topology.
+func RunCampaign(top *topology.Topology, opt CampaignOptions) (*Campaign, error) {
+	shutdownable := shutdownableIslands(top)
+	k := len(shutdownable)
+	c := &Campaign{
+		Design:       top.Spec.Name,
+		Islands:      len(top.Spec.Islands),
+		Shutdownable: k,
+		StateSpace:   stateSpaceSize(k),
+	}
+	masks := enumerateStates(k, opt.maxStates())
+	c.Sampled = int64(len(masks)) < c.StateSpace
+
+	c.States = make([]StateOutcome, len(masks))
+	errs := make([]error, len(masks))
+	eval := func(i int) {
+		c.States[i], errs[i] = evalState(top, shutdownable, masks[i], opt)
+	}
+	runStates(len(masks), opt.workers(), eval)
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	for i := range c.States {
+		s := &c.States[i]
+		if !s.InvariantOK {
+			c.InvariantViolations++
+		}
+		c.LinkFaults += s.Links
+		c.Recovered += s.Recoverable
+	}
+	return c, nil
+}
+
+func (o CampaignOptions) maxStates() int {
+	if o.MaxStates <= 0 {
+		return DefaultMaxStates
+	}
+	return o.MaxStates
+}
+
+func (o CampaignOptions) workers() int {
+	if o.Workers <= 0 {
+		return 1
+	}
+	return o.Workers
+}
+
+// runStates evaluates eval(0..n-1) over the given worker count. States
+// are independent and results land at their own index, so any worker
+// count produces the same report.
+func runStates(n, workers int, eval func(int)) {
+	if workers <= 1 || n <= 1 {
+		for i := 0; i < n; i++ {
+			eval(i)
+		}
+		return
+	}
+	next := make(chan int)
+	done := make(chan struct{})
+	if workers > n {
+		workers = n
+	}
+	for w := 0; w < workers; w++ {
+		go func() {
+			for i := range next {
+				eval(i)
+			}
+			done <- struct{}{}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
+	for w := 0; w < workers; w++ {
+		<-done
+	}
+}
+
+// shutdownableIslands lists the spec islands the design may gate, in
+// island order.
+func shutdownableIslands(top *topology.Topology) []soc.IslandID {
+	var out []soc.IslandID
+	for j := range top.Spec.Islands {
+		if top.IslandShutdownable(soc.IslandID(j)) {
+			out = append(out, soc.IslandID(j))
+		}
+	}
+	return out
+}
+
+// stateSpaceSize returns 2^k, saturating instead of overflowing — a
+// design with 63+ shut-downable islands has an astronomically large
+// state space, and the campaign samples it either way.
+func stateSpaceSize(k int) int64 {
+	if k >= 62 {
+		return 1 << 62
+	}
+	return 1 << k
+}
+
+// enumerateStates lists the gated-subset bitmasks to evaluate, in
+// ascending order. Below the cap the full 2^k space is enumerated.
+// Above it the all-on state and every single-island state are always
+// kept — they are the states the paper's use cases exercise — and the
+// remaining slots are filled with a deterministic splitmix64-driven
+// sample of multi-island states, identical on every run.
+func enumerateStates(k, limit int) []uint64 {
+	if space := stateSpaceSize(k); space <= int64(limit) {
+		masks := make([]uint64, space)
+		for i := range masks {
+			masks[i] = uint64(i)
+		}
+		return masks
+	}
+	keep := make(map[uint64]bool, limit)
+	keep[0] = true
+	for i := 0; i < k && len(keep) < limit; i++ {
+		keep[uint64(1)<<i] = true
+	}
+	// Deterministic sampling: hash a counter through splitmix64 and mask
+	// to k bits. Collisions and already-kept masks are skipped; the
+	// sequence is fixed, so the sampled set never varies between runs,
+	// worker counts or machines.
+	var mod uint64 = 1<<uint(k) - 1
+	if k >= 64 {
+		mod = ^uint64(0)
+	}
+	for ctr := uint64(1); len(keep) < limit; ctr++ {
+		m := splitmix64(ctr) & mod
+		if !keep[m] {
+			keep[m] = true
+		}
+	}
+	masks := make([]uint64, 0, len(keep))
+	for m := range keep {
+		masks = append(masks, m)
+	}
+	sort.Slice(masks, func(i, j int) bool { return masks[i] < masks[j] })
+	return masks
+}
+
+// splitmix64 is the SplitMix64 finalizer — a tiny, dependency-free
+// deterministic bit mixer. The campaign must not use math/rand: the
+// determinism lint bans nondeterminism sources from synthesis-path
+// packages, and the sampled state set is part of the report contract.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// stateLabel names a power state by its gated islands.
+func stateLabel(spec *soc.Spec, off []bool) string {
+	var names []string
+	for j, gated := range off {
+		if gated {
+			names = append(names, spec.Islands[j].Name)
+		}
+	}
+	if len(names) == 0 {
+		return "all-on"
+	}
+	return "off:" + strings.Join(names, "+")
+}
+
+// evalState checks one power state: the shutdown invariant first, then
+// a single-link-failure sweep over the powered links with re-routing of
+// the surviving traffic only.
+func evalState(top *topology.Topology, shutdownable []soc.IslandID, mask uint64, opt CampaignOptions) (StateOutcome, error) {
+	off := make([]bool, len(top.Spec.Islands))
+	for i, isl := range shutdownable {
+		if mask&(1<<uint(i)) != 0 {
+			off[isl] = true
+		}
+	}
+	s := StateOutcome{
+		Mask:  mask,
+		State: stateLabel(top.Spec, off),
+		Off:   off,
+	}
+
+	// The paper's invariant, generalized to the whole power state: every
+	// flow between surviving islands keeps its committed route.
+	s.InvariantOK = true
+	if err := top.ValidateShutdownSafeMask(off); err != nil {
+		s.InvariantOK = false
+		s.InvariantErr = stableReason(err)
+	} else if opt.SimVerify {
+		if err := sim.VerifyShutdownDelivery(top, off); err != nil {
+			s.InvariantOK = false
+			s.InvariantErr = stableReason(err)
+		}
+	}
+
+	active := activeFlows(top.Spec, off)
+	s.ActiveFlows = len(active)
+
+	// Single-link failures composed under the state: only powered links
+	// can fail meaningfully (a gated island's links are already off),
+	// and only the surviving traffic needs a route around the failure.
+	for _, l := range top.Links {
+		if linkGated(top, l, off) {
+			continue
+		}
+		out, err := tryWithoutUnderState(top, l.ID, off, active)
+		if err != nil {
+			return s, err
+		}
+		s.Links++
+		if out.Recovered {
+			s.Recoverable++
+		} else {
+			s.Unrecovered = append(s.Unrecovered, *out)
+		}
+	}
+	sortOutcomes(s.Unrecovered)
+	return s, nil
+}
+
+// activeFlows filters the spec's flows (in decreasing-bandwidth order,
+// as the router requires) to those with both endpoints on surviving
+// islands.
+func activeFlows(spec *soc.Spec, off []bool) []soc.Flow {
+	sorted := spec.SortFlowsByBandwidth()
+	active := sorted[:0:0]
+	for _, f := range sorted {
+		if !off[spec.IslandOf[f.Src]] && !off[spec.IslandOf[f.Dst]] {
+			active = append(active, f)
+		}
+	}
+	return active
+}
+
+// linkGated reports whether either endpoint switch of the link lies in
+// a gated island (the intermediate NoC island is never gated).
+func linkGated(top *topology.Topology, l topology.Link, off []bool) bool {
+	fromIsl := top.Switches[l.From].Island
+	toIsl := top.Switches[l.To].Island
+	return (int(fromIsl) < len(off) && off[fromIsl]) ||
+		(int(toIsl) < len(off) && off[toIsl])
+}
+
+// tryWithoutUnderState is tryWithout composed with a power state: the
+// failed link is removed, and only the state's active flows are
+// re-routed over the surviving links. Routes that never used the link
+// are unaffected by its loss, so a failure with zero affected active
+// flows recovers trivially without a rebuild.
+func tryWithoutUnderState(orig *topology.Topology, failed topology.LinkID, off []bool, active []soc.Flow) (*LinkOutcome, error) {
+	out := &LinkOutcome{Link: failed}
+	for ri := range orig.Routes {
+		r := &orig.Routes[ri]
+		if off[orig.Spec.IslandOf[r.Flow.Src]] || off[orig.Spec.IslandOf[r.Flow.Dst]] {
+			continue
+		}
+		for _, lid := range r.Links {
+			if lid == failed {
+				out.AffectedFlows++
+				break
+			}
+		}
+	}
+	if out.AffectedFlows == 0 {
+		out.Recovered = true
+		return out, nil
+	}
+
+	top, err := rebuildWithout(orig, failed)
+	if err != nil {
+		return nil, err
+	}
+	r := route.New(top, route.Options{NoNewLinks: true})
+	if err := r.RouteFlows(active); err != nil {
+		out.Reason = stableReason(err)
+		return out, nil
+	}
+	// The re-routed survivor must be well-formed AND still honor the
+	// shutdown invariant for this state: recovery that routes surviving
+	// traffic through a gated island is no recovery at all.
+	if err := top.ValidateRouted(); err != nil {
+		out.Reason = stableReason(err)
+		return out, nil
+	}
+	if err := top.ValidateShutdownSafeMask(off); err != nil {
+		out.Reason = stableReason(err)
+		return out, nil
+	}
+	out.Recovered = true
+	return out, nil
+}
+
+// Format renders the campaign report.
+func (c *Campaign) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "power-state fault campaign: %s\n", c.Design)
+	fmt.Fprintf(&b, "  islands: %d (%d shutdownable), state space %d, evaluated %d states",
+		c.Islands, c.Shutdownable, c.StateSpace, len(c.States))
+	if c.Sampled {
+		b.WriteString(" (sampled)")
+	}
+	b.WriteByte('\n')
+	if c.InvariantViolations == 0 {
+		fmt.Fprintf(&b, "  shutdown invariant: OK in all %d states\n", len(c.States))
+	} else {
+		fmt.Fprintf(&b, "  shutdown invariant: VIOLATED in %d/%d states\n",
+			c.InvariantViolations, len(c.States))
+	}
+	fmt.Fprintf(&b, "  link faults under power states: %d/%d recoverable (%.0f%%)\n",
+		c.Recovered, c.LinkFaults, c.RecoverableFrac()*100)
+	for i := range c.States {
+		s := &c.States[i]
+		if s.InvariantOK && len(s.Unrecovered) == 0 {
+			continue
+		}
+		fmt.Fprintf(&b, "  state %s (%d active flows):\n", s.State, s.ActiveFlows)
+		if !s.InvariantOK {
+			fmt.Fprintf(&b, "    INVARIANT VIOLATED: %s\n", s.InvariantErr)
+		}
+		for _, o := range s.Unrecovered {
+			fmt.Fprintf(&b, "    link %d UNRECOVERABLE (%d flows affected): %s\n",
+				o.Link, o.AffectedFlows, o.Reason)
+		}
+	}
+	return b.String()
+}

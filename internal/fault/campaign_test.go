@@ -1,0 +1,147 @@
+package fault
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"nocvi/internal/bench"
+	"nocvi/internal/core"
+	"nocvi/internal/model"
+	"nocvi/internal/topology"
+)
+
+func synthBench(t *testing.T, name string) *topology.Topology {
+	t.Helper()
+	spec, err := bench.Islanded(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := core.Synthesize(spec, model.Default65nm(), core.Options{
+		AllowIntermediate: true, MaxDesignPoints: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res.Best().Top
+}
+
+// TestCampaignD26ZeroViolations is the acceptance criterion on the
+// paper's own case study: a synthesized design must uphold the shutdown
+// invariant in every enumerated power state — including under the
+// cycle-level simulator, not just structurally.
+func TestCampaignD26ZeroViolations(t *testing.T) {
+	top := synthBench(t, "d26_media")
+	c, err := RunCampaign(top, CampaignOptions{SimVerify: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !c.OK() || c.InvariantViolations != 0 {
+		t.Fatalf("synthesized design violated the shutdown invariant:\n%s", c.Format())
+	}
+	if c.Sampled {
+		t.Fatalf("d26's %d-island state space should enumerate exhaustively", c.Shutdownable)
+	}
+	if int64(len(c.States)) != c.StateSpace {
+		t.Fatalf("evaluated %d of %d states without sampling", len(c.States), c.StateSpace)
+	}
+	for i := range c.States {
+		s := &c.States[i]
+		if !s.InvariantOK {
+			t.Fatalf("state %s: %s", s.State, s.InvariantErr)
+		}
+		if s.Recoverable > s.Links {
+			t.Fatalf("state %s: recovered %d of %d links", s.State, s.Recoverable, s.Links)
+		}
+	}
+	// The all-on state must be first (mask ascending) and subject every
+	// link to failure.
+	if c.States[0].Mask != 0 || c.States[0].State != "all-on" {
+		t.Fatalf("first state is %q (mask %d), want all-on", c.States[0].State, c.States[0].Mask)
+	}
+	if c.States[0].Links != len(top.Links) {
+		t.Fatalf("all-on state tested %d of %d links", c.States[0].Links, len(top.Links))
+	}
+	if !strings.Contains(c.Format(), "power-state fault campaign") {
+		t.Fatal("format broken")
+	}
+}
+
+// TestCampaignD48ZeroViolations covers the larger benchmark of the
+// acceptance criteria with the structural invariant check.
+func TestCampaignD48ZeroViolations(t *testing.T) {
+	top := synthBench(t, "d48_network")
+	c, err := RunCampaign(top, CampaignOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !c.OK() {
+		t.Fatalf("d48 violated the shutdown invariant:\n%s", c.Format())
+	}
+	for i := range c.States {
+		if !c.States[i].InvariantOK {
+			t.Fatalf("state %s: %s", c.States[i].State, c.States[i].InvariantErr)
+		}
+	}
+}
+
+// TestCampaignDeterministicAcrossWorkers pins the report contract: the
+// campaign must be byte-identical at any worker count.
+func TestCampaignDeterministicAcrossWorkers(t *testing.T) {
+	top := synthBench(t, "d26_media")
+	serial, err := RunCampaign(top, CampaignOptions{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := RunCampaign(top, CampaignOptions{Workers: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(serial, parallel) {
+		t.Fatal("worker count changed the campaign report")
+	}
+	if serial.Format() != parallel.Format() {
+		t.Fatal("worker count changed the formatted report")
+	}
+}
+
+// TestCampaignSampling forces the state cap below the full space and
+// checks the deterministic-sampling contract: the all-on and
+// single-island states always survive, masks are unique and ascending,
+// and two runs sample identically.
+func TestCampaignSampling(t *testing.T) {
+	top := synthBench(t, "d26_media")
+	k := len(shutdownableIslands(top))
+	if k < 3 {
+		t.Skipf("need >=3 shutdownable islands to sample, have %d", k)
+	}
+	limit := k + 2 // all-on + singles + one sampled multi-island state
+	a, err := RunCampaign(top, CampaignOptions{MaxStates: limit})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.Sampled || len(a.States) != limit {
+		t.Fatalf("want %d sampled states, got %d (sampled=%v)", limit, len(a.States), a.Sampled)
+	}
+	singles := 0
+	for i := range a.States {
+		m := a.States[i].Mask
+		if i > 0 && m <= a.States[i-1].Mask {
+			t.Fatal("states not in ascending unique mask order")
+		}
+		if m != 0 && m&(m-1) == 0 {
+			singles++
+		}
+	}
+	if a.States[0].Mask != 0 || singles != k {
+		t.Fatalf("sampling dropped a guaranteed state: mask0=%d singles=%d/%d",
+			a.States[0].Mask, singles, k)
+	}
+	b, err := RunCampaign(top, CampaignOptions{MaxStates: limit})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("two identical campaigns sampled different states")
+	}
+}

@@ -11,6 +11,8 @@ package fault
 
 import (
 	"fmt"
+	"sort"
+	"strings"
 
 	"nocvi/internal/route"
 	"nocvi/internal/soc"
@@ -45,7 +47,9 @@ func (r *Report) RecoverableFrac() float64 {
 	return float64(r.Recoverable) / float64(r.Links)
 }
 
-// Analyze sweeps every link of the topology.
+// Analyze sweeps every link of the topology. Outcomes are sorted by
+// LinkID and Reason strings are single-line, so reports of the same
+// design are byte-identical across runs.
 func Analyze(top *topology.Topology) (*Report, error) {
 	rep := &Report{Links: len(top.Links)}
 	for _, l := range top.Links {
@@ -58,7 +62,25 @@ func Analyze(top *topology.Topology) (*Report, error) {
 		}
 		rep.Outcomes = append(rep.Outcomes, *out)
 	}
+	sortOutcomes(rep.Outcomes)
 	return rep, nil
+}
+
+// sortOutcomes orders a sweep's outcomes canonically by failed link.
+// Sweeps emit them in link order already; sorting here pins the report
+// layout as an invariant rather than a side effect of iteration order.
+func sortOutcomes(outs []LinkOutcome) {
+	sort.Slice(outs, func(i, j int) bool { return outs[i].Link < outs[j].Link })
+}
+
+// stableReason normalizes an error into a deterministic single-line
+// Reason string.
+func stableReason(err error) string {
+	s := err.Error()
+	if i := strings.IndexByte(s, '\n'); i >= 0 {
+		s = s[:i]
+	}
+	return s
 }
 
 // tryWithout rebuilds the design without the failed link and re-routes
@@ -74,8 +96,31 @@ func tryWithout(orig *topology.Topology, failed topology.LinkID) (*LinkOutcome, 
 		}
 	}
 
-	// Rebuild: same switches and attachments, all links except the
-	// failed one (traffic reset), no routes yet.
+	top, err := rebuildWithout(orig, failed)
+	if err != nil {
+		return nil, err
+	}
+	r := route.New(top, route.Options{NoNewLinks: true})
+	if err := r.RouteAll(); err != nil {
+		out.Recovered = false
+		out.Reason = stableReason(err)
+		return out, nil
+	}
+	if err := top.Validate(); err != nil {
+		out.Recovered = false
+		out.Reason = stableReason(err)
+		return out, nil
+	}
+	out.Recovered = true
+	return out, nil
+}
+
+// rebuildWithout reconstructs the design — same island settings,
+// switches and core attachments, traffic reset, no routes committed —
+// with every link except the failed one (pass a negative LinkID to keep
+// all links). Both the single-link sweep and the power-state campaign
+// re-route on topologies built here.
+func rebuildWithout(orig *topology.Topology, failed topology.LinkID) (*topology.Topology, error) {
 	top := topology.New(orig.Spec, orig.Lib)
 	for i := 0; i < len(orig.Spec.Islands); i++ {
 		top.SetIslandFreq(soc.IslandID(i), orig.IslandFreqHz[i])
@@ -106,20 +151,7 @@ func tryWithout(orig *topology.Topology, failed topology.LinkID) (*LinkOutcome, 
 			return nil, err
 		}
 	}
-
-	r := route.New(top, route.Options{NoNewLinks: true})
-	if err := r.RouteAll(); err != nil {
-		out.Recovered = false
-		out.Reason = err.Error()
-		return out, nil
-	}
-	if err := top.Validate(); err != nil {
-		out.Recovered = false
-		out.Reason = err.Error()
-		return out, nil
-	}
-	out.Recovered = true
-	return out, nil
+	return top, nil
 }
 
 // Format renders the report.

@@ -26,8 +26,8 @@ func Start(cpuPath, memPath string) (stop func() error, err error) {
 			return nil, fmt.Errorf("prof: %w", err)
 		}
 		if err := pprof.StartCPUProfile(f); err != nil {
-			// Best-effort close: the StartCPUProfile error is the one
-			// worth returning, and no profile data was written yet.
+			// besteffort: close only — the StartCPUProfile error is the
+			// one worth returning, and no profile data was written yet.
 			f.Close()
 			return nil, fmt.Errorf("prof: %w", err)
 		}

@@ -510,6 +510,19 @@ func (t *Topology) Validate() error {
 	if len(t.Routes) != len(t.Spec.Flows) {
 		return fmt.Errorf("topology: %d routes for %d flows", len(t.Routes), len(t.Spec.Flows))
 	}
+	if err := t.ValidateRouted(); err != nil {
+		return err
+	}
+	return t.ValidateShutdownSafe()
+}
+
+// ValidateRouted checks the routes the topology actually holds — route
+// structure, latency constraints, link capacities, switch feasibility —
+// without requiring a route for every spec flow. This is the check a
+// power-state fault campaign needs: flows touching gated islands are
+// deliberately left unrouted, and only the surviving traffic has to be
+// well-formed. Validate composes it with the completeness checks.
+func (t *Topology) ValidateRouted() error {
 	for i := range t.Routes {
 		if err := t.checkRoute(&t.Routes[i]); err != nil {
 			return err
@@ -541,7 +554,7 @@ func (t *Topology) Validate() error {
 				s.ID, size, s.FreqHz/1e6)
 		}
 	}
-	return t.ValidateShutdownSafe()
+	return nil
 }
 
 // ValidateShutdownSafe proves the paper's property: for every
@@ -549,24 +562,49 @@ func (t *Topology) Validate() error {
 // outside X traverses a switch inside X. (Routes that start or end in X
 // are legitimately lost when X is gated.)
 func (t *Topology) ValidateShutdownSafe() error {
+	off := make([]bool, len(t.Spec.Islands))
 	for islIdx := range t.Spec.Islands {
 		isl := soc.IslandID(islIdx)
 		if !t.IslandShutdownable(isl) {
 			continue
 		}
-		for ri := range t.Routes {
-			r := &t.Routes[ri]
-			srcIsl := t.Spec.IslandOf[r.Flow.Src]
-			dstIsl := t.Spec.IslandOf[r.Flow.Dst]
-			if srcIsl == isl || dstIsl == isl {
-				continue
-			}
-			for _, sw := range r.Switches {
-				if t.Switches[sw].Island == isl {
-					return fmt.Errorf(
-						"topology: shutting down island %d (%s) would sever flow %d->%d (islands %d->%d) at switch %d",
-						isl, t.Spec.Islands[isl].Name, r.Flow.Src, r.Flow.Dst, srcIsl, dstIsl, sw)
-				}
+		off[islIdx] = true
+		if err := t.ValidateShutdownSafeMask(off); err != nil {
+			return err
+		}
+		off[islIdx] = false
+	}
+	return nil
+}
+
+// ValidateShutdownSafeMask generalizes ValidateShutdownSafe to a whole
+// power state: with every island marked in off gated simultaneously, no
+// route between two powered endpoints may traverse a switch in any
+// gated island. Gating a non-shutdownable island (or the intermediate
+// NoC island, which sits beyond the mask) is itself a violation. This
+// is the per-state invariant the power-state fault campaign sweeps.
+func (t *Topology) ValidateShutdownSafeMask(off []bool) error {
+	gated := func(isl soc.IslandID) bool {
+		return int(isl) < len(off) && off[isl]
+	}
+	for islIdx := range off {
+		if off[islIdx] && !t.IslandShutdownable(soc.IslandID(islIdx)) {
+			return fmt.Errorf("topology: island %d (%s) is not shutdownable",
+				islIdx, t.Spec.Islands[islIdx].Name)
+		}
+	}
+	for ri := range t.Routes {
+		r := &t.Routes[ri]
+		srcIsl := t.Spec.IslandOf[r.Flow.Src]
+		dstIsl := t.Spec.IslandOf[r.Flow.Dst]
+		if gated(srcIsl) || gated(dstIsl) {
+			continue // legitimately lost with its endpoint island
+		}
+		for _, sw := range r.Switches {
+			if isl := t.Switches[sw].Island; gated(isl) {
+				return fmt.Errorf(
+					"topology: shutting down island %d (%s) would sever flow %d->%d (islands %d->%d) at switch %d",
+					isl, t.Spec.Islands[isl].Name, r.Flow.Src, r.Flow.Dst, srcIsl, dstIsl, sw)
 			}
 		}
 	}

@@ -146,10 +146,29 @@ func Synthesize(spec *Spec, lib *Library, opt Options) (*Result, error) {
 
 // SynthesizeContext is Synthesize with cancellation and timeout
 // support: when ctx is cancelled or its deadline passes, the sweep
-// stops and the wrapped ctx.Err() is returned.
+// stops and returns the best-so-far partial result — Result.Partial is
+// set and Result.StopReason says why — rather than an error. Sweeps
+// that run to completion are unaffected.
 func SynthesizeContext(ctx context.Context, spec *Spec, lib *Library, opt Options) (*Result, error) {
 	return core.SynthesizeContext(ctx, spec, lib, opt)
 }
+
+// CandidateError records a candidate design point whose evaluation
+// panicked; the sweep recovers it, keeps going, and reports it on
+// Result.Errors.
+type CandidateError = core.CandidateError
+
+// Result.StopReason values.
+const (
+	StopComplete  = core.StopComplete
+	StopTruncated = core.StopTruncated
+	StopCanceled  = core.StopCanceled
+	StopDeadline  = core.StopDeadline
+)
+
+// ErrInfeasible marks synthesis failures that Options.Relax's
+// degradation ladder may retry (errors.Is-matchable).
+var ErrInfeasible = core.ErrInfeasible
 
 // PartitionIslands assigns the spec's cores to n voltage islands with
 // the chosen strategy (the assignment is an input to Synthesize, as in
@@ -247,6 +266,29 @@ type FaultReport = fault.Report
 // topology, quantifying the paper's argument that run-time rerouting
 // cannot guarantee connectivity.
 func AnalyzeFaults(top *Topology) (*FaultReport, error) { return fault.Analyze(top) }
+
+// Power-state fault campaign (see internal/fault): enumerate island
+// power states, check the paper's shutdown invariant in each, and
+// compose single-link failures under each state.
+type (
+	// Campaign is the aggregate report of a power-state fault campaign.
+	Campaign = fault.Campaign
+	// CampaignOptions bounds and configures a campaign run.
+	CampaignOptions = fault.CampaignOptions
+	// StateOutcome is the campaign result for one island power state.
+	StateOutcome = fault.StateOutcome
+)
+
+// RunCampaign verifies the paper's design-time guarantee exhaustively:
+// for every enumerated power state (all subsets of shut-downable
+// islands, deterministically sampled above opt.MaxStates) it checks
+// that surviving traffic keeps its committed routes, then composes
+// single-link failures under that state and re-routes affected flows
+// over surviving links. The report is byte-identical across runs and
+// worker counts.
+func RunCampaign(top *Topology, opt CampaignOptions) (*Campaign, error) {
+	return fault.RunCampaign(top, opt)
+}
 
 // SignoffReport aggregates the full design-rule suite: structural
 // validity, deadlock analysis, the shutdown matrix, capacity headroom,

@@ -2,7 +2,6 @@ package nocvi_test
 
 import (
 	"context"
-	"errors"
 	"strings"
 	"testing"
 
@@ -203,7 +202,11 @@ func TestPublicAPIParallelSynthesis(t *testing.T) {
 	}
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
-	if _, err := nocvi.SynthesizeContext(ctx, spec, lib, nocvi.Options{}); !errors.Is(err, context.Canceled) {
-		t.Fatalf("want context.Canceled, got %v", err)
+	res, err := nocvi.SynthesizeContext(ctx, spec, lib, nocvi.Options{})
+	if err != nil {
+		t.Fatalf("canceled sweep errored instead of degrading: %v", err)
+	}
+	if !res.Partial || res.StopReason != nocvi.StopCanceled {
+		t.Fatalf("want Partial/%s, got Partial=%v StopReason=%q", nocvi.StopCanceled, res.Partial, res.StopReason)
 	}
 }

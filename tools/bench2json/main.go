@@ -22,6 +22,17 @@
 // speedup is at least F and exits nonzero otherwise, which is how the
 // CI smoke run pins "parallelism never costs more than it pays".
 // Passing an empty -o checks without touching any file.
+//
+// With -campaign FILE a power-state fault-campaign report (written by
+// `nocsynth -campaign-json`) is condensed into the record's "campaign"
+// section, keyed by design. Merging a report with invariant violations
+// always fails — a design that breaks the shutdown guarantee must not
+// be folded into the record silently — and -campaign-floor F
+// additionally asserts the aggregate link-fault recoverability. A
+// campaign-only invocation (no benchmark lines on stdin) is valid:
+//
+//	nocsynth -bench d26_media -campaign -campaign-json camp.json
+//	go run ./tools/bench2json -campaign camp.json -campaign-floor 0.5 -o '' </dev/null
 package main
 
 import (
@@ -57,6 +68,16 @@ type efficiency struct {
 	Speedup float64 `json:"speedup_vs_workers1"`
 }
 
+// campaignSummary condenses one power-state fault-campaign report
+// (nocsynth -campaign-json) for the record's "campaign" section.
+type campaignSummary struct {
+	States              int     `json:"states"`
+	Sampled             bool    `json:"sampled,omitempty"`
+	InvariantViolations int     `json:"invariant_violations"`
+	LinkFaults          int     `json:"link_faults"`
+	RecoverableFrac     float64 `json:"recoverable_frac"`
+}
+
 type record struct {
 	// GoMaxProcs is the GOMAXPROCS of the machine that produced the
 	// most recent write, parsed from the benchmark-name suffix. It
@@ -68,12 +89,16 @@ type record struct {
 	Delta      map[string]delta  `json:"delta,omitempty"`
 	// Efficiency is computed from Current when present, else Baseline.
 	Efficiency map[string]efficiency `json:"parallel_efficiency,omitempty"`
+	// Campaign holds the latest fault-campaign summary per design.
+	Campaign map[string]campaignSummary `json:"campaign,omitempty"`
 }
 
 func main() {
 	out := flag.String("o", "BENCH_routing.json", "output JSON file (merged in place); empty checks without writing")
 	section := flag.String("set", "auto", "section to write: baseline|current|auto (auto seeds the baseline on first run)")
 	floor := flag.Float64("floor", 0, "fail unless every workers= suite on stdin reaches this speedup over workers=1")
+	campaignPath := flag.String("campaign", "", "fold a fault-campaign JSON report (nocsynth -campaign-json) into the record")
+	campaignFloor := flag.Float64("campaign-floor", 0, "fail unless the -campaign report's aggregate recoverability reaches this fraction")
 	flag.Parse()
 
 	results, gomaxprocs, err := parseBench(os.Stdin)
@@ -81,12 +106,20 @@ func main() {
 		fmt.Fprintln(os.Stderr, "bench2json:", err)
 		os.Exit(1)
 	}
-	if len(results) == 0 {
+	if len(results) == 0 && *campaignPath == "" {
 		fmt.Fprintln(os.Stderr, "bench2json: no benchmark lines on stdin")
 		os.Exit(1)
 	}
 	if *floor > 0 {
 		if err := assertFloor(results, *floor); err != nil {
+			fmt.Fprintln(os.Stderr, "bench2json:", err)
+			os.Exit(1)
+		}
+	}
+	campDesign, campSum := "", campaignSummary{}
+	if *campaignPath != "" {
+		campDesign, campSum, err = loadCampaign(*campaignPath, *campaignFloor)
+		if err != nil {
 			fmt.Fprintln(os.Stderr, "bench2json:", err)
 			os.Exit(1)
 		}
@@ -112,21 +145,29 @@ func main() {
 			dst = "current"
 		}
 	}
-	switch dst {
-	case "baseline":
-		rec.Baseline = results
-	case "current":
-		rec.Current = results
-	default:
-		fmt.Fprintf(os.Stderr, "bench2json: unknown -set %q\n", dst)
-		os.Exit(1)
+	if len(results) > 0 {
+		switch dst {
+		case "baseline":
+			rec.Baseline = results
+		case "current":
+			rec.Current = results
+		default:
+			fmt.Fprintf(os.Stderr, "bench2json: unknown -set %q\n", dst)
+			os.Exit(1)
+		}
+		rec.Delta = deltas(rec.Baseline, rec.Current)
+		rec.GoMaxProcs = gomaxprocs
+		if len(rec.Current) > 0 {
+			rec.Efficiency = efficiencies(rec.Current)
+		} else {
+			rec.Efficiency = efficiencies(rec.Baseline)
+		}
 	}
-	rec.Delta = deltas(rec.Baseline, rec.Current)
-	rec.GoMaxProcs = gomaxprocs
-	if len(rec.Current) > 0 {
-		rec.Efficiency = efficiencies(rec.Current)
-	} else {
-		rec.Efficiency = efficiencies(rec.Baseline)
+	if campDesign != "" {
+		if rec.Campaign == nil {
+			rec.Campaign = make(map[string]campaignSummary)
+		}
+		rec.Campaign[campDesign] = campSum
 	}
 
 	data, err := json.MarshalIndent(&rec, "", "  ")
@@ -139,6 +180,53 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Printf("[wrote %s: %d benchmarks into %q]\n", *out, len(results), dst)
+}
+
+// loadCampaign reads a campaign report written by `nocsynth
+// -campaign-json`, verifies it (zero invariant violations always;
+// aggregate recoverability at least floor when floor > 0), and returns
+// its design name with the condensed summary.
+func loadCampaign(path string, floor float64) (string, campaignSummary, error) {
+	var sum campaignSummary
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return "", sum, err
+	}
+	// The shape mirrors fault.Campaign's JSON; only the aggregate fields
+	// are read, so the per-state detail can evolve independently.
+	var rep struct {
+		Design              string            `json:"design"`
+		Sampled             bool              `json:"sampled"`
+		States              []json.RawMessage `json:"states"`
+		InvariantViolations int               `json:"invariant_violations"`
+		LinkFaults          int               `json:"link_faults"`
+		Recovered           int               `json:"recovered"`
+	}
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return "", sum, fmt.Errorf("%s: %w", path, err)
+	}
+	if rep.Design == "" || len(rep.States) == 0 {
+		return "", sum, fmt.Errorf("%s: not a campaign report (no design or states)", path)
+	}
+	sum = campaignSummary{
+		States:              len(rep.States),
+		Sampled:             rep.Sampled,
+		InvariantViolations: rep.InvariantViolations,
+		LinkFaults:          rep.LinkFaults,
+		RecoverableFrac:     1,
+	}
+	if rep.LinkFaults > 0 {
+		sum.RecoverableFrac = round2(float64(rep.Recovered) / float64(rep.LinkFaults))
+	}
+	if rep.InvariantViolations != 0 {
+		return "", sum, fmt.Errorf("%s: %s violates the shutdown invariant in %d power state(s)",
+			path, rep.Design, rep.InvariantViolations)
+	}
+	if floor > 0 && sum.RecoverableFrac < floor {
+		return "", sum, fmt.Errorf("%s: %s aggregate recoverability %.2f below the %.2f floor",
+			path, rep.Design, sum.RecoverableFrac, floor)
+	}
+	return rep.Design, sum, nil
 }
 
 // parseBench extracts benchmark result lines from `go test -bench`

@@ -1,6 +1,8 @@
 package main
 
 import (
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -75,6 +77,55 @@ func TestEfficiencies(t *testing.T) {
 	}
 	if effs := efficiencies(map[string]result{"x": {NsPerOp: 1}}); effs != nil {
 		t.Fatalf("no workers= suites should yield nil, got %v", effs)
+	}
+}
+
+func writeCampaign(t *testing.T, body string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "camp.json")
+	if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestLoadCampaign(t *testing.T) {
+	path := writeCampaign(t, `{
+		"design": "d26_media", "islands": 6, "shutdownable": 4,
+		"state_space": 16, "states": [{"mask":0},{"mask":1}],
+		"invariant_violations": 0, "link_faults": 40, "recovered": 30
+	}`)
+	design, sum, err := loadCampaign(path, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if design != "d26_media" {
+		t.Fatalf("design = %q", design)
+	}
+	if sum.States != 2 || sum.LinkFaults != 40 || sum.RecoverableFrac != 0.75 {
+		t.Fatalf("wrong summary: %+v", sum)
+	}
+	if _, _, err := loadCampaign(path, 0.9); err == nil {
+		t.Fatal("recoverability 0.75 must fail floor 0.9")
+	}
+}
+
+func TestLoadCampaignRejectsViolations(t *testing.T) {
+	path := writeCampaign(t, `{
+		"design": "bad", "states": [{"mask":0}],
+		"invariant_violations": 1, "link_faults": 1, "recovered": 1
+	}`)
+	if _, _, err := loadCampaign(path, 0); err == nil {
+		t.Fatal("a report with invariant violations must be rejected even without a floor")
+	}
+}
+
+func TestLoadCampaignRejectsGarbage(t *testing.T) {
+	if _, _, err := loadCampaign(writeCampaign(t, `{"current": {}}`), 0); err == nil {
+		t.Fatal("a non-campaign JSON must be rejected")
+	}
+	if _, _, err := loadCampaign(filepath.Join(t.TempDir(), "missing.json"), 0); err == nil {
+		t.Fatal("a missing file must be rejected")
 	}
 }
 
