@@ -22,7 +22,7 @@ fmt:
 		echo "gofmt -l found unformatted files:"; echo "$$out"; exit 1; fi
 
 # lint runs the determinism/invariant analyzers (maprange, floateq,
-# errdrop, wallclock, bannedcall, goroutineleak) over every package — including
+# errdrop, wallclock, bannedcall, goroutineleak, scratchcopy) over every package — including
 # internal/analysis and cmd/noclint themselves, so the linter stays
 # clean on its own code. See DESIGN.md "Static analysis layer".
 lint:
@@ -37,21 +37,44 @@ test:
 race:
 	$(GO) test -race ./...
 
-# bench re-measures the routing fast path and the full synthesis sweep,
-# folding the numbers into BENCH_routing.json and BENCH_synthesize.json
-# next to their preserved pre-optimization baselines.
+# BENCH_LANES picks the -cpu lanes for the benchmark targets, capped at
+# the machine's CPU count: measuring a "parallel speedup" on lanes wider
+# than the hardware is how the old gomaxprocs=1 records lied. bench2json
+# keys every lane separately, so multi-lane runs never collide.
+NPROC := $(shell nproc 2>/dev/null || echo 1)
+BENCH_LANES := $(shell if [ $(NPROC) -ge 8 ]; then echo 1,2,4,8; \
+	elif [ $(NPROC) -ge 4 ]; then echo 1,2,4; \
+	elif [ $(NPROC) -ge 2 ]; then echo 1,2; \
+	else echo 1; fi)
+
+# bench re-measures the routing fast path and the full synthesis sweep
+# across the real -cpu lanes, folding the numbers into
+# BENCH_routing.json and BENCH_synthesize.json next to their preserved
+# pre-optimization baselines.
 bench:
-	$(GO) test -bench=RouteAll -benchmem -run='^$$' . | $(GO) run ./tools/bench2json -o BENCH_routing.json
-	$(GO) test -bench=SynthesizeParallel -benchmem -run='^$$' . | $(GO) run ./tools/bench2json -o BENCH_synthesize.json
+	$(GO) test -bench=RouteAll -cpu=$(BENCH_LANES) -benchmem -run='^$$' . | $(GO) run ./tools/bench2json -o BENCH_routing.json
+	$(GO) test -bench=SynthesizeParallel -cpu=$(BENCH_LANES) -benchmem -run='^$$' . | $(GO) run ./tools/bench2json -o BENCH_synthesize.json
 
 # bench-smoke keeps the benchmarks runnable and pins the parallel
-# efficiency floor on the largest suite: the widest workers variant must
-# never be materially slower than workers=1 (0.6 tolerates single-run
-# noise on a single-core machine; real regressions — a reintroduced
-# contention point — push the ratio far below it).
+# efficiency floor on the largest suite, graded by what the runner can
+# actually measure: with 4+ CPUs the widest workers variant must be at
+# least 2x workers=1, with 2-3 CPUs at least 1.2x, and -require-procs
+# makes a runner that silently drops to one schedulable CPU a hard
+# failure instead of a vacuous pass. On a true single-core machine no
+# parallel speedup can exist, so the floor is skipped with an explicit
+# log line and the benchmarks are still run for their correctness
+# checks.
 bench-smoke:
 	$(GO) test -bench=RouteAll -benchtime=1x -benchmem -run='^$$' .
-	$(GO) test -bench='SynthesizeParallel/d48_network' -benchtime=3x -benchmem -run='^$$' . | $(GO) run ./tools/bench2json -o '' -floor 0.6
+	@if [ $(NPROC) -ge 4 ]; then floor=2.0; req=4; \
+	elif [ $(NPROC) -ge 2 ]; then floor=1.2; req=2; \
+	else floor=0; req=0; fi; \
+	if [ $$req -eq 0 ]; then \
+		echo "bench-smoke: single-CPU runner (nproc=$(NPROC)); parallel-efficiency floor skipped — no parallel speedup is measurable here"; \
+		$(GO) test -bench='SynthesizeParallel/d48_network' -cpu=$(BENCH_LANES) -benchtime=3x -benchmem -run='^$$' . | $(GO) run ./tools/bench2json -o ''; \
+	else \
+		$(GO) test -bench='SynthesizeParallel/d48_network' -cpu=$(BENCH_LANES) -benchtime=3x -benchmem -run='^$$' . | $(GO) run ./tools/bench2json -o '' -floor $$floor -require-procs $$req; \
+	fi
 
 bench-all:
 	$(GO) test -bench=. -benchmem -run='^$$' ./...

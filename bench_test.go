@@ -8,6 +8,7 @@
 package nocvi_test
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -23,6 +24,7 @@ import (
 	"nocvi/internal/sim"
 	"nocvi/internal/skeleton"
 	"nocvi/internal/soc"
+	"nocvi/internal/specgen"
 	"nocvi/internal/topology"
 	"nocvi/internal/viplace"
 	"nocvi/internal/wormhole"
@@ -220,6 +222,29 @@ func BenchmarkSynthesizeParallel(b *testing.B) {
 				}
 			})
 		}
+	}
+	// The d100+ scale lane: the streaming full-factorial sweep on a
+	// 104-core, 10-island generated SoC whose enumerated space is 2^20
+	// design points. The spec is built by specgen.Large, not the bench
+	// registry — registry entries feed every experiments table, and a
+	// 2^20-point SoC there would bloat those runs. The Limit bounds one
+	// benchmark op to the first 5000 candidates (~1 s serial) while the
+	// env-gated TestSweepMillionPoints covers the full space.
+	spec := specgen.Large(7, 104, 10)
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("d104_specgen/workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res, err := core.SynthesizeSweep(context.Background(), spec, lib,
+					core.Options{Workers: workers},
+					core.SweepOptions{WidthPerIsland: 4, Limit: 5000})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.Evaluated != 5000 {
+					b.Fatalf("evaluated %d of the 5000-candidate prefix", res.Evaluated)
+				}
+			}
+		})
 	}
 }
 

@@ -33,7 +33,7 @@ func main() {
 	exp := flag.String("exp", "all", "experiment to run (fig2|fig3|fig4|fig5|tab1|tab2|campaign|abl-alpha|abl-mid|abl-part|abl-buffer|abl-dvs|abl-width|all)")
 	out := flag.String("out", "", "directory to write DOT/SVG artifacts to (optional)")
 	width := flag.Int("width", 32, "NoC link data width in bits")
-	workers := flag.Int("workers", 0, "design-point evaluation goroutines per synthesis (0 = all CPUs, 1 = serial)")
+	workers := flag.Int("workers", 0, "design-point evaluation goroutines per synthesis (0 = GOMAXPROCS, 1 = serial)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file (go tool pprof)")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()

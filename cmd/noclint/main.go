@@ -1,7 +1,8 @@
 // Command noclint runs the project's static-analysis suite
 // (internal/analysis) over the module: maprange, floateq, errdrop,
-// wallclock and bannedcall — the checks that keep the synthesis engine
-// deterministic and its hot paths free of known regressions.
+// wallclock, bannedcall, goroutineleak and scratchcopy — the checks
+// that keep the synthesis engine deterministic and its hot paths free
+// of known regressions.
 //
 // Usage:
 //

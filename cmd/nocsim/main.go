@@ -25,7 +25,7 @@ func main() {
 	scale := flag.Float64("scale", 1.0, "injection scale relative to spec bandwidths")
 	offList := flag.String("off", "", "comma-separated island IDs to power gate")
 	tracePath := flag.String("trace", "", "write a per-packet CSV trace to this file")
-	workers := flag.Int("workers", 0, "design-point evaluation goroutines (0 = all CPUs, 1 = serial)")
+	workers := flag.Int("workers", 0, "design-point evaluation goroutines (0 = GOMAXPROCS, 1 = serial)")
 	campaign := flag.Bool("campaign", false, "run the power-state fault campaign (with simulator verification) instead of one simulation")
 	campaignStates := flag.Int("campaign-states", 0, "power-state cap for -campaign (0 = default, sampled above it)")
 	flag.Parse()

@@ -42,7 +42,7 @@ func main() {
 	node := flag.String("node", "65nm", "technology node: 90nm|65nm|45nm")
 	dotPath := flag.String("dot", "", "write topology DOT to this file")
 	svgPath := flag.String("svg", "", "write floorplan SVG to this file")
-	workers := flag.Int("workers", 0, "design-point evaluation goroutines (0 = all CPUs, 1 = serial)")
+	workers := flag.Int("workers", 0, "design-point evaluation goroutines (0 = GOMAXPROCS, 1 = serial)")
 	timeout := flag.Duration("timeout", 0, "abort synthesis after this duration (0 = none)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file (go tool pprof)")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")

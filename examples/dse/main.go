@@ -35,7 +35,10 @@ func main() {
 	}
 	serialDur := time.Since(t0)
 
-	opt.Workers = runtime.NumCPU()
+	// Workers = 0 is the documented default: one worker per
+	// schedulable CPU (runtime.GOMAXPROCS(0)), normalized inside the
+	// engine so every front end agrees.
+	opt.Workers = 0
 	t0 = time.Now()
 	res, err := nocvi.Synthesize(spec, lib, opt)
 	if err != nil {
@@ -50,7 +53,7 @@ func main() {
 	fmt.Printf("%s: %d cores, %d islands — explored %d configurations, %d valid design points\n",
 		spec.Name, len(spec.Cores), len(spec.Islands), res.Explored, res.Feasible)
 	fmt.Printf("sweep: %v serial, %v with %d workers (identical points)\n\n",
-		serialDur.Round(time.Millisecond), parallelDur.Round(time.Millisecond), opt.Workers)
+		serialDur.Round(time.Millisecond), parallelDur.Round(time.Millisecond), runtime.GOMAXPROCS(0))
 
 	front := nocvi.ParetoFront(res)
 	onFront := map[int]bool{}

@@ -85,7 +85,7 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 func (p *Pass) PkgBase() string { return path.Base(p.PkgPath) }
 
 // Analyzers is the full registered suite, in reporting order.
-var Analyzers = []*Analyzer{MapRange, FloatEq, ErrDrop, WallClock, BannedCall, GoroutineLeak}
+var Analyzers = []*Analyzer{MapRange, FloatEq, ErrDrop, WallClock, BannedCall, GoroutineLeak, ScratchCopy}
 
 // Run executes every analyzer over every package, filters findings
 // through //noclint:ignore directives, and returns the survivors sorted

@@ -110,6 +110,10 @@ func TestGoroutineLeakGolden(t *testing.T) {
 	runGolden(t, []*Analyzer{GoroutineLeak}, "./goroutineleak/...")
 }
 
+func TestScratchCopyGolden(t *testing.T) {
+	runGolden(t, []*Analyzer{ScratchCopy}, "./scratchcopy/...")
+}
+
 // TestDirectiveValidation runs the full suite so the framework's own
 // "noclint" diagnostics for malformed suppressions are exercised.
 func TestDirectiveValidation(t *testing.T) {

@@ -1,0 +1,18 @@
+// Package graph is a stand-in for the real routing package: the
+// scratchcopy analyzer matches the protected Scratch owners on the
+// final import-path segment, so this fixture's Scratch counts.
+package graph
+
+// Scratch mimics the worker arena: reusable buffers plus state a
+// router pins by pointer.
+type Scratch struct {
+	Dist  []int
+	Prev  []int
+	Stack [64]int
+}
+
+// Reset is the sanctioned pointer-receiver shape.
+func (s *Scratch) Reset() {
+	s.Dist = s.Dist[:0]
+	s.Prev = s.Prev[:0]
+}

@@ -4,6 +4,7 @@ import (
 	"nocvi/internal/floorplan"
 	"nocvi/internal/graph"
 	"nocvi/internal/model"
+	"nocvi/internal/partition"
 	"nocvi/internal/route"
 	"nocvi/internal/soc"
 	"nocvi/internal/topology"
@@ -44,6 +45,7 @@ type buildContext struct {
 	router  *route.Router      // nil until first use
 	scratch graph.Scratch      // pinned to router, replaces pool traffic
 	fp      floorplan.Scratch
+	part    partition.Scratch // worker-owned min-cut buffers for first-touch vecParts resolution
 }
 
 // newBuildContext creates an empty arena for one worker. Buffers grow

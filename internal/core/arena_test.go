@@ -4,6 +4,7 @@ import (
 	"context"
 	"reflect"
 	"runtime"
+	"sync"
 	"testing"
 	"time"
 
@@ -114,11 +115,16 @@ func TestArenaNoStateLeak(t *testing.T) {
 	env, parter, cands := newTestSweep(t, spec, lib, opt)
 
 	// Pick one feasible candidate per distinct counts vector, up to
-	// four, then replay the first again (A-B-...-A).
+	// four, then replay the first again (A-B-...-A). Vectors are
+	// resolved through a dedicated arena's partition scratch — the
+	// worker-side first-touch path, reusing one scratch across every
+	// vector — so the replayed builds consume partitions computed off
+	// an already-dirtied scratch, exactly as a sweep worker would see.
 	var picks []candidate
 	seen := map[*vecParts]bool{}
+	resolver := newBuildContext(env)
 	for _, c := range cands {
-		parter.resolve(c.vec)
+		parter.resolve(c.vec, &resolver.part)
 		if c.vec.err != nil || seen[c.vec] {
 			continue
 		}
@@ -197,5 +203,67 @@ func TestMidSweepCancellationDrainsWorkers(t *testing.T) {
 			t.Fatalf("goroutines did not drain: %d before, %d after", before, runtime.NumGoroutine())
 		}
 		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestVectorResolutionRace hammers the first-touch once latch that
+// replaced coordinator-side partition resolution: for each distinct
+// counts-vector, a pack of goroutines calls resolve at the same
+// instant, each through its own worker arena's partition scratch.
+// Exactly one racer runs the resolution; every racer must then observe
+// the same immutable partition set, equal to a serial resolution on a
+// fresh partitioner. Under -race this is the regression test proving
+// the latch publishes vecParts safely with no coordinator in the loop.
+func TestVectorResolutionRace(t *testing.T) {
+	spec := miniSoC()
+	lib := model.Default65nm()
+	opt := Options{AllowIntermediate: true, MaxIntermediateSwitches: 2}
+	env, parter, cands := newTestSweep(t, spec, lib, opt)
+	_, refParter, _ := newTestSweep(t, spec, lib, opt)
+
+	var vecs []*vecParts
+	seen := map[*vecParts]bool{}
+	for _, c := range cands {
+		if !seen[c.vec] {
+			seen[c.vec] = true
+			vecs = append(vecs, c.vec)
+		}
+	}
+	if len(vecs) < 2 {
+		t.Fatalf("want several distinct vectors, got %d", len(vecs))
+	}
+
+	const racers = 32
+	for _, vec := range vecs {
+		var start, done sync.WaitGroup
+		start.Add(1)
+		views := make([][][]int, racers)
+		errs := make([]error, racers)
+		for r := 0; r < racers; r++ {
+			done.Add(1)
+			bc := newBuildContext(env)
+			go func(r int, bc *buildContext) {
+				defer done.Done()
+				start.Wait()
+				parter.resolve(vec, &bc.part)
+				views[r] = vec.parts
+				errs[r] = vec.err
+			}(r, bc)
+		}
+		start.Done()
+		done.Wait()
+
+		ref := &vecParts{counts: vec.counts}
+		refParter.resolve(ref, nil)
+		for r := 0; r < racers; r++ {
+			if (errs[r] == nil) != (ref.err == nil) {
+				t.Fatalf("vector %v racer %d: err %v, serial reference err %v",
+					vec.counts, r, errs[r], ref.err)
+			}
+			if !reflect.DeepEqual(views[r], ref.parts) {
+				t.Fatalf("vector %v racer %d saw partitions %v, serial reference %v",
+					vec.counts, r, views[r], ref.parts)
+			}
+		}
 	}
 }

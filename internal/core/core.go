@@ -86,8 +86,14 @@ type Options struct {
 	AutoVoltage bool
 
 	// Workers bounds the number of goroutines evaluating candidate
-	// design points concurrently. Zero selects runtime.NumCPU(); one
-	// evaluates strictly serially. Every worker count yields identical
+	// design points concurrently. Zero or negative selects the
+	// documented default, runtime.GOMAXPROCS(0) — the number of
+	// goroutines the runtime will actually run in parallel, which
+	// respects GOMAXPROCS env overrides and `go test -cpu` lanes where
+	// runtime.NumCPU() would oversubscribe. One evaluates strictly
+	// serially. The normalization lives in one place (Options.workers);
+	// the CLIs pass the flag through untouched, so `-workers 0` means
+	// the same thing everywhere. Every worker count yields identical
 	// results — same Points, same order, same metrics — because
 	// candidates are enumerated up front and collected in deterministic
 	// sweep order regardless of completion order.
@@ -118,7 +124,7 @@ func (o Options) midVoltage() float64 {
 
 func (o Options) workers() int {
 	if o.Workers <= 0 {
-		return runtime.NumCPU()
+		return runtime.GOMAXPROCS(0)
 	}
 	return o.Workers
 }
@@ -344,8 +350,9 @@ func synthesizeAttempt(ctx context.Context, spec *soc.Spec, lib *model.Library, 
 	// switches depends only on (j, k), so it is computed once and shared
 	// by every mid value and every counts-vector assigning j the same k.
 	// Each counts vector's assembled partition set lives in its vecParts,
-	// resolved on the coordinating goroutine before workers touch it, so
-	// the worker read path is lock-free.
+	// resolved first-touch by whichever worker claims a candidate of the
+	// vector (once latch, deterministic result); after resolution the
+	// read path is lock-free.
 	parter := newPartitioner(vcgs, maxSizes, opt)
 
 	env := &sweepEnv{
@@ -399,15 +406,18 @@ type candidate struct {
 }
 
 // vecParts is one distinct switch-count vector of the sweep together
-// with its memoized per-island partitions. The coordinator resolves it
-// (partitioner.resolve) before any worker evaluates a candidate that
-// references it; workers then read counts/parts/err without
-// synchronization.
+// with its memoized per-island partitions. It is resolved lazily by
+// the first worker that claims a candidate referencing it, under the
+// once latch (partitioner.resolve); resolution is deterministic per
+// vector — the engines depend only on (graph, k, options) — so which
+// worker runs it is immaterial. once.Do's happens-before edge
+// publishes counts/parts/err to every later reader, so the read path
+// after resolve stays lock-free.
 type vecParts struct {
-	counts   []int
-	parts    [][]int
-	err      error
-	resolved bool
+	counts []int
+	parts  [][]int
+	err    error
+	once   sync.Once
 }
 
 // enumerateCandidates lists the sweep's candidates in deterministic
@@ -503,12 +513,13 @@ func normalizeStack(stack []byte) string {
 		if j := strings.IndexByte(fn, '('); j >= 0 {
 			fn = fn[:j]
 		}
-		if fn == "nocvi/internal/core.safeEval" {
+		if fn == "nocvi/internal/core.safeEval" || fn == "nocvi/internal/core.sweepEval" {
 			break // evaluation boundary: frames below depend on sweep mode
 		}
 		if fn == "panic" || strings.HasPrefix(fn, "runtime.") ||
 			strings.HasPrefix(fn, "runtime/debug.") ||
-			strings.HasPrefix(fn, "nocvi/internal/core.safeEval.func") {
+			strings.HasPrefix(fn, "nocvi/internal/core.safeEval.func") ||
+			strings.HasPrefix(fn, "nocvi/internal/core.sweepEval.func") {
 			continue
 		}
 		loc := ""
@@ -576,7 +587,7 @@ func synthesizeSerial(ctx context.Context, res *Result, cands []candidate, opt O
 			markPartial(ctx, res)
 			return
 		}
-		parter.resolve(c.vec)
+		parter.resolve(c.vec, &bc.part)
 		if collect(res, safeEval(bc, c, eval), len(cands), opt) {
 			return
 		}
@@ -590,10 +601,16 @@ func synthesizeSerial(ctx context.Context, res *Result, cands []candidate, opt O
 // candidate order, so Points, Explored, Feasible, Truncated and Errors
 // are identical to the serial path. Chunking bounds the work wasted
 // beyond the stopping point when MaxDesignPoints is set; without a cap
-// the whole space is one chunk. The coordinator resolves each chunk's
-// counts-vector partitions up front, so workers share only immutable
-// state: cancellation stops workers at the next claim, and nothing
-// keeps feeding work after it.
+// the whole space is one chunk.
+//
+// Counts-vector partitions are resolved by the workers themselves: the
+// first worker to claim a candidate of an unresolved vector runs the
+// resolution through its own partition scratch under the vector's once
+// latch (see partitioner.resolve). The coordinator does no per-
+// candidate work at all — the serial resolve loop it used to run here
+// kept every worker idle while it min-cut every island of every
+// vector, which put a serial term ahead of each chunk (Amdahl's law
+// made the d48 sweep nearly flat across worker counts).
 //
 // On cancellation the evaluated candidates form a contiguous prefix —
 // claims are issued in candidate order by the cursor, and a worker that
@@ -611,12 +628,6 @@ func synthesizeParallel(ctx context.Context, res *Result, cands []candidate, opt
 		hi := lo + chunk
 		if hi > len(cands) {
 			hi = len(cands)
-		}
-		for i := lo; i < hi; i++ {
-			if ctx.Err() != nil {
-				break
-			}
-			parter.resolve(cands[i].vec)
 		}
 		if ctx.Err() != nil {
 			markPartial(ctx, res)
@@ -639,6 +650,7 @@ func synthesizeParallel(ctx context.Context, res *Result, cands []candidate, opt
 					if i >= len(outs) {
 						return
 					}
+					parter.resolve(cands[lo+i].vec, &bc.part)
 					outs[i] = safeEval(bc, cands[lo+i], eval)
 				}
 			}(w)
@@ -708,10 +720,12 @@ func countsKey(counts []int) string {
 
 // partitioner memoizes step 11 at two levels: one partition.Cache per
 // island (keyed by switch count) and the assembled per-counts-vector
-// partition set, stored in the vector's vecParts. Resolution happens
-// only on the coordinating goroutine (resolve), so workers read the
-// assembled partitions without any lock — the per-island caches'
-// internal mutex is touched only by the coordinator.
+// partition set, stored in the vector's vecParts. Resolution is
+// worker-side and first-touch: whichever goroutine first claims a
+// candidate of an unresolved vector resolves it through its own
+// partition scratch, under the vector's once latch; later claimers of
+// the same vector wait on the latch (rarely — vectors resolve in
+// microseconds) and then read the immutable result without any lock.
 type partitioner struct {
 	caches []*partition.Cache
 }
@@ -739,24 +753,25 @@ func newPartitioner(vcgs []*vcg.VCG, maxSizes []int, opt Options) *partitioner {
 
 // resolve fills in the per-island partitions of one counts-vector,
 // min-cut partitioning every island's VCG into the requested switch
-// counts. It must be called from the coordinating goroutine only,
-// before any worker evaluates a candidate referencing v; after it
-// returns, v is immutable.
-func (p *partitioner) resolve(v *vecParts) {
-	if v.resolved {
-		return
-	}
-	v.resolved = true
-	parts := make([][]int, len(p.caches))
-	for j, c := range p.caches {
-		var err error
-		parts[j], err = c.Partition(v.counts[j])
-		if err != nil {
-			v.err = err
-			return // v.parts stays nil: the vector is infeasible
+// counts through the caller's scratch (nil falls back to the caches'
+// internal serialized scratch). Safe to call from any number of
+// goroutines: the vector's once latch runs the resolution exactly
+// once, and after resolve returns, v is immutable. Results do not
+// depend on which caller wins the latch — both engines are
+// deterministic functions of (graph, k, options).
+func (p *partitioner) resolve(v *vecParts, sc *partition.Scratch) {
+	v.once.Do(func() {
+		parts := make([][]int, len(p.caches))
+		for j, c := range p.caches {
+			var err error
+			parts[j], err = c.PartitionScratch(v.counts[j], sc)
+			if err != nil {
+				v.err = err
+				return // v.parts stays nil: the vector is infeasible
+			}
 		}
-	}
-	v.parts = parts
+		v.parts = parts
+	})
 }
 
 // buildPoint constructs, routes, floorplans and costs one candidate

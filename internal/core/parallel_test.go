@@ -8,6 +8,7 @@ import (
 	"nocvi/internal/bench"
 	"nocvi/internal/model"
 	"nocvi/internal/power"
+	"nocvi/internal/soc"
 	"nocvi/internal/specgen"
 )
 
@@ -239,5 +240,73 @@ func TestSynthesizeContextCancellation(t *testing.T) {
 	}
 	if res.Partial || res.StopReason != StopComplete {
 		t.Fatalf("complete sweep stamped Partial=%v StopReason=%q", res.Partial, res.StopReason)
+	}
+}
+
+// TestWorkersExceedCandidates floods a sweep with far more workers
+// than candidates: most goroutines find the cursor already exhausted
+// and must exit without claiming anything, and the result must still
+// be bit-identical to the serial sweep. This is the degenerate end of
+// the block-claiming dispatch, where every block is smaller than the
+// worker pool.
+func TestWorkersExceedCandidates(t *testing.T) {
+	spec := miniSoC()
+	lib := model.Default65nm()
+	opt := Options{AllowIntermediate: true, MaxIntermediateSwitches: 2}
+	opt.Workers = 1
+	serial, err := Synthesize(spec, lib, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if serial.Explored >= 512 {
+		t.Fatalf("fixture grew: %d candidates no longer ≪ 512 workers", serial.Explored)
+	}
+	opt.Workers = 512
+	flooded, err := Synthesize(spec, lib, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	samePoints(t, "flooded", serial, flooded)
+	sameSelection(t, "flooded", serial, flooded)
+}
+
+// soloSoC is the smallest well-formed spec: one core, one island, no
+// flows. Its candidate space is exactly one (counts=[1], mid=0)
+// point.
+func soloSoC() *soc.Spec {
+	return &soc.Spec{
+		Name: "solo1",
+		Cores: []soc.Core{{ID: 0, Name: "cpu", Class: soc.ClassCPU,
+			AreaMM2: 2, DynPowerW: 0.1, LeakPowerW: 0.02}},
+		Islands:  []soc.Island{{ID: 0, Name: "sys", VoltageV: 1.0}},
+		IslandOf: []soc.IslandID{0},
+	}
+}
+
+// TestSingleCandidateSweep pins the other boundary: a one-candidate
+// space must evaluate exactly once and produce the same single point
+// for any worker count.
+func TestSingleCandidateSweep(t *testing.T) {
+	spec := soloSoC()
+	lib := model.Default65nm()
+	var ref *Result
+	for _, w := range []int{1, 2, 64} {
+		res, err := Synthesize(spec, lib, Options{Workers: w})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", w, err)
+		}
+		if res.Explored != 1 || res.Feasible != 1 || len(res.Points) != 1 {
+			t.Fatalf("workers=%d: explored=%d feasible=%d points=%d, want 1/1/1",
+				w, res.Explored, res.Feasible, len(res.Points))
+		}
+		if res.StopReason != StopComplete {
+			t.Fatalf("workers=%d: stop reason %q", w, res.StopReason)
+		}
+		if ref == nil {
+			ref = res
+			continue
+		}
+		samePoints(t, spec.Name, ref, res)
+		sameSelection(t, spec.Name, ref, res)
 	}
 }

@@ -1,0 +1,557 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"runtime/debug"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"nocvi/internal/model"
+	"nocvi/internal/partition"
+	"nocvi/internal/soc"
+	"nocvi/internal/vcg"
+)
+
+// SweepOptions configures SynthesizeSweep, the full-factorial streaming
+// sweep. Unlike Synthesize's diagonal walk (every island's switch count
+// incremented in lockstep), the streaming sweep enumerates the cross
+// product of per-island switch-count ranges — spaces that reach millions
+// of design points on 100+-core, 10+-island SoCs — without ever
+// materializing a candidate list: workers draw index ranges from an
+// atomic cursor and decode each index on the fly.
+type SweepOptions struct {
+	// WidthPerIsland caps how many switch-count values each island
+	// contributes, counted up from the island's minimum feasible count.
+	// Zero sweeps the full range, up to one switch per core. The cap is
+	// how callers shape the cross product: 12 islands at width 4 is a
+	// 16.7M-point space.
+	WidthPerIsland int
+
+	// Limit bounds the number of evaluated candidates (0 = exhaustive).
+	// A limited sweep evaluates exactly the first Limit indices of the
+	// enumeration order, so results stay deterministic. Limit is
+	// required when the space size saturates uint64.
+	Limit uint64
+
+	// MaxErrors caps the recorded CandidateErrors (0 = 32). The errors
+	// kept are the ones with the smallest candidate indices; the total
+	// count is always reported.
+	MaxErrors int
+}
+
+func (o SweepOptions) maxErrors() int {
+	if o.MaxErrors <= 0 {
+		return 32
+	}
+	return o.MaxErrors
+}
+
+// SweepPoint is the compact summary of one feasible candidate that the
+// streaming sweep retains: the candidate's identity and its headline
+// metrics, a few dozen bytes instead of a full DesignPoint with its
+// topology and placement. The sweep's memory footprint is the Pareto
+// front plus two argmin slots of these, independent of space size.
+type SweepPoint struct {
+	// Index is the candidate's position in the enumeration order (mid
+	// varies fastest, then the last island's switch count, and so on).
+	Index uint64
+
+	SwitchCounts []int
+	MidSwitches  int
+
+	// PowerW is the NoC dynamic power (the Best() metric), LatencyCycles
+	// the mean zero-load latency, AreaMM2 the NoC silicon cost.
+	PowerW         float64
+	LatencyCycles  float64
+	AreaMM2        float64
+	WireViolations int
+}
+
+// SweepResult is the outcome of a streaming sweep. Completed sweeps are
+// byte-identical for every worker count: the collectors are order-
+// independent (total-order argmin, exact Pareto merge, index-sorted
+// errors). Partial results of a canceled sweep cover whichever indices
+// were evaluated before the stop and may differ across worker counts;
+// Partial says so.
+type SweepResult struct {
+	Spec *soc.Spec
+
+	// Size is the full enumerated space (saturating at MaxUint64);
+	// Evaluated the candidates actually decoded and built; Feasible
+	// those that yielded a valid design point.
+	Size      uint64
+	Evaluated uint64
+	Feasible  uint64
+
+	// Truncated reports Limit < Size; Partial a context stop. StopReason
+	// takes the same values as Result.StopReason.
+	Truncated  bool
+	Partial    bool
+	StopReason string
+
+	// BestPower and BestLatency are the argmin design points, rebuilt in
+	// full (topology, placement) from their winning indices after the
+	// sweep; nil when nothing was feasible. Both argmins use the Best()/
+	// BestLatency() ordering — wire violations, metric, total switches,
+	// mid — extended by candidate index into a total order, so the
+	// selection cannot depend on evaluation order.
+	BestPower   *DesignPoint
+	BestLatency *DesignPoint
+
+	// BestPowerPoint and BestLatencyPoint are the winners' summaries.
+	BestPowerPoint   *SweepPoint
+	BestLatencyPoint *SweepPoint
+
+	// Front is the exact power/latency Pareto front over all feasible
+	// candidates, sorted by ascending power. Candidates with identical
+	// (power, latency) are collapsed to the lowest index.
+	Front []SweepPoint
+
+	// Errors holds the recovered candidate panics with the smallest
+	// indices, at most MaxErrors of them; ErrorCount is the true total.
+	Errors     []CandidateError
+	ErrorCount uint64
+}
+
+// sweepSpace is the enumeration geometry: per-island switch-count
+// ranges plus the mid dimension, with mid varying fastest.
+type sweepSpace struct {
+	min    []int // per-island lowest switch count
+	width  []int // per-island range width (>= 1)
+	midDim int   // maxMid + 1
+}
+
+// size returns the cross-product size, saturating at MaxUint64.
+func (s *sweepSpace) size() uint64 {
+	total := uint64(s.midDim)
+	for _, w := range s.width {
+		if total > math.MaxUint64/uint64(w) {
+			return math.MaxUint64
+		}
+		total *= uint64(w)
+	}
+	return total
+}
+
+// decode writes candidate idx's switch counts into counts (len =
+// islands) and returns its mid value. Index 0 is every island at its
+// minimum with mid 0; incrementing the index advances mid first.
+func (s *sweepSpace) decode(idx uint64, counts []int) (mid int) {
+	mid = int(idx % uint64(s.midDim))
+	idx /= uint64(s.midDim)
+	for j := len(s.width) - 1; j >= 0; j-- {
+		w := uint64(s.width[j])
+		counts[j] = s.min[j] + int(idx%w)
+		idx /= w
+	}
+	return mid
+}
+
+// partTable holds the pre-resolved per-island partitions the workers
+// read lock-free: entry [j][w] is island j cut into min[j]+w switches.
+// The table is sized by the sum of range widths — a few hundred entries
+// even for million-point spaces — and filled before workers start, so
+// the hot loop does no cache probes and takes no locks.
+type partTable struct {
+	space *sweepSpace
+	parts [][]partEntry
+}
+
+type partEntry struct {
+	part []int
+	err  error
+}
+
+// sweepBetter is the total order behind both argmins: fewest wire
+// violations, lowest metric, fewest direct switches, fewest mid
+// switches, lowest index. The index tiebreak mirrors serial first-wins
+// and makes the order total, so merging per-worker minima is exact.
+func sweepBetter(a, b *SweepPoint, metric func(*SweepPoint) float64) bool {
+	if a.WireViolations != b.WireViolations {
+		return a.WireViolations < b.WireViolations
+	}
+	av, bv := metric(a), metric(b)
+	if av != bv { //noclint:ignore floateq exact compare keeps the argmin chain bit-identical across worker counts
+		return av < bv
+	}
+	if as, bs := sumCounts(a.SwitchCounts), sumCounts(b.SwitchCounts); as != bs {
+		return as < bs
+	}
+	if a.MidSwitches != b.MidSwitches {
+		return a.MidSwitches < b.MidSwitches
+	}
+	return a.Index < b.Index
+}
+
+func sumCounts(counts []int) int {
+	n := 0
+	for _, k := range counts {
+		n += k
+	}
+	return n
+}
+
+func powerOf(p *SweepPoint) float64   { return p.PowerW }
+func latencyOf(p *SweepPoint) float64 { return p.LatencyCycles }
+
+// pruneFront reduces pts to the exact Pareto front of (power, latency)
+// minimization, ascending by power, with equal (power, latency) pairs
+// collapsed to the lowest index. Sorting makes the result independent
+// of input order, which is what lets per-worker fronts merge exactly.
+func pruneFront(pts []SweepPoint) []SweepPoint {
+	sort.Slice(pts, func(i, j int) bool {
+		a, b := &pts[i], &pts[j]
+		if a.PowerW != b.PowerW { //noclint:ignore floateq exact dominance keeps the front bit-identical across worker counts
+			return a.PowerW < b.PowerW
+		}
+		if a.LatencyCycles != b.LatencyCycles { //noclint:ignore floateq exact dominance keeps the front bit-identical across worker counts
+			return a.LatencyCycles < b.LatencyCycles
+		}
+		return a.Index < b.Index
+	})
+	out := pts[:0]
+	bestLat := math.Inf(1)
+	for i := range pts {
+		if pts[i].LatencyCycles < bestLat {
+			out = append(out, pts[i])
+			bestLat = pts[i].LatencyCycles
+		}
+	}
+	return out
+}
+
+// sweepCollector accumulates one worker's share of the sweep with
+// bounded memory: two argmin slots, a Pareto buffer pruned in place
+// whenever it fills, bounded errors, and counters.
+type sweepCollector struct {
+	evaluated uint64
+	feasible  uint64
+
+	bestPower   *SweepPoint
+	bestLatency *SweepPoint
+
+	front []SweepPoint
+
+	errs     []CandidateError
+	errIdx   []uint64 // candidate index of each recorded error
+	errCount uint64
+	errCap   int
+}
+
+// frontBuffer bounds the unpruned Pareto buffer. Pruning is O(n log n)
+// and discards dominated points, so the buffer oscillates between the
+// true front size and this cap plus the front size.
+const frontBuffer = 512
+
+func (sc *sweepCollector) addFeasible(p SweepPoint) {
+	sc.feasible++
+	if sc.bestPower == nil || sweepBetter(&p, sc.bestPower, powerOf) {
+		cp := p
+		sc.bestPower = &cp
+	}
+	if sc.bestLatency == nil || sweepBetter(&p, sc.bestLatency, latencyOf) {
+		cp := p
+		sc.bestLatency = &cp
+	}
+	sc.front = append(sc.front, p)
+	if len(sc.front) >= frontBuffer {
+		sc.front = pruneFront(sc.front)
+	}
+}
+
+func (sc *sweepCollector) addError(idx uint64, ce *CandidateError) {
+	sc.errCount++
+	// A worker claims ascending indices, so its first errCap errors are
+	// its smallest; recording stops there. The globally smallest errCap
+	// errors are each among their own worker's smallest, so the merge
+	// below still selects them exactly.
+	if len(sc.errs) < sc.errCap {
+		sc.errs = append(sc.errs, *ce)
+		sc.errIdx = append(sc.errIdx, idx)
+	}
+}
+
+// sweepEval builds one decoded candidate behind a panic boundary,
+// summarizes it, and reclaims the arena's topology (the full design
+// point never escapes, so the pooled storage is reused — the sweep
+// allocates no topology per point after warm-up). counts and parts are
+// worker-owned scratch reused across calls.
+func sweepEval(bc *buildContext, counts []int, parts [][]int, mid int, idx uint64, col *sweepCollector) {
+	defer func() {
+		if r := recover(); r != nil {
+			col.addError(idx, &CandidateError{
+				SwitchCounts: append([]int(nil), counts...),
+				MidSwitches:  mid,
+				//noclint:ignore bannedcall stringifying a recovered panic value, off the hot path
+				Panic: fmt.Sprint(r),
+				Stack: normalizeStack(debug.Stack()),
+			})
+			*bc = buildContext{env: bc.env}
+		}
+	}()
+	if testHookEvalStart != nil {
+		testHookEvalStart(counts, mid)
+	}
+	dp, err := buildPoint(bc, counts, parts, mid)
+	if err != nil {
+		return // infeasible: counted by the caller, nothing retained
+	}
+	p := SweepPoint{
+		Index:          idx,
+		SwitchCounts:   append([]int(nil), counts...),
+		MidSwitches:    mid,
+		PowerW:         dp.NoCPower.DynW(),
+		LatencyCycles:  dp.MeanLatencyCycles,
+		AreaMM2:        dp.NoCAreaMM2,
+		WireViolations: dp.WireViolations,
+	}
+	bc.top = dp.Top // reclaim: the point was summarized, not published
+	col.addFeasible(p)
+}
+
+// SynthesizeSweep runs Algorithm 1 over the full cross product of
+// per-island switch-count ranges — the design space Synthesize's
+// diagonal walk only samples — streaming candidates through a bounded
+// worker pool. No candidate list is ever materialized: workers claim
+// index blocks from an atomic cursor and decode each index in place,
+// so a 10⁶-point space costs the same memory as a 10²-point one. Only
+// compact SweepPoint summaries are retained (argmins plus the Pareto
+// front); the two winning design points are rebuilt in full after the
+// sweep.
+//
+// Completed sweeps are byte-identical for every Options.Workers value.
+// Options.MaxDesignPoints and Options.Relax do not apply to the
+// streaming sweep; use SweepOptions.Limit to bound work.
+func SynthesizeSweep(ctx context.Context, spec *soc.Spec, lib *model.Library, opt Options, sw SweepOptions) (*SweepResult, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	if err := lib.Validate(); err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	freqs, maxSizes, err := IslandClocks(spec, lib)
+	if err != nil {
+		return nil, err
+	}
+	nIsl := len(spec.Islands)
+	space := &sweepSpace{min: make([]int, nIsl), width: make([]int, nIsl)}
+	islandCores := make([][]soc.CoreID, nIsl)
+	maxCores := 0
+	for j := 0; j < nIsl; j++ {
+		islandCores[j] = spec.CoresIn(soc.IslandID(j))
+		n := len(islandCores[j])
+		usable := maxSizes[j] - 1
+		if usable < 1 {
+			return nil, fmt.Errorf("core: island %d needs %.0f MHz, too fast for any usable switch: %w",
+				j, freqs[j]/1e6, ErrInfeasible)
+		}
+		lo := (n + usable - 1) / usable
+		if lo < 1 {
+			lo = 1
+		}
+		hi := n
+		if hi < lo {
+			hi = lo
+		}
+		if sw.WidthPerIsland > 0 && lo+sw.WidthPerIsland-1 < hi {
+			hi = lo + sw.WidthPerIsland - 1
+		}
+		space.min[j] = lo
+		space.width[j] = hi - lo + 1
+		if n > maxCores {
+			maxCores = n
+		}
+	}
+	maxMid := opt.MaxIntermediateSwitches
+	if maxMid <= 0 {
+		maxMid = maxCores
+	}
+	if !opt.AllowIntermediate {
+		maxMid = 0
+	}
+	space.midDim = maxMid + 1
+
+	res := &SweepResult{Spec: spec, Size: space.size()}
+	limit := res.Size
+	if sw.Limit > 0 && sw.Limit < limit {
+		limit = sw.Limit
+		res.Truncated = true
+	}
+	if res.Size == math.MaxUint64 && sw.Limit == 0 {
+		return nil, fmt.Errorf("core: sweep space size overflows uint64; set SweepOptions.Limit")
+	}
+
+	vcgs, err := vcg.BuildAll(spec, opt.alpha())
+	if err != nil {
+		return nil, err
+	}
+	parter := newPartitioner(vcgs, maxSizes, opt)
+
+	// Pre-resolve every per-island partition the space can reference —
+	// the sum of range widths, a few hundred cuts at most — so workers
+	// read the table lock-free. An island/k pair that cannot be cut is
+	// stored as an error; candidates touching it count as evaluated but
+	// infeasible, matching Synthesize's accounting.
+	table := &partTable{space: space, parts: make([][]partEntry, nIsl)}
+	var psc partition.Scratch
+	for j := 0; j < nIsl; j++ {
+		table.parts[j] = make([]partEntry, space.width[j])
+		for w := 0; w < space.width[j]; w++ {
+			part, err := parter.caches[j].PartitionScratch(space.min[j]+w, &psc)
+			table.parts[j][w] = partEntry{part: part, err: err}
+		}
+	}
+
+	midFreq := lib.FreqGridHz
+	for _, f := range freqs {
+		if f > midFreq {
+			midFreq = f
+		}
+	}
+	env := &sweepEnv{
+		spec:        spec,
+		lib:         lib,
+		opt:         opt,
+		freqs:       freqs,
+		midFreq:     midFreq,
+		islandCores: islandCores,
+		flows:       spec.SortFlowsByBandwidth(),
+	}
+
+	workers := opt.workers()
+	if uint64(workers) > limit {
+		workers = int(limit)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	block := limit / uint64(workers*16)
+	if block < 64 {
+		block = 64
+	}
+	if block > 4096 {
+		block = 4096
+	}
+
+	cols := make([]*sweepCollector, workers)
+	var cursor atomic.Uint64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		col := &sweepCollector{errCap: sw.maxErrors()}
+		cols[w] = col
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			bc := newBuildContext(env)
+			counts := make([]int, nIsl)
+			parts := make([][]int, nIsl)
+			for ctx.Err() == nil {
+				hi := cursor.Add(block)
+				lo := hi - block
+				if lo >= limit {
+					return
+				}
+				if hi > limit {
+					hi = limit
+				}
+				for idx := lo; idx < hi; idx++ {
+					mid := space.decode(idx, counts)
+					col.evaluated++
+					ok := true
+					for j := 0; j < nIsl; j++ {
+						e := &table.parts[j][counts[j]-space.min[j]]
+						if e.err != nil {
+							ok = false
+							break
+						}
+						parts[j] = e.part
+					}
+					if !ok {
+						continue // no k-way cut fits: attempted, infeasible
+					}
+					sweepEval(bc, counts, parts, mid, idx, col)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	// Merge the per-worker collectors. Every reduction is order-
+	// independent: the argmins under a total order, the front by exact
+	// dominance after a global sort, the errors by index.
+	var bestP, bestL *SweepPoint
+	var front []SweepPoint
+	type idxErr struct {
+		idx uint64
+		ce  CandidateError
+	}
+	var errs []idxErr
+	for _, col := range cols {
+		res.Evaluated += col.evaluated
+		res.Feasible += col.feasible
+		res.ErrorCount += col.errCount
+		if col.bestPower != nil && (bestP == nil || sweepBetter(col.bestPower, bestP, powerOf)) {
+			bestP = col.bestPower
+		}
+		if col.bestLatency != nil && (bestL == nil || sweepBetter(col.bestLatency, bestL, latencyOf)) {
+			bestL = col.bestLatency
+		}
+		front = append(front, col.front...)
+		for i := range col.errs {
+			errs = append(errs, idxErr{col.errIdx[i], col.errs[i]})
+		}
+	}
+	res.Front = pruneFront(front)
+	sort.Slice(errs, func(i, j int) bool { return errs[i].idx < errs[j].idx })
+	if len(errs) > sw.maxErrors() {
+		errs = errs[:sw.maxErrors()]
+	}
+	for _, e := range errs {
+		res.Errors = append(res.Errors, e.ce)
+	}
+	res.BestPowerPoint = bestP
+	res.BestLatencyPoint = bestL
+
+	if ctx.Err() != nil {
+		res.Partial = true
+		if ctx.Err() == context.DeadlineExceeded {
+			res.StopReason = StopDeadline
+		} else {
+			res.StopReason = StopCanceled
+		}
+	} else if res.Truncated {
+		res.StopReason = StopTruncated
+	} else {
+		res.StopReason = StopComplete
+	}
+
+	// Rebuild the winning design points in full. The build is the same
+	// deterministic function the sweep ran, so it cannot fail now.
+	rebuild := func(p *SweepPoint) *DesignPoint {
+		if p == nil {
+			return nil
+		}
+		bc := newBuildContext(env)
+		counts := make([]int, nIsl)
+		parts := make([][]int, nIsl)
+		mid := space.decode(p.Index, counts)
+		for j := 0; j < nIsl; j++ {
+			parts[j] = table.parts[j][counts[j]-space.min[j]].part
+		}
+		dp, err := buildPoint(bc, counts, parts, mid)
+		if err != nil {
+			panic(fmt.Sprintf("core: sweep winner %v/mid=%d failed rebuild: %v", counts, mid, err)) //noclint:ignore bannedcall cold-path invariant panic, not a cache key
+		}
+		return dp
+	}
+	res.BestPower = rebuild(bestP)
+	if bestL != nil && bestP != nil && bestL.Index == bestP.Index {
+		res.BestLatency = res.BestPower
+	} else {
+		res.BestLatency = rebuild(bestL)
+	}
+	return res, nil
+}

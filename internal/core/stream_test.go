@@ -1,0 +1,396 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"reflect"
+	"sort"
+	"testing"
+	"time"
+
+	"nocvi/internal/model"
+	"nocvi/internal/soc"
+	"nocvi/internal/specgen"
+)
+
+// oracleSweep enumerates the streaming sweep's space with plain nested
+// loops — island 0 slowest, mid fastest, an incrementing counter as the
+// index — and evaluates every candidate through fresh build contexts.
+// It shares no code with sweepSpace.decode or the collectors, so it is
+// an independent check of the enumeration geometry and the reductions.
+func oracleSweep(t *testing.T, spec *soc.Spec, lib *model.Library, opt Options, width int) (feasible []SweepPoint, evaluated uint64) {
+	t.Helper()
+	env, parter, _ := newTestSweep(t, spec, lib, opt)
+	freqs, maxSizes, err := IslandClocks(spec, lib)
+	_ = freqs
+	if err != nil {
+		t.Fatal(err)
+	}
+	nIsl := len(spec.Islands)
+	lo := make([]int, nIsl)
+	hi := make([]int, nIsl)
+	maxCores := 0
+	for j := 0; j < nIsl; j++ {
+		n := len(spec.CoresIn(soc.IslandID(j)))
+		usable := maxSizes[j] - 1
+		lo[j] = (n + usable - 1) / usable
+		if lo[j] < 1 {
+			lo[j] = 1
+		}
+		hi[j] = n
+		if hi[j] < lo[j] {
+			hi[j] = lo[j]
+		}
+		if width > 0 && lo[j]+width-1 < hi[j] {
+			hi[j] = lo[j] + width - 1
+		}
+		if n > maxCores {
+			maxCores = n
+		}
+	}
+	maxMid := opt.MaxIntermediateSwitches
+	if maxMid <= 0 {
+		maxMid = maxCores
+	}
+	if !opt.AllowIntermediate {
+		maxMid = 0
+	}
+
+	idx := uint64(0)
+	counts := make([]int, nIsl)
+	parts := make([][]int, nIsl)
+	var walk func(j int)
+	walk = func(j int) {
+		if j == nIsl {
+			for mid := 0; mid <= maxMid; mid++ {
+				ok := true
+				for i := 0; i < nIsl; i++ {
+					p, err := parter.caches[i].Partition(counts[i])
+					if err != nil {
+						ok = false
+						break
+					}
+					parts[i] = p
+				}
+				if ok {
+					dp, err := buildPoint(newBuildContext(env), counts, parts, mid)
+					if err == nil {
+						feasible = append(feasible, SweepPoint{
+							Index:          idx,
+							SwitchCounts:   append([]int(nil), counts...),
+							MidSwitches:    mid,
+							PowerW:         dp.NoCPower.DynW(),
+							LatencyCycles:  dp.MeanLatencyCycles,
+							AreaMM2:        dp.NoCAreaMM2,
+							WireViolations: dp.WireViolations,
+						})
+					}
+				}
+				idx++
+			}
+			return
+		}
+		for k := lo[j]; k <= hi[j]; k++ {
+			counts[j] = k
+			walk(j + 1)
+		}
+	}
+	walk(0)
+	return feasible, idx
+}
+
+// oracleFront is the quadratic-time Pareto front of (power, latency)
+// minimization with equal pairs collapsed to the lowest index, sorted
+// the way SweepResult.Front is.
+func oracleFront(pts []SweepPoint) []SweepPoint {
+	var out []SweepPoint
+	for i := range pts {
+		p := &pts[i]
+		keep := true
+		for k := range pts {
+			if k == i {
+				continue
+			}
+			q := &pts[k]
+			if q.PowerW <= p.PowerW && q.LatencyCycles <= p.LatencyCycles &&
+				(q.PowerW < p.PowerW || q.LatencyCycles < p.LatencyCycles) {
+				keep = false
+				break
+			}
+			if q.PowerW == p.PowerW && q.LatencyCycles == p.LatencyCycles && q.Index < p.Index {
+				keep = false
+				break
+			}
+		}
+		if keep {
+			out = append(out, *p)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].PowerW != out[j].PowerW {
+			return out[i].PowerW < out[j].PowerW
+		}
+		return out[i].LatencyCycles < out[j].LatencyCycles
+	})
+	return out
+}
+
+// TestSweepMatchesBruteForce checks the streaming sweep — index decode,
+// sharded claiming, per-worker collectors, the merge — against a plain
+// nested-loop enumeration that shares none of that machinery.
+func TestSweepMatchesBruteForce(t *testing.T) {
+	spec := miniSoC()
+	lib := model.Default65nm()
+	opt := Options{AllowIntermediate: true, MaxIntermediateSwitches: 2, Workers: 4}
+
+	feasible, evaluated := oracleSweep(t, spec, lib, opt, 0)
+	if len(feasible) == 0 {
+		t.Fatal("oracle found nothing feasible; the test spec is broken")
+	}
+
+	res, err := SynthesizeSweep(context.Background(), spec, lib, opt, SweepOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Size != evaluated || res.Evaluated != evaluated {
+		t.Fatalf("size/evaluated = %d/%d, oracle evaluated %d", res.Size, res.Evaluated, evaluated)
+	}
+	if res.Feasible != uint64(len(feasible)) {
+		t.Fatalf("feasible = %d, oracle found %d", res.Feasible, len(feasible))
+	}
+	if res.StopReason != StopComplete || res.Truncated || res.Partial {
+		t.Fatalf("stop metadata wrong: %q truncated=%v partial=%v", res.StopReason, res.Truncated, res.Partial)
+	}
+
+	wantBestP := &feasible[0]
+	wantBestL := &feasible[0]
+	for i := range feasible {
+		if sweepBetter(&feasible[i], wantBestP, powerOf) {
+			wantBestP = &feasible[i]
+		}
+		if sweepBetter(&feasible[i], wantBestL, latencyOf) {
+			wantBestL = &feasible[i]
+		}
+	}
+	if !reflect.DeepEqual(res.BestPowerPoint, wantBestP) {
+		t.Fatalf("best power point:\n got %+v\nwant %+v", res.BestPowerPoint, wantBestP)
+	}
+	if !reflect.DeepEqual(res.BestLatencyPoint, wantBestL) {
+		t.Fatalf("best latency point:\n got %+v\nwant %+v", res.BestLatencyPoint, wantBestL)
+	}
+	if !reflect.DeepEqual(res.Front, oracleFront(feasible)) {
+		t.Fatalf("front:\n got %+v\nwant %+v", res.Front, oracleFront(feasible))
+	}
+	// The rebuilt design points must match their summaries.
+	if res.BestPower == nil ||
+		!reflect.DeepEqual(res.BestPower.SwitchCounts, wantBestP.SwitchCounts) ||
+		res.BestPower.MidSwitches != wantBestP.MidSwitches ||
+		res.BestPower.NoCPower.DynW() != wantBestP.PowerW {
+		t.Fatalf("rebuilt BestPower does not match its summary: %+v vs %+v", res.BestPower, wantBestP)
+	}
+	if res.BestLatency == nil || res.BestLatency.MeanLatencyCycles != wantBestL.LatencyCycles {
+		t.Fatalf("rebuilt BestLatency does not match its summary")
+	}
+}
+
+// sweepOnce runs SynthesizeSweep and fails the test on error.
+func sweepOnce(t *testing.T, spec *soc.Spec, lib *model.Library, opt Options, sw SweepOptions) *SweepResult {
+	t.Helper()
+	res, err := SynthesizeSweep(context.Background(), spec, lib, opt, sw)
+	if err != nil {
+		t.Fatalf("workers=%d: %v", opt.Workers, err)
+	}
+	return res
+}
+
+// sameSweep asserts two sweep results are deeply identical apart from
+// pointer identity.
+func sameSweep(t *testing.T, label string, a, b *SweepResult) {
+	t.Helper()
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("%s: sweep results differ:\n%+v\nvs\n%+v", label, a, b)
+	}
+}
+
+// TestSweepIdenticalAcrossWorkers is the streaming sweep's determinism
+// contract: every worker count — including workers far in excess of the
+// candidate count — produces a byte-identical SweepResult, with and
+// without a Limit.
+func TestSweepIdenticalAcrossWorkers(t *testing.T) {
+	lib := model.Default65nm()
+	cases := []struct {
+		spec *soc.Spec
+		sws  []SweepOptions
+	}{
+		{miniSoC(), []SweepOptions{{}, {Limit: 17}, {WidthPerIsland: 2}}},
+		// The 40-core space is width-capped: full-width would be minutes
+		// of sweep per worker count, which belongs to the env-gated scale
+		// proof, not tier-1.
+		{specgen.Large(3, 40, 6), []SweepOptions{{WidthPerIsland: 2}, {WidthPerIsland: 3, Limit: 100}}},
+	}
+	for _, tc := range cases {
+		spec := tc.spec
+		for _, sw := range tc.sws {
+			opt := Options{AllowIntermediate: spec.Name == "mini8", MaxIntermediateSwitches: 2, Workers: 1}
+			base := sweepOnce(t, spec, lib, opt, sw)
+			for _, workers := range []int{2, 3, 8, 64} {
+				opt.Workers = workers
+				got := sweepOnce(t, spec, lib, opt, sw)
+				sameSweep(t, fmt.Sprintf("%s limit=%d width=%d workers=%d",
+					spec.Name, sw.Limit, sw.WidthPerIsland, workers), base, got)
+			}
+			if sw.Limit > 0 {
+				if !base.Truncated || base.Evaluated != sw.Limit || base.StopReason != StopTruncated {
+					t.Fatalf("%s: limited sweep metadata wrong: %+v", spec.Name, base)
+				}
+			}
+		}
+	}
+}
+
+// TestSweepSinglePointSpace pins the degenerate shape: a space with
+// exactly one candidate (every island pinned at width 1, no mid sweep)
+// still completes, finds it, and is identical at any worker count.
+func TestSweepSinglePointSpace(t *testing.T) {
+	spec := miniSoC()
+	lib := model.Default65nm()
+	opt := Options{Workers: 1}
+	sw := SweepOptions{WidthPerIsland: 1}
+	base := sweepOnce(t, spec, lib, opt, sw)
+	if base.Size != 1 || base.Evaluated != 1 {
+		t.Fatalf("want a one-point space, got size=%d evaluated=%d", base.Size, base.Evaluated)
+	}
+	if base.Feasible == 1 && len(base.Front) != 1 {
+		t.Fatalf("one feasible point must be the whole front, got %d", len(base.Front))
+	}
+	opt.Workers = 32
+	sameSweep(t, "single-point workers=32", base, sweepOnce(t, spec, lib, opt, sw))
+}
+
+// TestSweepCancellation stops a sweep mid-flight and checks it degrades
+// to an honestly-labeled partial result instead of failing.
+func TestSweepCancellation(t *testing.T) {
+	spec := specgen.Large(3, 40, 6)
+	lib := model.Default65nm()
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(5 * time.Millisecond)
+		cancel()
+	}()
+	res, err := SynthesizeSweep(ctx, spec, lib, Options{Workers: 4}, SweepOptions{})
+	if err != nil {
+		t.Fatalf("canceled sweep must return a partial result, got %v", err)
+	}
+	if res.Evaluated >= res.Size {
+		t.Skip("sweep finished before the cancel landed")
+	}
+	if !res.Partial || res.StopReason != StopCanceled {
+		t.Fatalf("partial metadata wrong: partial=%v reason=%q", res.Partial, res.StopReason)
+	}
+}
+
+// TestSweepPanicsIdenticalAcrossWorkers injects panics into a fixed
+// subset of candidates and checks the error channel of the streaming
+// sweep: bounded recording, true total count, smallest-index selection,
+// all byte-identical across worker counts.
+func TestSweepPanicsIdenticalAcrossWorkers(t *testing.T) {
+	spec := miniSoC()
+	lib := model.Default65nm()
+	withEvalHook(t, func(counts []int, mid int) {
+		if mid == 1 {
+			panic("injected: sweep candidate blew up")
+		}
+	})
+	opt := Options{AllowIntermediate: true, MaxIntermediateSwitches: 2, Workers: 1}
+	sw := SweepOptions{MaxErrors: 3}
+	base := sweepOnce(t, spec, lib, opt, sw)
+	if base.ErrorCount == 0 {
+		t.Fatal("no injected panic was recorded")
+	}
+	if len(base.Errors) > 3 {
+		t.Fatalf("error cap not honored: %d recorded", len(base.Errors))
+	}
+	if base.ErrorCount > 3 && len(base.Errors) != 3 {
+		t.Fatalf("want the 3 smallest-index errors kept, got %d of %d", len(base.Errors), base.ErrorCount)
+	}
+	for _, e := range base.Errors {
+		if e.MidSwitches != 1 {
+			t.Fatalf("recorded error for mid=%d, only mid=1 panics were injected", e.MidSwitches)
+		}
+		if e.Stack == "" || e.Panic == "" {
+			t.Fatalf("error not normalized: %+v", e)
+		}
+	}
+	for _, workers := range []int{2, 8} {
+		opt.Workers = workers
+		sameSweep(t, fmt.Sprintf("panics workers=%d", workers), base, sweepOnce(t, spec, lib, opt, sw))
+	}
+}
+
+// TestSweepMillionPoints is the scale proof: a 100+-core, 10+-island
+// SoC whose enumerated cross product exceeds 2^20 design points, swept
+// to completion under bounded memory at two worker counts with
+// byte-identical results. It runs only when NOCVI_BIGSWEEP=1 — the full
+// double sweep is minutes of CPU — but the space geometry (size,
+// island/core floors) is asserted unconditionally below in
+// TestSweepMillionPointGeometry.
+func TestSweepMillionPoints(t *testing.T) {
+	if os.Getenv("NOCVI_BIGSWEEP") == "" {
+		t.Skip("set NOCVI_BIGSWEEP=1 to run the million-point sweep proof")
+	}
+	spec, sw := millionPointSpace()
+	lib := model.Default65nm()
+	opt := Options{Workers: 1}
+	base := sweepOnce(t, spec, lib, opt, sw)
+	if base.Size < 1<<20 {
+		t.Fatalf("space has %d points, want >= 2^20", base.Size)
+	}
+	if base.Evaluated != base.Size || base.StopReason != StopComplete {
+		t.Fatalf("sweep did not complete: %+v", base)
+	}
+	if base.Feasible == 0 {
+		t.Fatal("million-point space found nothing feasible")
+	}
+	opt.Workers = 4
+	sameSweep(t, "million-point workers=4", base, sweepOnce(t, spec, lib, opt, sw))
+}
+
+// millionPointSpace is the shared geometry of the scale proof and its
+// always-run sanity check: a 104-core, 10-island SoC swept at width 4
+// (no intermediate island). Every island contributes the full width,
+// so the cross product is exactly 4^10 = 2^20 design points; seed 7
+// yields a space where both feasible builds and routing-infeasible
+// candidates occur, covering both per-point paths at scale.
+func millionPointSpace() (*soc.Spec, SweepOptions) {
+	return specgen.Large(7, 104, 10), SweepOptions{WidthPerIsland: 4}
+}
+
+// TestSweepMillionPointGeometry asserts — on every test run, not just
+// under NOCVI_BIGSWEEP — that the scale proof's space really is what
+// the name claims: 100+ cores, 10+ islands, >= 2^20 enumerable points,
+// and a feasible evaluated prefix.
+func TestSweepMillionPointGeometry(t *testing.T) {
+	spec, sw := millionPointSpace()
+	if len(spec.Cores) < 100 || len(spec.Islands) < 10 {
+		t.Fatalf("proof SoC too small: %d cores, %d islands", len(spec.Cores), len(spec.Islands))
+	}
+	lib := model.Default65nm()
+	// The low-index corner of the space (few switches everywhere) is
+	// routing-infeasible for this seed; feasibility starts within the
+	// first couple thousand candidates.
+	sw.Limit = 2000
+	res, err := SynthesizeSweep(context.Background(), spec, lib, Options{Workers: 4}, sw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Size < 1<<20 {
+		t.Fatalf("space has %d points, want >= 2^20", res.Size)
+	}
+	if res.Evaluated != 2000 || !res.Truncated {
+		t.Fatalf("limited probe wrong: evaluated=%d truncated=%v", res.Evaluated, res.Truncated)
+	}
+	if res.Feasible == 0 {
+		t.Fatal("no feasible point in the first 2000 candidates; proof space is degenerate")
+	}
+}

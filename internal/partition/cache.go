@@ -21,6 +21,13 @@ type Engine func(g *graph.Undirected, k int, opt Options) ([]int, error)
 // a cached result is bit-identical to a fresh computation and
 // duplicated work between racing goroutines is harmless — the first
 // stored result wins and all callers observe it.
+//
+// Concurrent misses: Partition computes through a cache-held scratch
+// guarded by one mutex, which serializes every compute through the
+// cache — fine for occasional use, a contention collapse when many
+// workers miss at once. Parallel sweeps therefore call
+// PartitionScratch with a per-worker Scratch, which computes misses
+// with no lock held beyond the map probes.
 type Cache struct {
 	g      *graph.Undirected
 	engine Engine
@@ -34,10 +41,20 @@ type Cache struct {
 
 	// sc pools the built-in engine's working storage across the cache's
 	// k values (non-nil only when NewCache was given a nil engine).
-	// scMu serializes computes through it; distinct k values of the
-	// built-in engine therefore share buffers instead of overlapping.
+	// scMu serializes computes through it; it backs only the
+	// scratch-less Partition path — PartitionScratch never touches it.
 	scMu sync.Mutex
 	sc   *kwayScratch
+}
+
+// Scratch is caller-owned working storage for Cache.PartitionScratch:
+// the built-in FM engine's buffers, grown on first use and reused
+// across calls. One Scratch must not be used by two goroutines
+// concurrently; distinct goroutines holding distinct Scratches may
+// compute cache misses concurrently without serializing on the cache.
+// A zero Scratch is ready to use.
+type Scratch struct {
+	kway kwayScratch
 }
 
 type cacheEntry struct {
@@ -62,6 +79,17 @@ func NewCache(g *graph.Undirected, engine Engine, opt Options) *Cache {
 // (e.g. k*MaxPartSize < n) fails once and every later lookup returns
 // the same error without re-running the engine.
 func (c *Cache) Partition(k int) ([]int, error) {
+	return c.PartitionScratch(k, nil)
+}
+
+// PartitionScratch is Partition computing misses through caller-owned
+// working storage. A nil sc falls back to the cache-held scratch,
+// serialized by its mutex; a per-goroutine sc lets concurrent misses
+// on distinct k values proceed in parallel. Either way the stored
+// result is bit-identical — the engines are deterministic and scratch
+// contents never influence the output — so the first store wins and
+// racing duplicates are discarded.
+func (c *Cache) PartitionScratch(k int, sc *Scratch) ([]int, error) {
 	c.mu.Lock()
 	e, ok := c.byK[k]
 	c.mu.Unlock()
@@ -69,17 +97,21 @@ func (c *Cache) Partition(k int) ([]int, error) {
 		return e.part, e.err
 	}
 	// Compute outside the byK lock; determinism makes a racing
-	// duplicate computation identical. The built-in engine serializes
-	// on the scratch lock instead — shared buffers beat the rare
-	// concurrent-compute overlap on these small graphs.
+	// duplicate computation identical.
 	var part []int
 	var err error
-	if c.sc != nil {
+	switch {
+	case c.engine != nil:
+		part, err = c.engine(c.g, k, c.opt)
+	case sc != nil:
+		part, err = kwayWith(c.g, k, c.opt, &sc.kway)
+	default:
+		// Scratch-less built-in path: serialize on the cache-held
+		// buffers. Occasional callers share one allocation; sweeps that
+		// care pass their own scratch above.
 		c.scMu.Lock()
 		part, err = kwayWith(c.g, k, c.opt, c.sc)
 		c.scMu.Unlock()
-	} else {
-		part, err = c.engine(c.g, k, c.opt)
 	}
 	if err == nil {
 		part = Canonical(part, k)

@@ -14,26 +14,57 @@ import (
 
 // Options bounds the generated specs.
 type Options struct {
-	// MaxCores bounds the core count (min 4). Zero selects 18.
+	// MinCores and MaxCores bound the core count. MinCores below 4
+	// selects 4; MaxCores below the effective minimum selects 18 (the
+	// legacy default) or the minimum, whichever is larger. Setting
+	// MinCores == MaxCores pins the size exactly, which is how the
+	// scaling suites build 100+-core SoCs deterministically.
+	MinCores int
 	MaxCores int
-	// MaxIslands bounds the island count (min 1). Zero selects 5.
+	// MinIslands and MaxIslands bound the island count. MinIslands
+	// below 1 selects 1; MaxIslands below the effective minimum
+	// selects 5 or the minimum, whichever is larger. The island count
+	// is still clamped at the core count.
+	MinIslands int
 	MaxIslands int
 	// MaxFlowMBps bounds per-flow bandwidth. Zero selects 300.
 	MaxFlowMBps float64
 }
 
-func (o Options) maxCores() int {
-	if o.MaxCores < 4 {
-		return 18
+func (o Options) minCores() int {
+	if o.MinCores < 4 {
+		return 4
 	}
-	return o.MaxCores
+	return o.MinCores
+}
+
+func (o Options) maxCores() int {
+	hi := o.MaxCores
+	if hi < 4 {
+		hi = 18
+	}
+	if lo := o.minCores(); hi < lo {
+		hi = lo
+	}
+	return hi
+}
+
+func (o Options) minIslands() int {
+	if o.MinIslands < 1 {
+		return 1
+	}
+	return o.MinIslands
 }
 
 func (o Options) maxIslands() int {
-	if o.MaxIslands < 1 {
-		return 5
+	hi := o.MaxIslands
+	if hi < 1 {
+		hi = 5
 	}
-	return o.MaxIslands
+	if lo := o.minIslands(); hi < lo {
+		hi = lo
+	}
+	return hi
 }
 
 func (o Options) maxFlow() float64 {
@@ -67,8 +98,13 @@ var classes = []soc.CoreClass{
 // specs.
 func Random(seed int64, opt Options) *soc.Spec {
 	r := &rng{s: uint64(seed)*2862933555777941757 + 3037000493}
-	nCores := 4 + r.intn(opt.maxCores()-3)
-	nIslands := 1 + r.intn(opt.maxIslands())
+	// lo + intn(hi-lo+1) reproduces the pre-Min draws bit for bit at the
+	// defaults (4 + intn(maxCores-3), 1 + intn(maxIslands)), so existing
+	// seeds keep generating the exact specs they always have.
+	loC, hiC := opt.minCores(), opt.maxCores()
+	nCores := loC + r.intn(hiC-loC+1)
+	loI, hiI := opt.minIslands(), opt.maxIslands()
+	nIslands := loI + r.intn(hiI-loI+1)
 	if nIslands > nCores {
 		nIslands = nCores
 	}
@@ -129,4 +165,18 @@ func Random(seed int64, opt Options) *soc.Spec {
 		panic(fmt.Sprintf("specgen: generated invalid spec: %v", err))
 	}
 	return s
+}
+
+// Large returns a pinned-size SoC: exactly cores cores spread over
+// exactly islands voltage islands (island counts above cores are
+// clamped). Per-flow bandwidth is kept moderate so 100+-core specs
+// still admit feasible topologies at realistic switch counts. This is
+// the generator behind the scaling benchmarks and the million-point
+// sweep proofs; like Random, identical arguments give identical specs.
+func Large(seed int64, cores, islands int) *soc.Spec {
+	return Random(seed, Options{
+		MinCores: cores, MaxCores: cores,
+		MinIslands: islands, MaxIslands: islands,
+		MaxFlowMBps: 80,
+	})
 }

@@ -56,6 +56,63 @@ func TestRandomIslandZeroAlwaysOn(t *testing.T) {
 	}
 }
 
+// TestRandomLegacyStreamPreserved pins the sizes the default options
+// have always generated for the first seeds. Adding the Min bounds must
+// not disturb the rng stream: lo + intn(hi-lo+1) at the defaults is
+// exactly the historical 4 + intn(maxCores-3) / 1 + intn(maxIslands).
+func TestRandomLegacyStreamPreserved(t *testing.T) {
+	want := []struct{ cores, islands, flows int }{
+		{11, 4, 20}, {15, 5, 20}, {6, 1, 8}, {10, 1, 13}, {14, 2, 20}, {18, 3, 24},
+	}
+	for seed, w := range want {
+		s := Random(int64(seed), Options{})
+		if len(s.Cores) != w.cores || len(s.Islands) != w.islands || len(s.Flows) != w.flows {
+			t.Fatalf("seed %d: got %d cores %d islands %d flows, want %+v",
+				seed, len(s.Cores), len(s.Islands), len(s.Flows), w)
+		}
+	}
+}
+
+func TestRandomPinnedSizes(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		s := Random(seed, Options{MinCores: 32, MaxCores: 32, MinIslands: 6, MaxIslands: 6})
+		if len(s.Cores) != 32 || len(s.Islands) != 6 {
+			t.Fatalf("seed %d: pinned sizes not honored: %d cores %d islands",
+				seed, len(s.Cores), len(s.Islands))
+		}
+	}
+	// Min-only bounds: sizes land in [min, max] even when min exceeds
+	// the legacy default max.
+	for seed := int64(0); seed < 20; seed++ {
+		s := Random(seed, Options{MinCores: 40, MinIslands: 8})
+		if n := len(s.Cores); n < 40 {
+			t.Fatalf("seed %d: %d cores under MinCores", seed, n)
+		}
+		if n := len(s.Islands); n < 8 {
+			t.Fatalf("seed %d: %d islands under MinIslands", seed, n)
+		}
+	}
+}
+
+func TestLargePinnedAndDeterministic(t *testing.T) {
+	a := Large(7, 108, 12)
+	if len(a.Cores) != 108 || len(a.Islands) != 12 {
+		t.Fatalf("Large(7,108,12): %d cores %d islands", len(a.Cores), len(a.Islands))
+	}
+	if err := a.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	b := Large(7, 108, 12)
+	if len(a.Flows) != len(b.Flows) {
+		t.Fatal("Large not deterministic")
+	}
+	for i := range a.Flows {
+		if a.Flows[i] != b.Flows[i] {
+			t.Fatalf("Large flow %d differs across runs", i)
+		}
+	}
+}
+
 func TestRandomVariety(t *testing.T) {
 	sizes := map[int]bool{}
 	islands := map[int]bool{}

@@ -3,24 +3,37 @@
 // the pre-optimization baseline so the file always carries before/after
 // numbers side by side:
 //
-//	go test -bench=RouteAll -benchmem -run='^$' . | go run ./tools/bench2json -o BENCH_routing.json
+//	go test -bench=RouteAll -cpu=1,2,4 -benchmem -run='^$' . | go run ./tools/bench2json -o BENCH_routing.json
 //
 // The first write seeds the "baseline" section; subsequent writes
 // refresh "current" and recompute the per-benchmark deltas, leaving
 // the baseline untouched. Use -set baseline to re-seed deliberately
 // (e.g. after re-measuring on new hardware).
 //
+// Results are keyed by benchmark name AND the GOMAXPROCS the lane ran
+// under (the `-N` suffix go test appends), as `name@pN`. A multi-lane
+// run (`go test -cpu=1,2,4`) therefore records every lane instead of
+// the last one silently overwriting the rest — the measurement bug that
+// once made a single-core sweep look like a healthy parallel one. The
+// record carries the machine's num_cpu and the measured lanes so a
+// reader can tell real parallelism from a one-lane run at a glance.
+//
 // Benchmarks following the `Suite/workers=K` sub-benchmark convention
 // additionally get a "parallel_efficiency" section: per suite, the
-// speedup of the widest workers variant over workers=1, alongside the
-// GOMAXPROCS of the measuring machine (parsed from the benchmark name
-// suffix) — a speedup near 1.0 on a single-core machine and near the
-// worker count on a wide one are both healthy; what the number guards
-// against is the parallel path being materially slower than serial.
+// speedup of the widest workers variant over workers=1, taken from the
+// widest GOMAXPROCS lane that measured both. Lanes measured at
+// GOMAXPROCS=1 are never used — a "speedup" with one schedulable CPU
+// is timing noise, not efficiency — so a record produced entirely on a
+// single-core machine carries an efficiency_note instead of numbers.
 //
 // With -floor F the tool additionally asserts that every suite's
 // speedup is at least F and exits nonzero otherwise, which is how the
-// CI smoke run pins "parallelism never costs more than it pays".
+// CI smoke run pins "parallelism actually pays". On data measured only
+// at GOMAXPROCS=1 the floor is skipped with a stderr note (exit 0) —
+// unless -require-procs N is also given, in which case input lacking a
+// lane of at least N schedulable CPUs is a hard failure. CI on
+// multi-core runners sets -require-procs so a mis-pinned runner cannot
+// silently regress into the single-core skip path.
 // Passing an empty -o checks without touching any file.
 //
 // With -campaign FILE a power-state fault-campaign report (written by
@@ -42,6 +55,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"sort"
 	"strconv"
 	"strings"
 )
@@ -62,9 +77,11 @@ type delta struct {
 }
 
 // efficiency summarizes one Suite/workers=K family: the speedup of the
-// widest measured worker count over workers=1 (ns(w=1)/ns(w=max)).
+// widest measured worker count over workers=1 (ns(w=1)/ns(w=max)),
+// within the widest GOMAXPROCS lane that measured both legs.
 type efficiency struct {
 	Workers int     `json:"workers"`
+	Procs   int     `json:"gomaxprocs"`
 	Speedup float64 `json:"speedup_vs_workers1"`
 }
 
@@ -79,16 +96,22 @@ type campaignSummary struct {
 }
 
 type record struct {
-	// GoMaxProcs is the GOMAXPROCS of the machine that produced the
-	// most recent write, parsed from the benchmark-name suffix. It
-	// contextualizes the efficiency numbers: a 1.0 speedup is expected
-	// on gomaxprocs=1 and a red flag on gomaxprocs=8.
+	// GoMaxProcs is the widest GOMAXPROCS lane of the most recent write;
+	// NumCPU the runtime.NumCPU of the measuring machine; Lanes every
+	// lane measured. Together they tell a reader whether the efficiency
+	// numbers could possibly mean anything: gomaxprocs=1 on num_cpu=1 is
+	// a machine that cannot measure parallelism, not a regression.
 	GoMaxProcs int               `json:"gomaxprocs,omitempty"`
+	NumCPU     int               `json:"num_cpu,omitempty"`
+	Lanes      []int             `json:"gomaxprocs_lanes,omitempty"`
 	Baseline   map[string]result `json:"baseline,omitempty"`
 	Current    map[string]result `json:"current,omitempty"`
 	Delta      map[string]delta  `json:"delta,omitempty"`
 	// Efficiency is computed from Current when present, else Baseline.
-	Efficiency map[string]efficiency `json:"parallel_efficiency,omitempty"`
+	// It is never computed from GOMAXPROCS=1 lanes; EfficiencyNote says
+	// so when that leaves nothing to report.
+	Efficiency     map[string]efficiency `json:"parallel_efficiency,omitempty"`
+	EfficiencyNote string                `json:"efficiency_note,omitempty"`
 	// Campaign holds the latest fault-campaign summary per design.
 	Campaign map[string]campaignSummary `json:"campaign,omitempty"`
 }
@@ -96,12 +119,13 @@ type record struct {
 func main() {
 	out := flag.String("o", "BENCH_routing.json", "output JSON file (merged in place); empty checks without writing")
 	section := flag.String("set", "auto", "section to write: baseline|current|auto (auto seeds the baseline on first run)")
-	floor := flag.Float64("floor", 0, "fail unless every workers= suite on stdin reaches this speedup over workers=1")
+	floor := flag.Float64("floor", 0, "fail unless every workers= suite on stdin reaches this speedup over workers=1 (skipped with a note on GOMAXPROCS=1 data)")
+	requireProcs := flag.Int("require-procs", 0, "with -floor: fail unless the input has a GOMAXPROCS lane of at least this width")
 	campaignPath := flag.String("campaign", "", "fold a fault-campaign JSON report (nocsynth -campaign-json) into the record")
 	campaignFloor := flag.Float64("campaign-floor", 0, "fail unless the -campaign report's aggregate recoverability reaches this fraction")
 	flag.Parse()
 
-	results, gomaxprocs, err := parseBench(os.Stdin)
+	results, lanes, err := parseBench(os.Stdin)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "bench2json:", err)
 		os.Exit(1)
@@ -110,10 +134,23 @@ func main() {
 		fmt.Fprintln(os.Stderr, "bench2json: no benchmark lines on stdin")
 		os.Exit(1)
 	}
+	maxProcs := 0
+	if len(lanes) > 0 {
+		maxProcs = lanes[len(lanes)-1]
+	}
 	if *floor > 0 {
-		if err := assertFloor(results, *floor); err != nil {
-			fmt.Fprintln(os.Stderr, "bench2json:", err)
+		switch {
+		case *requireProcs > 1 && maxProcs < *requireProcs:
+			fmt.Fprintf(os.Stderr, "bench2json: -require-procs %d: widest measured lane is gomaxprocs=%d — run with -cpu including a lane of at least %d\n",
+				*requireProcs, maxProcs, *requireProcs)
 			os.Exit(1)
+		case maxProcs <= 1:
+			fmt.Fprintf(os.Stderr, "bench2json: note: -floor %.2f skipped — benchmarks measured at gomaxprocs=1, where a parallel speedup cannot exist; set -require-procs on multi-core runners to make this a failure\n", *floor)
+		default:
+			if err := assertFloor(results, *floor); err != nil {
+				fmt.Fprintln(os.Stderr, "bench2json:", err)
+				os.Exit(1)
+			}
 		}
 	}
 	campDesign, campSum := "", campaignSummary{}
@@ -136,6 +173,7 @@ func main() {
 			os.Exit(1)
 		}
 	}
+	migrate(&rec)
 
 	dst := *section
 	if dst == "auto" {
@@ -156,11 +194,17 @@ func main() {
 			os.Exit(1)
 		}
 		rec.Delta = deltas(rec.Baseline, rec.Current)
-		rec.GoMaxProcs = gomaxprocs
-		if len(rec.Current) > 0 {
-			rec.Efficiency = efficiencies(rec.Current)
-		} else {
-			rec.Efficiency = efficiencies(rec.Baseline)
+		rec.GoMaxProcs = maxProcs
+		rec.NumCPU = runtime.NumCPU()
+		rec.Lanes = lanes
+		src := rec.Current
+		if len(src) == 0 {
+			src = rec.Baseline
+		}
+		rec.Efficiency = efficiencies(src)
+		rec.EfficiencyNote = ""
+		if len(rec.Efficiency) == 0 && hasWorkerSuites(src) {
+			rec.EfficiencyNote = "not computed: every workers= lane was measured at gomaxprocs=1, which cannot exhibit parallel speedup"
 		}
 	}
 	if campDesign != "" {
@@ -180,6 +224,32 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Printf("[wrote %s: %d benchmarks into %q]\n", *out, len(results), dst)
+}
+
+// migrate rewrites records from before lane-keying: bare benchmark
+// names gain the @pN suffix of the GOMAXPROCS the record says it was
+// measured at, so old baselines keep pairing with new lanes instead of
+// silently never matching again.
+func migrate(rec *record) {
+	procs := rec.GoMaxProcs
+	if procs <= 0 {
+		procs = 1
+	}
+	fix := func(m map[string]result) map[string]result {
+		if m == nil {
+			return nil
+		}
+		out := make(map[string]result, len(m))
+		for name, r := range m {
+			if !strings.Contains(name, "@p") {
+				name = fmt.Sprintf("%s@p%d", name, procs)
+			}
+			out[name] = r
+		}
+		return out
+	}
+	rec.Baseline = fix(rec.Baseline)
+	rec.Current = fix(rec.Current)
 }
 
 // loadCampaign reads a campaign report written by `nocsynth
@@ -232,14 +302,16 @@ func loadCampaign(path string, floor float64) (string, campaignSummary, error) {
 // parseBench extracts benchmark result lines from `go test -bench`
 // output. Lines look like
 //
-//	BenchmarkRouteAll/d26_media-64   8527   118499 ns/op   56082 B/op   770 allocs/op
+//	BenchmarkRouteAll/d26_media-4   8527   118499 ns/op   56082 B/op   770 allocs/op
 //
-// where the -64 suffix is GOMAXPROCS; it is stripped so records from
-// machines with different core counts merge under one key, and
-// returned so the record can note the measuring machine's parallelism.
-func parseBench(r io.Reader) (map[string]result, int, error) {
+// where the -4 suffix is the GOMAXPROCS the lane ran under (omitted by
+// go test when it is 1). The suffix becomes part of the key — the
+// record key is `RouteAll/d26_media@p4` — so a `-cpu=1,2,4` run yields
+// one record per lane instead of the lanes overwriting each other.
+// The sorted set of distinct lanes is returned alongside.
+func parseBench(r io.Reader) (map[string]result, []int, error) {
 	out := make(map[string]result)
-	gomaxprocs := 0
+	laneSet := make(map[int]bool)
 	sc := bufio.NewScanner(r)
 	for sc.Scan() {
 		fields := strings.Fields(sc.Text())
@@ -247,10 +319,11 @@ func parseBench(r io.Reader) (map[string]result, int, error) {
 			continue
 		}
 		name := strings.TrimPrefix(fields[0], "Benchmark")
+		procs := 1
 		if i := strings.LastIndex(name, "-"); i > 0 {
 			if p, err := strconv.Atoi(name[i+1:]); err == nil {
 				name = name[:i]
-				gomaxprocs = p
+				procs = p
 			}
 		}
 		iters, err := strconv.ParseInt(fields[1], 10, 64)
@@ -269,56 +342,99 @@ func parseBench(r io.Reader) (map[string]result, int, error) {
 				res.AllocsPerOp, err = strconv.ParseInt(val, 10, 64)
 			}
 			if err != nil {
-				return nil, 0, fmt.Errorf("parsing %q: %w", sc.Text(), err)
+				return nil, nil, fmt.Errorf("parsing %q: %w", sc.Text(), err)
 			}
 		}
-		out[name] = res
-		if gomaxprocs == 0 {
-			gomaxprocs = 1 // go test omits the suffix when GOMAXPROCS=1
+		out[fmt.Sprintf("%s@p%d", name, procs)] = res
+		laneSet[procs] = true
+	}
+	var lanes []int
+	for p := range laneSet {
+		lanes = append(lanes, p)
+	}
+	sort.Ints(lanes)
+	return out, lanes, sc.Err()
+}
+
+// splitKey parses a `suite/workers=K@pN` record key. ok is false for
+// keys without a workers= leg.
+func splitKey(key string) (suite string, workers, procs int, ok bool) {
+	procs = 1
+	if i := strings.LastIndex(key, "@p"); i >= 0 {
+		p, err := strconv.Atoi(key[i+2:])
+		if err != nil {
+			return "", 0, 0, false
+		}
+		procs = p
+		key = key[:i]
+	}
+	i := strings.LastIndex(key, "/workers=")
+	if i < 0 {
+		return "", 0, 0, false
+	}
+	w, err := strconv.Atoi(key[i+len("/workers="):])
+	if err != nil {
+		return "", 0, 0, false
+	}
+	return key[:i], w, procs, true
+}
+
+// hasWorkerSuites reports whether any record key follows the
+// Suite/workers=K convention, at any lane.
+func hasWorkerSuites(results map[string]result) bool {
+	for key := range results {
+		if _, _, _, ok := splitKey(key); ok {
+			return true
 		}
 	}
-	return out, gomaxprocs, sc.Err()
+	return false
 }
 
 // efficiencies pairs every `Suite/workers=K` family's workers=1 timing
-// with its widest workers variant. Suites missing a workers=1 leg are
-// skipped.
+// with its widest workers variant, within the widest GOMAXPROCS lane
+// (>1) that measured both legs. Lanes at gomaxprocs=1 are ignored
+// entirely: one schedulable CPU cannot exhibit parallel speedup, and a
+// record pretending otherwise is how a scaling regression hides.
 func efficiencies(results map[string]result) map[string]efficiency {
 	type legs struct {
 		w1     float64
 		maxW   int
 		maxWNs float64
 	}
-	suites := make(map[string]*legs)
-	for name, r := range results {
-		i := strings.LastIndex(name, "/workers=")
-		if i < 0 {
+	// lane key: suite + procs
+	type laneKey struct {
+		suite string
+		procs int
+	}
+	suiteLanes := make(map[laneKey]*legs)
+	for key, r := range results {
+		suite, w, procs, ok := splitKey(key)
+		if !ok || procs <= 1 || r.NsPerOp <= 0 {
 			continue
 		}
-		k, err := strconv.Atoi(name[i+len("/workers="):])
-		if err != nil || r.NsPerOp <= 0 {
-			continue
-		}
-		suite := name[:i]
-		l := suites[suite]
+		lk := laneKey{suite, procs}
+		l := suiteLanes[lk]
 		if l == nil {
 			l = &legs{}
-			suites[suite] = l
+			suiteLanes[lk] = l
 		}
-		if k == 1 {
+		if w == 1 {
 			l.w1 = r.NsPerOp
 		}
-		if k > l.maxW {
-			l.maxW = k
+		if w > l.maxW {
+			l.maxW = w
 			l.maxWNs = r.NsPerOp
 		}
 	}
 	out := make(map[string]efficiency)
-	for suite, l := range suites {
+	for lk, l := range suiteLanes {
 		if l.w1 <= 0 || l.maxW <= 1 {
 			continue
 		}
-		out[suite] = efficiency{Workers: l.maxW, Speedup: round2(l.w1 / l.maxWNs)}
+		if prev, ok := out[lk.suite]; ok && prev.Procs >= lk.procs {
+			continue // keep the widest lane per suite
+		}
+		out[lk.suite] = efficiency{Workers: l.maxW, Procs: lk.procs, Speedup: round2(l.w1 / l.maxWNs)}
 	}
 	if len(out) == 0 {
 		return nil
@@ -327,16 +443,18 @@ func efficiencies(results map[string]result) map[string]efficiency {
 }
 
 // assertFloor enforces the parallel-efficiency floor over the parsed
-// input: every workers= suite must reach the given speedup.
+// input: every workers= suite must reach the given speedup, measured
+// on a lane with more than one schedulable CPU. Callers guard the
+// gomaxprocs=1 case before calling.
 func assertFloor(results map[string]result, floor float64) error {
 	effs := efficiencies(results)
 	if len(effs) == 0 {
-		return fmt.Errorf("-floor %.2f: no Suite/workers=K benchmarks on stdin", floor)
+		return fmt.Errorf("-floor %.2f: no Suite/workers=K benchmarks measured at gomaxprocs>1 on stdin", floor)
 	}
 	for suite, e := range effs {
 		if e.Speedup < floor {
-			return fmt.Errorf("parallel efficiency floor violated: %s workers=%d speedup %.2f < %.2f",
-				suite, e.Workers, e.Speedup, floor)
+			return fmt.Errorf("parallel efficiency floor violated: %s workers=%d@p%d speedup %.2f < %.2f",
+				suite, e.Workers, e.Procs, e.Speedup, floor)
 		}
 	}
 	return nil

@@ -3,6 +3,7 @@ package main
 import (
 	"os"
 	"path/filepath"
+	"reflect"
 	"strings"
 	"testing"
 )
@@ -18,25 +19,80 @@ ok  	nocvi	12.345s
 `
 
 func TestParseBench(t *testing.T) {
-	got, gomaxprocs, err := parseBench(strings.NewReader(sample))
+	got, lanes, err := parseBench(strings.NewReader(sample))
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(got) != 3 {
 		t.Fatalf("parsed %d results, want 3: %v", len(got), got)
 	}
-	if gomaxprocs != 64 {
-		t.Fatalf("gomaxprocs = %d, want 64 (from the -64 name suffix)", gomaxprocs)
+	if !reflect.DeepEqual(lanes, []int{64}) {
+		t.Fatalf("lanes = %v, want [64] (from the -64 name suffix)", lanes)
 	}
-	r, ok := got["RouteAll/d16_industrial"]
+	r, ok := got["RouteAll/d16_industrial@p64"]
 	if !ok {
-		t.Fatalf("GOMAXPROCS suffix not stripped: %v", got)
+		t.Fatalf("GOMAXPROCS suffix not folded into the key: %v", got)
 	}
 	if r.Iterations != 38005 || r.NsPerOp != 31643 || r.BytesPerOp != 19720 || r.AllocsPerOp != 343 {
 		t.Fatalf("wrong numbers: %+v", r)
 	}
-	if _, ok := got["SynthesizeParallel/d26_media/workers=4"]; !ok {
+	if _, ok := got["SynthesizeParallel/d26_media/workers=4@p64"]; !ok {
 		t.Fatalf("nested sub-benchmark name mangled: %v", got)
+	}
+}
+
+// TestParseBenchMultiLane is the measurement-bug regression test: a
+// `-cpu=1,2,4` run must keep every lane as its own record instead of
+// the last lane overwriting the others under one key.
+func TestParseBenchMultiLane(t *testing.T) {
+	multi := `BenchmarkS/x/workers=1         	 100	 1000 ns/op
+BenchmarkS/x/workers=1-2       	 100	 1005 ns/op
+BenchmarkS/x/workers=1-4       	 100	 1010 ns/op
+BenchmarkS/x/workers=4-4       	 100	  300 ns/op
+PASS
+`
+	got, lanes, err := parseBench(strings.NewReader(multi))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 4 {
+		t.Fatalf("lanes collided: %d records, want 4: %v", len(got), got)
+	}
+	if !reflect.DeepEqual(lanes, []int{1, 2, 4}) {
+		t.Fatalf("lanes = %v, want [1 2 4]", lanes)
+	}
+	if got["S/x/workers=1@p1"].NsPerOp != 1000 || got["S/x/workers=1@p4"].NsPerOp != 1010 {
+		t.Fatalf("per-lane records wrong: %v", got)
+	}
+}
+
+func TestSplitKey(t *testing.T) {
+	suite, w, procs, ok := splitKey("SynthesizeParallel/d48_network/workers=8@p4")
+	if !ok || suite != "SynthesizeParallel/d48_network" || w != 8 || procs != 4 {
+		t.Fatalf("splitKey = %q %d %d %v", suite, w, procs, ok)
+	}
+	// Legacy keys without a lane parse as procs=1.
+	_, _, procs, ok = splitKey("S/x/workers=2")
+	if !ok || procs != 1 {
+		t.Fatalf("legacy key: procs=%d ok=%v, want 1 true", procs, ok)
+	}
+	if _, _, _, ok := splitKey("RouteAll/d26@p4"); ok {
+		t.Fatal("key without workers= must not parse")
+	}
+}
+
+func TestMigrate(t *testing.T) {
+	rec := record{
+		GoMaxProcs: 1,
+		Baseline:   map[string]result{"RouteAll/d26": {NsPerOp: 5}},
+		Current:    map[string]result{"RouteAll/d26@p4": {NsPerOp: 4}},
+	}
+	migrate(&rec)
+	if _, ok := rec.Baseline["RouteAll/d26@p1"]; !ok {
+		t.Fatalf("legacy baseline key not migrated: %v", rec.Baseline)
+	}
+	if _, ok := rec.Current["RouteAll/d26@p4"]; !ok {
+		t.Fatalf("already-keyed record must pass through: %v", rec.Current)
 	}
 }
 
@@ -57,26 +113,54 @@ func TestDeltas(t *testing.T) {
 
 func TestEfficiencies(t *testing.T) {
 	results := map[string]result{
-		"Synth/a/workers=1":    {NsPerOp: 1000},
-		"Synth/a/workers=2":    {NsPerOp: 600},
-		"Synth/a/workers=8":    {NsPerOp: 250},
-		"Synth/b/workers=1":    {NsPerOp: 500},
-		"Synth/b/workers=4":    {NsPerOp: 550}, // slower in parallel
-		"RouteAll/d26":         {NsPerOp: 100}, // no workers= leg: ignored
-		"Synth/lone/workers=4": {NsPerOp: 5},   // no workers=1 leg: skipped
+		"Synth/a/workers=1@p8":    {NsPerOp: 1000},
+		"Synth/a/workers=2@p8":    {NsPerOp: 600},
+		"Synth/a/workers=8@p8":    {NsPerOp: 250},
+		"Synth/b/workers=1@p8":    {NsPerOp: 500},
+		"Synth/b/workers=4@p8":    {NsPerOp: 550}, // slower in parallel
+		"RouteAll/d26@p8":         {NsPerOp: 100}, // no workers= leg: ignored
+		"Synth/lone/workers=4@p8": {NsPerOp: 5},   // no workers=1 leg: skipped
 	}
 	effs := efficiencies(results)
 	if len(effs) != 2 {
 		t.Fatalf("want 2 suites, got %v", effs)
 	}
-	if e := effs["Synth/a"]; e.Workers != 8 || e.Speedup != 4 {
-		t.Fatalf("Synth/a = %+v, want workers=8 speedup=4", e)
+	if e := effs["Synth/a"]; e.Workers != 8 || e.Procs != 8 || e.Speedup != 4 {
+		t.Fatalf("Synth/a = %+v, want workers=8 procs=8 speedup=4", e)
 	}
 	if e := effs["Synth/b"]; e.Workers != 4 || e.Speedup >= 1 {
 		t.Fatalf("Synth/b = %+v, want workers=4 speedup<1", e)
 	}
-	if effs := efficiencies(map[string]result{"x": {NsPerOp: 1}}); effs != nil {
+	if effs := efficiencies(map[string]result{"x@p8": {NsPerOp: 1}}); effs != nil {
 		t.Fatalf("no workers= suites should yield nil, got %v", effs)
+	}
+}
+
+// TestEfficienciesRefuseSingleProcs pins the honesty rule: lanes
+// measured at GOMAXPROCS=1 never produce an efficiency entry, and the
+// widest multi-proc lane wins when several exist.
+func TestEfficienciesRefuseSingleProcs(t *testing.T) {
+	only1 := map[string]result{
+		"S/x/workers=1@p1": {NsPerOp: 1000},
+		"S/x/workers=8@p1": {NsPerOp: 990},
+	}
+	if effs := efficiencies(only1); effs != nil {
+		t.Fatalf("gomaxprocs=1 lanes must not yield efficiency numbers, got %v", effs)
+	}
+	if !hasWorkerSuites(only1) {
+		t.Fatal("hasWorkerSuites must still see the workers= convention")
+	}
+	mixed := map[string]result{
+		"S/x/workers=1@p1": {NsPerOp: 1000},
+		"S/x/workers=8@p1": {NsPerOp: 990},
+		"S/x/workers=1@p2": {NsPerOp: 1000},
+		"S/x/workers=8@p2": {NsPerOp: 550},
+		"S/x/workers=1@p4": {NsPerOp: 1000},
+		"S/x/workers=8@p4": {NsPerOp: 300},
+	}
+	effs := efficiencies(mixed)
+	if e := effs["S/x"]; e.Procs != 4 || e.Workers != 8 || e.Speedup != 3.33 {
+		t.Fatalf("widest lane must win: %+v", e)
 	}
 }
 
@@ -131,8 +215,8 @@ func TestLoadCampaignRejectsGarbage(t *testing.T) {
 
 func TestAssertFloor(t *testing.T) {
 	results := map[string]result{
-		"S/x/workers=1": {NsPerOp: 1000},
-		"S/x/workers=8": {NsPerOp: 1100},
+		"S/x/workers=1@p8": {NsPerOp: 1000},
+		"S/x/workers=8@p8": {NsPerOp: 1100},
 	}
 	if err := assertFloor(results, 0.6); err != nil {
 		t.Fatalf("speedup 0.91 should pass floor 0.6: %v", err)
@@ -140,7 +224,14 @@ func TestAssertFloor(t *testing.T) {
 	if err := assertFloor(results, 0.95); err == nil {
 		t.Fatal("speedup 0.91 must fail floor 0.95")
 	}
-	if err := assertFloor(map[string]result{"plain": {NsPerOp: 1}}, 0.5); err == nil {
+	if err := assertFloor(map[string]result{"plain@p8": {NsPerOp: 1}}, 0.5); err == nil {
 		t.Fatal("a floor with no workers= suites must fail loudly")
+	}
+	single := map[string]result{
+		"S/x/workers=1@p1": {NsPerOp: 1000},
+		"S/x/workers=8@p1": {NsPerOp: 990},
+	}
+	if err := assertFloor(single, 0.5); err == nil {
+		t.Fatal("gomaxprocs=1 data must not satisfy a floor by accident")
 	}
 }
