@@ -4,13 +4,15 @@
 # (the synthesis sweep is concurrent by default, so races are
 # first-class failures), a single-iteration routing-benchmark smoke
 # run so a broken benchmark cannot sit unnoticed until the next perf
-# pass, and a power-state fault-campaign smoke run on the paper's D26
-# case study.
+# pass, a power-state fault-campaign smoke run on the paper's D26
+# case study, and a result-cache smoke run (second synthesis of an
+# unchanged spec must be a full hit, and warm-started re-synthesis must
+# stay bit-identical to cold).
 GO ?= go
 
-.PHONY: ci vet fmt lint build test race bench bench-smoke bench-all campaign-smoke
+.PHONY: ci vet fmt lint build test race bench bench-smoke bench-all campaign-smoke cache-smoke
 
-ci: vet fmt lint build race bench-smoke campaign-smoke
+ci: vet fmt lint build race bench-smoke campaign-smoke cache-smoke
 
 vet:
 	$(GO) vet ./...
@@ -22,11 +24,15 @@ fmt:
 		echo "gofmt -l found unformatted files:"; echo "$$out"; exit 1; fi
 
 # lint runs the determinism/invariant analyzers (maprange, floateq,
-# errdrop, wallclock, bannedcall, goroutineleak, scratchcopy) over every package — including
-# internal/analysis and cmd/noclint themselves, so the linter stays
-# clean on its own code. See DESIGN.md "Static analysis layer".
+# errdrop, wallclock, bannedcall, goroutineleak, scratchcopy,
+# sortstability) over every package — including internal/analysis and
+# cmd/noclint themselves, so the linter stays clean on its own code.
+# -unused additionally warns (without failing) about //noclint:ignore
+# directives that no longer suppress anything, so stale suppressions
+# are surfaced instead of silently hiding future findings. See
+# DESIGN.md "Static analysis layer".
 lint:
-	$(GO) run ./cmd/noclint ./...
+	$(GO) run ./cmd/noclint -unused ./...
 
 build:
 	$(GO) build ./...
@@ -53,7 +59,7 @@ BENCH_LANES := $(shell if [ $(NPROC) -ge 8 ]; then echo 1,2,4,8; \
 # pre-optimization baselines.
 bench:
 	$(GO) test -bench=RouteAll -cpu=$(BENCH_LANES) -benchmem -run='^$$' . | $(GO) run ./tools/bench2json -o BENCH_routing.json
-	$(GO) test -bench=SynthesizeParallel -cpu=$(BENCH_LANES) -benchmem -run='^$$' . | $(GO) run ./tools/bench2json -o BENCH_synthesize.json
+	$(GO) test -bench='SynthesizeParallel|SynthesizeCached' -cpu=$(BENCH_LANES) -benchmem -run='^$$' . | $(GO) run ./tools/bench2json -o BENCH_synthesize.json
 
 # bench-smoke keeps the benchmarks runnable and pins the parallel
 # efficiency floor on the largest suite, graded by what the runner can
@@ -91,3 +97,20 @@ campaign-smoke:
 	$(GO) run ./cmd/nocsynth -bench d26_media -campaign -campaign-json $$tmp >/dev/null && \
 	$(GO) run ./tools/bench2json -campaign $$tmp -o '' </dev/null; \
 	rc=$$?; rm -f $$tmp; exit $$rc
+
+# cache-smoke gates the content-addressed result cache end-to-end:
+#   1. nocsynth twice against one cache dir — the second run of the
+#      unchanged spec must report a full hit;
+#   2. the warm-start identity tests — an edited spec re-synthesized
+#      from cached partitions must be byte-identical to a cold run;
+#   3. the SynthesizeCached bench lanes through bench2json -cache-floor:
+#      the full hit must be at least 5x faster than the cold run.
+cache-smoke:
+	@dir=$$(mktemp -d); rc=0; \
+	$(GO) run ./cmd/nocsynth -bench d26_media -cache-dir $$dir >/dev/null && \
+	out=$$($(GO) run ./cmd/nocsynth -bench d26_media -cache-dir $$dir) && \
+	{ echo "$$out" | grep -q '^cache: full hit' || \
+		{ echo "cache-smoke: second run was not a full hit:"; echo "$$out" | head -2; false; }; } || rc=1; \
+	rm -rf $$dir; exit $$rc
+	$(GO) test -run 'TestWarmStartIdenticalToCold|TestSynthesizeCachedIdentityOnSuite' ./internal/cache/
+	$(GO) test -bench=SynthesizeCached -benchtime=3x -run='^$$' . | $(GO) run ./tools/bench2json -o '' -cache-floor 5

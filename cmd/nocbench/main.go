@@ -24,6 +24,7 @@ import (
 	"path/filepath"
 	"time"
 
+	"nocvi/internal/cache"
 	"nocvi/internal/experiments"
 	"nocvi/internal/model"
 	"nocvi/internal/prof"
@@ -36,7 +37,16 @@ func main() {
 	workers := flag.Int("workers", 0, "design-point evaluation goroutines per synthesis (0 = GOMAXPROCS, 1 = serial)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file (go tool pprof)")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
+	cacheDir := flag.String("cache-dir", "", "content-addressed result cache directory (default $"+cache.EnvDir+"; empty = off)")
+	noCache := flag.Bool("no-cache", false, "disable the result cache even when configured")
 	flag.Parse()
+
+	store, err := cache.Resolve(*cacheDir, *noCache)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "nocbench:", err)
+		os.Exit(1)
+	}
+	experiments.Cache = store
 
 	experiments.Workers = *workers
 	lib := model.Default65nm()
@@ -48,6 +58,11 @@ func main() {
 	}
 	start := time.Now()
 	err = run(*exp, *out, lib)
+	if store != nil {
+		st := store.StoreStats()
+		fmt.Printf("[cache: %d hits, %d misses, %d entries, %.1f MB]\n",
+			st.Hits, st.Misses, st.Entries, float64(st.Bytes)/1e6)
+	}
 	if perr := stopProf(); err == nil {
 		err = perr
 	}

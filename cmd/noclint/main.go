@@ -1,12 +1,12 @@
 // Command noclint runs the project's static-analysis suite
 // (internal/analysis) over the module: maprange, floateq, errdrop,
-// wallclock, bannedcall, goroutineleak and scratchcopy — the checks
-// that keep the synthesis engine deterministic and its hot paths free
-// of known regressions.
+// wallclock, bannedcall, goroutineleak, scratchcopy and sortstability —
+// the checks that keep the synthesis engine deterministic and its hot
+// paths free of known regressions.
 //
 // Usage:
 //
-//	noclint [-C dir] [-tests] [-list] [patterns...]
+//	noclint [-C dir] [-tests] [-unused] [-list] [-cache-dir dir] [-no-cache] [patterns...]
 //
 // Patterns follow the go tool's directory forms ("./...", the default,
 // or "./internal/core"). Diagnostics print one per line as
@@ -17,19 +17,31 @@
 // tree is clean, 1 when findings were reported, and 2 when the tree
 // could not be loaded (parse or type error). Findings are suppressed in
 // source with `//noclint:ignore <analyzer> <reason>` on the flagged
-// line or the line above.
+// line or the line above; -unused additionally reports suppressions
+// that no longer suppress anything (warnings only — they never affect
+// the exit status).
+//
+// With a cache directory configured (-cache-dir or $NOCVI_CACHE_DIR),
+// the whole run's report is cached keyed by a digest of every .go file
+// and go.mod under the module root plus the flags and analyzer suite,
+// so a re-lint of an unchanged tree replays instantly.
 package main
 
 import (
 	"bytes"
+	"crypto/sha256"
+	"encoding/binary"
 	"flag"
 	"fmt"
 	"io"
+	"io/fs"
 	"os"
 	"path/filepath"
 	"strings"
 
 	"nocvi/internal/analysis"
+	"nocvi/internal/cache"
+	"nocvi/internal/specio"
 )
 
 func main() {
@@ -41,7 +53,10 @@ func run(stdout, stderr io.Writer, args []string) int {
 	fs.SetOutput(stderr)
 	chdir := fs.String("C", ".", "module root to analyze (directory containing go.mod)")
 	tests := fs.Bool("tests", false, "also analyze in-package _test.go files")
+	unused := fs.Bool("unused", false, "warn about //noclint:ignore directives that suppress nothing")
 	list := fs.Bool("list", false, "list the registered analyzers and exit")
+	cacheDir := fs.String("cache-dir", "", "content-addressed result cache directory (default $"+cache.EnvDir+"; empty = off)")
+	noCache := fs.Bool("no-cache", false, "disable the result cache even when configured")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -58,24 +73,102 @@ func run(stdout, stderr io.Writer, args []string) int {
 		return emit(stderr, stderr, &out, 2)
 	}
 	loader.IncludeTests = *tests
+
+	store, err := cache.Resolve(*cacheDir, *noCache)
+	if err != nil {
+		fmt.Fprintf(&out, "noclint: %v\n", err)
+		return emit(stderr, stderr, &out, 2)
+	}
+	var key specio.Digest
+	if store != nil {
+		key, err = runKey(loader.Root, *tests, *unused, fs.Args())
+		if err != nil {
+			// besteffort: an unreadable tree will fail loudly in the
+			// loader below; here it only costs the cache probe.
+			store = nil
+		} else if blob, ok := store.Get(cache.ClassLint, key); ok && len(blob) >= 1 && blob[0] < 2 {
+			out.Write(blob[1:])
+			return emit(stdout, stderr, &out, int(blob[0]))
+		}
+	}
+
 	pkgs, err := loader.LoadPatterns(fs.Args()...)
 	if err != nil {
 		fmt.Fprintf(&out, "noclint: %v\n", err)
 		return emit(stderr, stderr, &out, 2)
 	}
-	diags := analysis.Run(pkgs, analysis.Analyzers)
-	for _, d := range diags {
-		name := d.Pos.Filename
-		if rel, err := filepath.Rel(loader.Root, name); err == nil && !strings.HasPrefix(rel, "..") {
-			name = rel
+	diags, stale := analysis.RunUnused(pkgs, analysis.Analyzers)
+	rel := func(name string) string {
+		if r, err := filepath.Rel(loader.Root, name); err == nil && !strings.HasPrefix(r, "..") {
+			return r
 		}
-		fmt.Fprintf(&out, "%s:%d:%d: %s: %s\n", name, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+		return name
+	}
+	for _, d := range diags {
+		fmt.Fprintf(&out, "%s:%d:%d: %s: %s\n", rel(d.Pos.Filename), d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+	}
+	if *unused {
+		for _, u := range stale {
+			fmt.Fprintf(&out, "%s:%d: unused //noclint:ignore directive for %s (suppresses nothing; remove it)\n",
+				rel(u.Pos.Filename), u.Pos.Line, u.Analyzer)
+		}
 	}
 	code := 0
 	if len(diags) > 0 {
 		code = 1
 	}
+	if store != nil {
+		// besteffort: a failed publish only costs a future re-lint.
+		store.Put(cache.ClassLint, key, append([]byte{byte(code)}, out.Bytes()...))
+	}
 	return emit(stdout, stderr, &out, code)
+}
+
+// runKey digests every .go file and go.mod under root (lexical WalkDir
+// order) together with the flags, patterns and analyzer suite: any
+// source edit, flag change, or analyzer addition changes the key.
+func runKey(root string, tests, unused bool, patterns []string) (specio.Digest, error) {
+	h := sha256.New()
+	// besteffort: hash.Hash writes are documented never to fail.
+	fmt.Fprintf(h, "nocvi-lint-v1|tests=%t|unused=%t|patterns=%q|", tests, unused, patterns)
+	for _, a := range analysis.Analyzers {
+		// besteffort: hash.Hash writes are documented never to fail.
+		fmt.Fprintf(h, "%s|", a.Name)
+	}
+	err := fs.WalkDir(os.DirFS(root), ".", func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		name := d.Name()
+		if d.IsDir() {
+			if path != "." && strings.HasPrefix(name, ".") {
+				return fs.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(name, ".go") && name != "go.mod" {
+			return nil
+		}
+		data, err := os.ReadFile(filepath.Join(root, path))
+		if err != nil {
+			return err
+		}
+		// besteffort: hash.Hash writes are documented never to fail.
+		fmt.Fprintf(h, "%s|", path)
+		var n [8]byte
+		binary.BigEndian.PutUint64(n[:], uint64(len(data)))
+		// besteffort: hash.Hash writes are documented never to fail.
+		h.Write(n[:])
+		// besteffort: hash.Hash writes are documented never to fail.
+		h.Write(data)
+		return nil
+	})
+	var key specio.Digest
+	if err != nil {
+		return key, err
+	}
+	copy(key[:], h.Sum(nil))
+	return key, nil
 }
 
 // emit flushes the buffered report to w; a failed flush trumps the

@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -28,15 +29,17 @@ func main() {
 	workers := flag.Int("workers", 0, "design-point evaluation goroutines (0 = GOMAXPROCS, 1 = serial)")
 	campaign := flag.Bool("campaign", false, "run the power-state fault campaign (with simulator verification) instead of one simulation")
 	campaignStates := flag.Int("campaign-states", 0, "power-state cap for -campaign (0 = default, sampled above it)")
+	cacheDir := flag.String("cache-dir", "", "content-addressed result cache directory (default $"+nocvi.CacheEnvDir+"; empty = off)")
+	noCache := flag.Bool("no-cache", false, "disable the result cache even when configured")
 	flag.Parse()
 
-	if err := run(*benchName, *method, *islands, *duration, *scale, *offList, *tracePath, *workers, *campaign, *campaignStates); err != nil {
+	if err := run(*benchName, *method, *islands, *duration, *scale, *offList, *tracePath, *workers, *campaign, *campaignStates, *cacheDir, *noCache); err != nil {
 		fmt.Fprintln(os.Stderr, "nocsim:", err)
 		os.Exit(1)
 	}
 }
 
-func run(benchName, method string, islands int, duration, scale float64, offList, tracePath string, workers int, campaign bool, campaignStates int) error {
+func run(benchName, method string, islands int, duration, scale float64, offList, tracePath string, workers int, campaign bool, campaignStates int, cacheDir string, noCache bool) error {
 	var spec *nocvi.Spec
 	var err error
 	if islands == 0 {
@@ -51,9 +54,16 @@ func run(benchName, method string, islands int, duration, scale float64, offList
 	if err != nil {
 		return err
 	}
-	res, err := nocvi.Synthesize(spec, nocvi.DefaultLibrary(), nocvi.Options{AllowIntermediate: true, Workers: workers})
+	store, err := nocvi.ResolveCache(cacheDir, noCache)
 	if err != nil {
 		return err
+	}
+	res, err := nocvi.SynthesizeCached(context.Background(), store, spec, nocvi.DefaultLibrary(), nocvi.Options{AllowIntermediate: true, Workers: workers})
+	if err != nil {
+		return err
+	}
+	if store != nil {
+		fmt.Printf("cache: %s\n", res.CacheStats)
 	}
 	top := res.Best().Top
 
@@ -61,7 +71,7 @@ func run(benchName, method string, islands int, duration, scale float64, offList
 		// The simulator's view of shutdown: the campaign with SimVerify
 		// checks delivery under every power state, not just the one -off
 		// mask a single run exercises.
-		camp, err := nocvi.RunCampaign(top, nocvi.CampaignOptions{
+		camp, err := nocvi.RunCampaignCached(store, top, nocvi.CampaignOptions{
 			MaxStates: campaignStates,
 			SimVerify: true,
 			Workers:   workers,

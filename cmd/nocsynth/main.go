@@ -43,6 +43,8 @@ func main() {
 	dotPath := flag.String("dot", "", "write topology DOT to this file")
 	svgPath := flag.String("svg", "", "write floorplan SVG to this file")
 	workers := flag.Int("workers", 0, "design-point evaluation goroutines (0 = GOMAXPROCS, 1 = serial)")
+	cacheDir := flag.String("cache-dir", "", "content-addressed result cache directory (default $"+nocvi.CacheEnvDir+"; empty = off)")
+	noCache := flag.Bool("no-cache", false, "disable the result cache even when configured")
 	timeout := flag.Duration("timeout", 0, "abort synthesis after this duration (0 = none)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file (go tool pprof)")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
@@ -61,6 +63,7 @@ func main() {
 		verilogPath: *verilogPath, verify: *doVerify, fault: *doFault,
 		campaign: *doCampaign, campaignStates: *campaignStates, campaignJSON: *campaignJSON,
 		relax: *relax, workers: *workers,
+		cacheDir: *cacheDir, noCache: *noCache,
 	}
 	// Ctrl-C / SIGTERM (and -timeout) cancel the synthesis sweep.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -102,6 +105,8 @@ type runConfig struct {
 	verilogPath                   string
 	verify                        bool
 	workers                       int
+	cacheDir                      string
+	noCache                       bool
 }
 
 func run(ctx context.Context, cfg runConfig) error {
@@ -146,7 +151,11 @@ func run(ctx context.Context, cfg runConfig) error {
 		}
 	}
 	lib.LinkWidthBits = width
-	res, err := nocvi.SynthesizeContext(ctx, spec, lib, nocvi.Options{
+	store, err := nocvi.ResolveCache(cfg.cacheDir, cfg.noCache)
+	if err != nil {
+		return err
+	}
+	res, err := nocvi.SynthesizeCached(ctx, store, spec, lib, nocvi.Options{
 		Alpha:             alpha,
 		AllowIntermediate: mid,
 		Workers:           cfg.workers,
@@ -154,6 +163,9 @@ func run(ctx context.Context, cfg runConfig) error {
 	})
 	if err != nil {
 		return err
+	}
+	if store != nil {
+		fmt.Printf("cache: %s\n", res.CacheStats)
 	}
 
 	fmt.Printf("%s: %d cores, %d flows, %d islands (%s), intra-island bandwidth %.0f%%\n",
@@ -227,7 +239,7 @@ func run(ctx context.Context, cfg runConfig) error {
 		fmt.Print(rep.Format())
 	}
 	if cfg.campaign || cfg.campaignJSON != "" {
-		camp, err := nocvi.RunCampaign(best.Top, nocvi.CampaignOptions{
+		camp, err := nocvi.RunCampaignCached(store, best.Top, nocvi.CampaignOptions{
 			MaxStates: cfg.campaignStates,
 			Workers:   cfg.workers,
 		})

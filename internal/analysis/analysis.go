@@ -85,7 +85,16 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 func (p *Pass) PkgBase() string { return path.Base(p.PkgPath) }
 
 // Analyzers is the full registered suite, in reporting order.
-var Analyzers = []*Analyzer{MapRange, FloatEq, ErrDrop, WallClock, BannedCall, GoroutineLeak, ScratchCopy}
+var Analyzers = []*Analyzer{MapRange, FloatEq, ErrDrop, WallClock, BannedCall, GoroutineLeak, ScratchCopy, SortStability}
+
+// UnusedDirective is a well-formed //noclint:ignore directive that
+// suppressed nothing: every analyzer it names ran and none of them
+// reported a diagnostic on its line. Stale suppressions hide future
+// regressions, so noclint -unused surfaces them for removal.
+type UnusedDirective struct {
+	Pos      token.Position
+	Analyzer string
+}
 
 // Run executes every analyzer over every package, filters findings
 // through //noclint:ignore directives, and returns the survivors sorted
@@ -98,6 +107,15 @@ var Analyzers = []*Analyzer{MapRange, FloatEq, ErrDrop, WallClock, BannedCall, G
 // after loading), and the final total-order sort makes the output
 // independent of execution order.
 func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	diags, _ := RunUnused(pkgs, analyzers)
+	return diags
+}
+
+// RunUnused is Run plus a report of directives that suppressed nothing.
+// Only directives naming analyzers in this run's set are judged: a
+// directive for an unselected analyzer cannot prove itself useful here
+// and is neither used nor unused.
+func RunUnused(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, []UnusedDirective) {
 	// Directives are validated against the full registered suite, not
 	// just the analyzers of this run: a directive naming a real but
 	// currently-unselected analyzer is fine, a typo never is.
@@ -105,17 +123,23 @@ func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 	for _, a := range Analyzers {
 		known[a.Name] = true
 	}
+	ran := make(map[string]bool, len(analyzers))
 	for _, a := range analyzers {
 		known[a.Name] = true
+		ran[a.Name] = true
 	}
-	perPkg := make([][]Diagnostic, len(pkgs))
+	type pkgResult struct {
+		diags  []Diagnostic
+		unused []UnusedDirective
+	}
+	perPkg := make([]pkgResult, len(pkgs))
 	workers := runtime.GOMAXPROCS(0)
 	if workers > len(pkgs) {
 		workers = len(pkgs)
 	}
 	if workers <= 1 {
 		for i, pkg := range pkgs {
-			perPkg[i] = runPackage(pkg, analyzers, known)
+			perPkg[i].diags, perPkg[i].unused = runPackage(pkg, analyzers, known, ran)
 		}
 	} else {
 		var next atomic.Int64
@@ -129,15 +153,17 @@ func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 					if i >= len(pkgs) {
 						return
 					}
-					perPkg[i] = runPackage(pkgs[i], analyzers, known)
+					perPkg[i].diags, perPkg[i].unused = runPackage(pkgs[i], analyzers, known, ran)
 				}
 			}()
 		}
 		wg.Wait()
 	}
 	var all []Diagnostic
-	for _, d := range perPkg {
-		all = append(all, d...)
+	var unused []UnusedDirective
+	for _, r := range perPkg {
+		all = append(all, r.diags...)
+		unused = append(unused, r.unused...)
 	}
 	sort.Slice(all, func(i, j int) bool {
 		a, b := all[i], all[j]
@@ -155,14 +181,25 @@ func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 		}
 		return a.Message < b.Message
 	})
-	return all
+	sort.Slice(unused, func(i, j int) bool {
+		a, b := unused[i], unused[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return all, unused
 }
 
-// runPackage applies every analyzer to one package and filters the
-// findings through the package's suppression directives. It touches no
-// shared mutable state, which is what lets Run fan packages out to
-// workers.
-func runPackage(pkg *Package, analyzers []*Analyzer, known map[string]bool) []Diagnostic {
+// runPackage applies every analyzer to one package, filters the
+// findings through the package's suppression directives, and reports
+// the directives (for analyzers in the run set) that fired on nothing.
+// It touches no shared mutable state, which is what lets RunUnused fan
+// packages out to workers.
+func runPackage(pkg *Package, analyzers []*Analyzer, known, ran map[string]bool) ([]Diagnostic, []UnusedDirective) {
 	var diags []Diagnostic
 	for _, a := range analyzers {
 		a.Run(&Pass{
@@ -182,7 +219,7 @@ func runPackage(pkg *Package, analyzers []*Analyzer, known map[string]bool) []Di
 			out = append(out, d)
 		}
 	}
-	return out
+	return out, dirs.unused(ran)
 }
 
 // directiveKey identifies one source line of one file.
@@ -191,19 +228,43 @@ type directiveKey struct {
 	line int
 }
 
+// directiveEntry is one analyzer named by one directive, remembering
+// where the directive stands and whether it ever suppressed anything.
+type directiveEntry struct {
+	pos  token.Position
+	used bool
+}
+
 // directiveIndex maps a source line to the analyzers suppressed there.
-type directiveIndex map[directiveKey]map[string]bool
+type directiveIndex map[directiveKey]map[string]*directiveEntry
 
 // suppresses reports whether a directive on the diagnostic's line (a
 // trailing comment) or on the line above (a standalone comment) names
-// the diagnostic's analyzer.
+// the diagnostic's analyzer, marking every matching entry as used so a
+// duplicated directive is not later reported as stale.
 func (idx directiveIndex) suppresses(d Diagnostic) bool {
+	hit := false
 	for _, line := range [2]int{d.Pos.Line, d.Pos.Line - 1} {
-		if idx[directiveKey{d.Pos.Filename, line}][d.Analyzer] {
-			return true
+		if e := idx[directiveKey{d.Pos.Filename, line}][d.Analyzer]; e != nil {
+			e.used = true
+			hit = true
 		}
 	}
-	return false
+	return hit
+}
+
+// unused returns the entries for analyzers in ran that never
+// suppressed a diagnostic.
+func (idx directiveIndex) unused(ran map[string]bool) []UnusedDirective {
+	var out []UnusedDirective
+	for _, byName := range idx {
+		for name, e := range byName {
+			if ran[name] && !e.used {
+				out = append(out, UnusedDirective{Pos: e.pos, Analyzer: name})
+			}
+		}
+	}
+	return out
 }
 
 // parseDirectives scans every comment of the package for
@@ -250,9 +311,9 @@ func parseDirectives(pkg *Package, known map[string]bool) (directiveIndex, []Dia
 				pos := pkg.Fset.Position(c.Pos())
 				key := directiveKey{pos.Filename, pos.Line}
 				if idx[key] == nil {
-					idx[key] = map[string]bool{}
+					idx[key] = map[string]*directiveEntry{}
 				}
-				idx[key][name] = true
+				idx[key][name] = &directiveEntry{pos: pos}
 			}
 		}
 	}

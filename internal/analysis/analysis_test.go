@@ -114,6 +114,40 @@ func TestScratchCopyGolden(t *testing.T) {
 	runGolden(t, []*Analyzer{ScratchCopy}, "./scratchcopy/...")
 }
 
+func TestSortStabilityGolden(t *testing.T) {
+	runGolden(t, []*Analyzer{SortStability}, "./sortstability/...")
+}
+
+// TestRunUnused: a directive that suppresses a live diagnostic is used,
+// one that suppresses nothing is reported, and one naming an analyzer
+// outside the run set is judged neither way.
+func TestRunUnused(t *testing.T) {
+	pkgs := loadFixture(t, "./unuseddir/...")
+	diags, unused := RunUnused(pkgs, []*Analyzer{FloatEq})
+	if len(diags) != 0 {
+		t.Fatalf("expected every diagnostic suppressed, got %v", diags)
+	}
+	if len(unused) != 1 {
+		t.Fatalf("expected exactly one unused directive, got %v", unused)
+	}
+	u := unused[0]
+	if u.Analyzer != "floateq" {
+		t.Errorf("unused directive analyzer = %q, want floateq", u.Analyzer)
+	}
+	if filepath.Base(u.Pos.Filename) != "core.go" || u.Pos.Line != 12 {
+		t.Errorf("unused directive at %s:%d, want core.go:12", filepath.Base(u.Pos.Filename), u.Pos.Line)
+	}
+	// With maprange in the run set too, its directive is still used (it
+	// suppresses the range-over-map diagnostic), so the report is stable.
+	diags, unused = RunUnused(pkgs, []*Analyzer{FloatEq, MapRange})
+	if len(diags) != 0 {
+		t.Fatalf("expected every diagnostic suppressed, got %v", diags)
+	}
+	if len(unused) != 1 {
+		t.Fatalf("expected one unused directive with maprange selected, got %v", unused)
+	}
+}
+
 // TestDirectiveValidation runs the full suite so the framework's own
 // "noclint" diagnostics for malformed suppressions are exercised.
 func TestDirectiveValidation(t *testing.T) {

@@ -1,0 +1,193 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// SortStability flags sort.Slice / sort.SliceStable calls over struct
+// element types whose less-function neither compares every top-level
+// field of the element nor ends in a total-order tie-break on an exact
+// (integer or string) key. This is the argmin-regression class: a less
+// function that orders by a partial key leaves equal-key elements in
+// implementation-defined order, and any consumer that takes the first
+// element of the sorted slice — the engine's Pareto argmins, the cache
+// eviction scan, report formatting — then depends on sort.Slice's
+// unstable permutation, which is free to differ between runs, Go
+// versions, and worker counts.
+//
+// A less-function passes if either
+//
+//   - its comparisons reference every top-level field of the element
+//     struct (a full lexicographic order cannot leave ties), or
+//   - its final returned comparison is < or > on operands of integer or
+//     string kind (an exact total-order tie-break; floats do not
+//     qualify — NaN breaks totality).
+//
+// Less-functions that are not function literals are skipped: the
+// analyzer cannot see their body, and naming a comparator is already a
+// deliberate act.
+var SortStability = &Analyzer{
+	Name: "sortstability",
+	Doc: "flags sort.Slice/sort.SliceStable less-functions over struct elements " +
+		"that neither compare every field nor end in an integer/string " +
+		"tie-break; partial orders leave equal elements in unstable order " +
+		"and downstream argmins then depend on the sort's permutation",
+	Run: runSortStability,
+}
+
+func runSortStability(p *Pass) {
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) != 2 {
+				return true
+			}
+			name := sortSliceCallee(p, call)
+			if name == "" {
+				return true
+			}
+			lit, ok := call.Args[1].(*ast.FuncLit)
+			if !ok {
+				return true // named comparator: body not visible here
+			}
+			elem := sliceElemStruct(p, call.Args[0])
+			if elem == nil {
+				return true // non-struct elements order by value; nothing to miss
+			}
+			if hasTotalOrderTieBreak(p, lit) {
+				return true
+			}
+			missing := missingFields(p, lit, elem)
+			if len(missing) == 0 {
+				return true
+			}
+			p.Reportf(call.Pos(),
+				"%s less-function does not compare field(s) %s of the element and has no final integer/string tie-break; equal elements stay in unstable order (argmin-regression risk) — compare every field or add a total-order tie-break",
+				name, strings.Join(missing, ", "))
+			return true
+		})
+	}
+}
+
+// sortSliceCallee returns "sort.Slice"/"sort.SliceStable" when the call
+// is one of the two, "" otherwise.
+func sortSliceCallee(p *Pass, call *ast.CallExpr) string {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return ""
+	}
+	fn, ok := p.Info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "sort" {
+		return ""
+	}
+	if fn.Name() != "Slice" && fn.Name() != "SliceStable" {
+		return ""
+	}
+	return "sort." + fn.Name()
+}
+
+// sliceElemStruct resolves the sorted argument to a slice-of-struct
+// element type, nil for anything else.
+func sliceElemStruct(p *Pass, arg ast.Expr) *types.Struct {
+	tv, ok := p.Info.Types[arg]
+	if !ok || tv.Type == nil {
+		return nil
+	}
+	sl, ok := tv.Type.Underlying().(*types.Slice)
+	if !ok {
+		return nil
+	}
+	st, ok := sl.Elem().Underlying().(*types.Struct)
+	if !ok {
+		return nil
+	}
+	return st
+}
+
+// missingFields returns the element's top-level fields never selected
+// anywhere in the less-function body, sorted by name. Selections
+// through aliases (a, b := s[i], s[j]; a.f) count: the receiver's type,
+// not its syntax, is what is matched.
+func missingFields(p *Pass, lit *ast.FuncLit, elem *types.Struct) []string {
+	referenced := map[string]bool{}
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		s := p.Info.Selections[sel]
+		if s == nil || s.Kind() != types.FieldVal {
+			return true
+		}
+		if recv, ok := s.Recv().Underlying().(*types.Struct); ok && recv == elem {
+			// Only the first hop of a selection chain is a field of the
+			// element itself; s.Index()[0] names it.
+			referenced[elem.Field(s.Index()[0]).Name()] = true
+		}
+		return true
+	})
+	var missing []string
+	for i := 0; i < elem.NumFields(); i++ {
+		if name := elem.Field(i).Name(); !referenced[name] {
+			missing = append(missing, name)
+		}
+	}
+	sort.Strings(missing)
+	return missing
+}
+
+// hasTotalOrderTieBreak reports whether the function literal's final
+// statement returns an ordering whose last comparison is < or > over
+// integer- or string-kind operands. For || / && chains the rightmost
+// operand is the one evaluated when every earlier key tied, so that is
+// the comparison that must be total.
+func hasTotalOrderTieBreak(p *Pass, lit *ast.FuncLit) bool {
+	stmts := lit.Body.List
+	if len(stmts) == 0 {
+		return false
+	}
+	ret, ok := stmts[len(stmts)-1].(*ast.ReturnStmt)
+	if !ok || len(ret.Results) != 1 {
+		return false
+	}
+	expr := ret.Results[0]
+	for {
+		be, ok := unparen(expr).(*ast.BinaryExpr)
+		if !ok {
+			return false
+		}
+		if be.Op == token.LOR || be.Op == token.LAND {
+			expr = be.Y
+			continue
+		}
+		if be.Op != token.LSS && be.Op != token.GTR {
+			return false
+		}
+		return isExactOrdered(p.Info.Types[be.X].Type) || isExactOrdered(p.Info.Types[be.Y].Type)
+	}
+}
+
+func unparen(e ast.Expr) ast.Expr {
+	for {
+		pe, ok := e.(*ast.ParenExpr)
+		if !ok {
+			return e
+		}
+		e = pe.X
+	}
+}
+
+// isExactOrdered accepts the kinds whose < is a total order with exact
+// comparison: integers and strings. Floats are excluded (NaN), as is
+// anything unordered.
+func isExactOrdered(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&(types.IsInteger|types.IsString) != 0
+}

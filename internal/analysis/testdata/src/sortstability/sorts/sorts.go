@@ -1,0 +1,98 @@
+// Package sorts exercises the sortstability analyzer.
+package sorts
+
+import "sort"
+
+type point struct {
+	Power   float64
+	Latency float64
+	Index   int
+}
+
+type pair struct {
+	Name string
+	W    float64
+}
+
+func partialNoTieBreak(ps []point) {
+	sort.Slice(ps, func(i, j int) bool { // want sortstability "does not compare field"
+		return ps[i].Power < ps[j].Power
+	})
+}
+
+func partialStableStillFlagged(ps []point) {
+	sort.SliceStable(ps, func(i, j int) bool { // want sortstability "does not compare field"
+		return ps[i].Power < ps[j].Power || ps[i].Latency < ps[j].Latency
+	})
+}
+
+func floatTieBreakNotTotal(ps []point) {
+	// The rightmost comparison is a float: NaN is unordered, so this is
+	// not a total-order tie-break, and Index is never compared.
+	sort.Slice(ps, func(i, j int) bool { // want sortstability "does not compare field"
+		if ps[i].Power != ps[j].Power {
+			return ps[i].Power < ps[j].Power
+		}
+		return ps[i].Latency < ps[j].Latency
+	})
+}
+
+func intTieBreak(ps []point) {
+	sort.Slice(ps, func(i, j int) bool {
+		if ps[i].Power != ps[j].Power {
+			return ps[i].Power < ps[j].Power
+		}
+		return ps[i].Index < ps[j].Index
+	})
+}
+
+func orChainIntTieBreak(ps []point) {
+	sort.Slice(ps, func(i, j int) bool {
+		return ps[i].Power < ps[j].Power ||
+			(ps[i].Power == ps[j].Power && ps[i].Index < ps[j].Index)
+	})
+}
+
+func stringTieBreak(ws []pair) {
+	sort.Slice(ws, func(i, j int) bool {
+		if ws[i].W != ws[j].W {
+			return ws[i].W > ws[j].W
+		}
+		return ws[i].Name < ws[j].Name
+	})
+}
+
+func allFieldsCompared(ws []pair) {
+	// Every field participates even though the final return is not a
+	// bare comparison; a full lexicographic order cannot leave ties.
+	sort.Slice(ws, func(i, j int) bool {
+		if ws[i].Name != ws[j].Name {
+			return ws[i].Name < ws[j].Name
+		}
+		return ws[i].W < ws[j].W
+	})
+}
+
+func aliasedReceivers(ps []point) {
+	// Field references through local aliases still count.
+	sort.Slice(ps, func(i, j int) bool {
+		a, b := ps[i], ps[j]
+		if a.Power != b.Power {
+			return a.Power < b.Power
+		}
+		if a.Latency != b.Latency {
+			return a.Latency < b.Latency
+		}
+		return a.Index < b.Index
+	})
+}
+
+func scalarElements(xs []int) {
+	// Non-struct elements order by value; nothing to miss.
+	sort.Slice(xs, func(i, j int) bool { return xs[i] < xs[j] })
+}
+
+func namedComparator(ps []point, less func(i, j int) bool) {
+	// Named comparators are skipped: the body is not visible here.
+	sort.Slice(ps, less)
+}

@@ -1,0 +1,23 @@
+// Package core exercises unused-suppression reporting: one directive
+// that earns its keep, one that suppresses nothing, and one for an
+// analyzer outside the run set. The package is named core so maprange
+// (deterministic-path packages only) applies when selected.
+package core
+
+func compare(a, b float64) bool {
+	return a == b //noclint:ignore floateq exercising a live suppression
+}
+
+func honest(a, b float64) bool {
+	//noclint:ignore floateq stale: the comparison below is integer now
+	return int(a) < int(b)
+}
+
+func collect(m map[string]int) []string {
+	var keys []string
+	//noclint:ignore maprange used when maprange is in the run set, judged neither way otherwise
+	for k := range m {
+		keys = append(keys, k)
+	}
+	return keys
+}

@@ -106,6 +106,19 @@ type Options struct {
 	// applied relaxations are stamped on the Result and on every
 	// DesignPoint it contains. See relax.go.
 	Relax bool
+
+	// PartitionBacking, when non-nil, supplies a persistence layer for
+	// island j's partition cache: newPartitioner calls it once per
+	// island with the partition options the island's cache actually
+	// uses (MaxPartSize already clamped to the island's max switch
+	// size), and attaches the returned Backing. The content-addressed
+	// result cache wires this up to warm-start re-synthesis; see
+	// internal/cache. Backed partitions are bit-identical to computed
+	// ones — the engines are deterministic and loads are shape-checked
+	// — so this field is result-neutral and, like Workers, excluded
+	// from cache-key digests. A nil return for an island leaves that
+	// island's cache purely in-memory.
+	PartitionBacking func(island int, pOpt partition.Options) partition.Backing
 }
 
 func (o Options) alpha() float64 {
@@ -208,6 +221,36 @@ type Result struct {
 	// this result (Options.Relax); nil when the spec synthesized as
 	// given.
 	Relaxations []string
+
+	// CacheStats reports how the content-addressed cache layer served
+	// this result; all-zero when the run bypassed the cache. It is
+	// bookkeeping about the run, not part of the result's identity:
+	// the cache codec never encodes it and digest comparisons zero it,
+	// so a cached result and a fresh one still compare byte-identical.
+	CacheStats CacheStats
+}
+
+// CacheStats counts the cache layer's contribution to one synthesis
+// run (see internal/cache). Hits counts full-result cache hits (the
+// run did no synthesis at all), Misses full-result lookups that fell
+// through to the engine, and WarmStarts the per-island partitions that
+// were loaded from the cache instead of recomputed during a miss.
+type CacheStats struct {
+	Hits       int
+	Misses     int
+	WarmStarts int
+}
+
+// String renders the stats the way the CLIs report them.
+func (s CacheStats) String() string {
+	if s.Hits > 0 {
+		return "full hit"
+	}
+	if s.WarmStarts > 0 {
+		//noclint:ignore bannedcall report rendering, not a cache key; runs once per CLI invocation
+		return fmt.Sprintf("miss, warm-started %d partition(s)", s.WarmStarts)
+	}
+	return "miss"
 }
 
 // StopReason values recorded on Result.StopReason.
@@ -747,6 +790,14 @@ func newPartitioner(vcgs []*vcg.VCG, maxSizes []int, opt Options) *partitioner {
 			pOpt.MaxPartSize = cap
 		}
 		caches[j] = partition.NewCache(v.Undirected(), engine, pOpt)
+		if opt.PartitionBacking != nil {
+			// The backing receives the clamped options the cache runs
+			// with, so its keys cover exactly the identity that
+			// determines the cut.
+			if b := opt.PartitionBacking(j, pOpt); b != nil {
+				caches[j].SetBacking(b)
+			}
+		}
 	}
 	return &partitioner{caches: caches}
 }

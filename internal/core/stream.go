@@ -114,6 +114,14 @@ type SweepResult struct {
 	// indices, at most MaxErrors of them; ErrorCount is the true total.
 	Errors     []CandidateError
 	ErrorCount uint64
+
+	// CacheStats reports the content-addressed cache layer's
+	// contribution to this sweep (see Result.CacheStats); all-zero when
+	// the run bypassed the cache. WarmStarts counts partition-table
+	// entries loaded from disk instead of resolved — a repeated sweep
+	// skips partition resolution entirely. Never encoded and zeroed in
+	// digests, so cached and fresh sweeps compare byte-identical.
+	CacheStats CacheStats
 }
 
 // sweepSpace is the enumeration geometry: per-island switch-count

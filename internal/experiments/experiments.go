@@ -16,10 +16,12 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
 	"nocvi/internal/bench"
+	"nocvi/internal/cache"
 	"nocvi/internal/core"
 	"nocvi/internal/export"
 	"nocvi/internal/fault"
@@ -41,6 +43,19 @@ var IslandCounts = []int{1, 2, 3, 4, 5, 6, 7, 26}
 // any value — only wall-clock time changes. Set once before running
 // experiments; cmd/nocbench wires its -workers flag here.
 var Workers int
+
+// Cache, when non-nil, routes every experiment synthesis and campaign
+// through the content-addressed result cache: re-running a figure or
+// table serves its synthesis runs from disk, byte-identical to fresh
+// ones. cmd/nocbench wires its -cache-dir flag here. Set once before
+// running experiments.
+var Cache *cache.Store
+
+// synthesize is the single synthesis entry point of every experiment;
+// with a nil Cache it is core.Synthesize.
+func synthesize(spec *soc.Spec, lib *model.Library, opt core.Options) (*core.Result, error) {
+	return cache.Synthesize(context.Background(), Cache, spec, lib, opt)
+}
 
 // defaultOpts are the synthesis options shared by all experiments.
 func defaultOpts() core.Options {
@@ -96,7 +111,7 @@ func Curves(lib *model.Library, counts []int) ([]CurvePoint, error) {
 }
 
 func synthPoint(spec *soc.Spec, lib *model.Library, method viplace.Method, n int) (*CurvePoint, error) {
-	res, err := core.Synthesize(spec, lib, defaultOpts())
+	res, err := synthesize(spec, lib, defaultOpts())
 	if err != nil {
 		return nil, fmt.Errorf("experiments: %s/%d islands: %w", method, n, err)
 	}
@@ -151,7 +166,7 @@ func Fig4(lib *model.Library) (dot, txt string, err error) {
 	if err != nil {
 		return "", "", err
 	}
-	res, err := core.Synthesize(spec, lib, defaultOpts())
+	res, err := synthesize(spec, lib, defaultOpts())
 	if err != nil {
 		return "", "", err
 	}
@@ -165,7 +180,7 @@ func Fig5(lib *model.Library) (svg, txt string, err error) {
 	if err != nil {
 		return "", "", err
 	}
-	res, err := core.Synthesize(spec, lib, defaultOpts())
+	res, err := synthesize(spec, lib, defaultOpts())
 	if err != nil {
 		return "", "", err
 	}
@@ -206,12 +221,12 @@ func Tab1(lib *model.Library) ([]OverheadRow, error) {
 		if err != nil {
 			return nil, err
 		}
-		vi, err := core.Synthesize(spec, lib, defaultOpts())
+		vi, err := synthesize(spec, lib, defaultOpts())
 		if err != nil {
 			return nil, fmt.Errorf("experiments: %s (VI): %w", e.Name, err)
 		}
 		baseSpec := spec.MergedSingleIsland()
-		base, err := core.Synthesize(baseSpec, lib, defaultOpts())
+		base, err := synthesize(baseSpec, lib, defaultOpts())
 		if err != nil {
 			return nil, fmt.Errorf("experiments: %s (baseline): %w", e.Name, err)
 		}
@@ -284,7 +299,7 @@ func Tab2(lib *model.Library) ([]ShutdownRow, error) {
 	if err != nil {
 		return nil, err
 	}
-	res, err := core.Synthesize(spec, lib, defaultOpts())
+	res, err := synthesize(spec, lib, defaultOpts())
 	if err != nil {
 		return nil, err
 	}
@@ -369,7 +384,7 @@ func AblAlpha(lib *model.Library) ([]AblationRow, error) {
 	for _, a := range []float64{0.1, 0.3, 0.5, 0.6, 0.8, 1.0} {
 		opt := defaultOpts()
 		opt.Alpha = a
-		res, err := core.Synthesize(spec, lib, opt)
+		res, err := synthesize(spec, lib, opt)
 		if err != nil {
 			rows = append(rows, AblationRow{Setting: fmt.Sprintf("alpha=%.1f", a), Err: err.Error()})
 			continue
@@ -401,7 +416,7 @@ func AblMid(lib *model.Library) ([]AblationRow, error) {
 		if allow {
 			name = "intermediate VI allowed"
 		}
-		res, err := core.Synthesize(spec, lib, opt)
+		res, err := synthesize(spec, lib, opt)
 		if err != nil {
 			rows = append(rows, AblationRow{Setting: name, Err: err.Error()})
 			continue
@@ -429,7 +444,7 @@ func AblWidth(lib *model.Library) ([]AblationRow, error) {
 	for _, w := range []int{16, 32, 64, 128} {
 		l := *lib
 		l.LinkWidthBits = w
-		res, err := core.Synthesize(spec, &l, defaultOpts())
+		res, err := synthesize(spec, &l, defaultOpts())
 		if err != nil {
 			rows = append(rows, AblationRow{Setting: fmt.Sprintf("width=%d", w), Err: err.Error()})
 			continue
@@ -482,7 +497,7 @@ func LoadSweep(lib *model.Library, scales []float64) ([]LoadRow, error) {
 	if err != nil {
 		return nil, err
 	}
-	res, err := core.Synthesize(spec, lib, defaultOpts())
+	res, err := synthesize(spec, lib, defaultOpts())
 	if err != nil {
 		return nil, err
 	}
@@ -526,7 +541,7 @@ func AblPartitioner(lib *model.Library) ([]AblationRow, error) {
 			if err != nil {
 				return nil, err
 			}
-			res, err := core.Synthesize(spec, lib, defaultOpts())
+			res, err := synthesize(spec, lib, defaultOpts())
 			if err != nil {
 				rows = append(rows, AblationRow{
 					Setting: fmt.Sprintf("%s n=%d", method, n), Err: err.Error()})
@@ -554,7 +569,7 @@ func AblBuffer(lib *model.Library) ([]AblationRow, error) {
 	if err != nil {
 		return nil, err
 	}
-	res, err := core.Synthesize(spec, lib, defaultOpts())
+	res, err := synthesize(spec, lib, defaultOpts())
 	if err != nil {
 		return nil, err
 	}
@@ -599,7 +614,7 @@ func AblDVS(lib *model.Library) ([]AblationRow, error) {
 		if auto {
 			name = "DVS (supply scaled per island clock)"
 		}
-		res, err := core.Synthesize(spec, lib, opt)
+		res, err := synthesize(spec, lib, opt)
 		if err != nil {
 			rows = append(rows, AblationRow{Setting: name, Err: err.Error()})
 			continue
@@ -638,7 +653,7 @@ func Tab3(lib *model.Library) ([]ModeRow, error) {
 	if err != nil {
 		return nil, err
 	}
-	res, err := core.Synthesize(spec, lib, defaultOpts())
+	res, err := synthesize(spec, lib, defaultOpts())
 	if err != nil {
 		return nil, err
 	}
@@ -705,7 +720,7 @@ func CmpMesh(lib *model.Library) ([]CmpRow, error) {
 	if err != nil {
 		return nil, err
 	}
-	res, err := core.Synthesize(spec, lib, defaultOpts())
+	res, err := synthesize(spec, lib, defaultOpts())
 	if err != nil {
 		return nil, err
 	}
@@ -768,7 +783,7 @@ func CmpFault(lib *model.Library) ([]FaultRow, error) {
 	if err != nil {
 		return nil, err
 	}
-	res, err := core.Synthesize(spec, lib, defaultOpts())
+	res, err := synthesize(spec, lib, defaultOpts())
 	if err != nil {
 		return nil, err
 	}
@@ -827,11 +842,11 @@ func CampaignSweep(lib *model.Library) ([]CampaignRow, error) {
 		if err != nil {
 			return nil, err
 		}
-		res, err := core.Synthesize(spec, lib, defaultOpts())
+		res, err := synthesize(spec, lib, defaultOpts())
 		if err != nil {
 			return nil, err
 		}
-		c, err := fault.RunCampaign(res.Best().Top, fault.CampaignOptions{Workers: Workers})
+		c, err := cache.RunCampaign(Cache, res.Best().Top, fault.CampaignOptions{Workers: Workers})
 		if err != nil {
 			return nil, err
 		}

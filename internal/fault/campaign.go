@@ -118,6 +118,28 @@ func (c *Campaign) RecoverableFrac() float64 {
 	return float64(c.Recovered) / float64(c.LinkFaults)
 }
 
+// RestoreOff rebuilds every state's per-island Off mask against the
+// given topology. Off is derived state — mask bit i gates the i-th
+// shut-downable island, exactly as evalState expands it — and is
+// excluded from the JSON encoding, so consumers that round-trip a
+// campaign through JSON (the content-addressed result cache, external
+// tooling) call RestoreOff after decoding to recover it. The topology
+// must be the design the campaign was run on; the cache guarantees
+// that by keying campaign entries on the topology's content digest.
+func (c *Campaign) RestoreOff(top *topology.Topology) {
+	shutdownable := shutdownableIslands(top)
+	for i := range c.States {
+		s := &c.States[i]
+		off := make([]bool, len(top.Spec.Islands))
+		for j, isl := range shutdownable {
+			if s.Mask&(1<<uint(j)) != 0 {
+				off[isl] = true
+			}
+		}
+		s.Off = off
+	}
+}
+
 // RunCampaign evaluates the power-state fault campaign on a routed
 // topology.
 func RunCampaign(top *topology.Topology, opt CampaignOptions) (*Campaign, error) {

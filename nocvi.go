@@ -34,6 +34,7 @@ import (
 	"io"
 
 	"nocvi/internal/bench"
+	"nocvi/internal/cache"
 	"nocvi/internal/core"
 	"nocvi/internal/deadlock"
 	"nocvi/internal/experiments"
@@ -288,6 +289,46 @@ type (
 // worker counts.
 func RunCampaign(top *Topology, opt CampaignOptions) (*Campaign, error) {
 	return fault.RunCampaign(top, opt)
+}
+
+// Content-addressed result cache (see internal/cache): because the
+// engine is bit-deterministic, results can be cached by a canonical
+// digest of their inputs and served back byte-identical to a fresh run.
+type (
+	// Cache is an on-disk content-addressed store of synthesis results,
+	// per-island partition tables and fault-campaign reports.
+	Cache = cache.Store
+	// CacheOptions configures OpenCache.
+	CacheOptions = cache.StoreOptions
+	// CacheStats reports a run's cache interaction on Result.CacheStats.
+	CacheStats = core.CacheStats
+)
+
+// CacheEnvDir is the environment variable ResolveCache consults for a
+// cache directory when none is given explicitly.
+const CacheEnvDir = cache.EnvDir
+
+// OpenCache opens (creating if needed) a result cache rooted at dir.
+func OpenCache(dir string, opt CacheOptions) (*Cache, error) { return cache.Open(dir, opt) }
+
+// ResolveCache is the CLI helper behind every -cache-dir/-no-cache flag
+// pair: it returns the selected store, consulting CacheEnvDir when dir
+// is empty, or nil (caching off) when disabled or unconfigured.
+func ResolveCache(dir string, disable bool) (*Cache, error) { return cache.Resolve(dir, disable) }
+
+// SynthesizeCached is SynthesizeContext behind a result cache: a
+// repeated run is served from the store byte-identical to a fresh one,
+// and a run over an edited spec warm-starts from the cached partition
+// tables of every untouched island. A nil cache is a transparent
+// pass-through.
+func SynthesizeCached(ctx context.Context, s *Cache, spec *Spec, lib *Library, opt Options) (*Result, error) {
+	return cache.Synthesize(ctx, s, spec, lib, opt)
+}
+
+// RunCampaignCached is RunCampaign behind a result cache, keyed by the
+// content digest of the routed topology and the campaign options.
+func RunCampaignCached(s *Cache, top *Topology, opt CampaignOptions) (*Campaign, error) {
+	return cache.RunCampaign(s, top, opt)
 }
 
 // SignoffReport aggregates the full design-rule suite: structural

@@ -85,6 +85,18 @@ type efficiency struct {
 	Speedup float64 `json:"speedup_vs_workers1"`
 }
 
+// cacheSummary condenses the BenchmarkSynthesizeCached lanes: the
+// cold / warm / oneisland timings and the ratios that matter — how much
+// a full hit saves, and how much warm-starting saves a genuine miss.
+type cacheSummary struct {
+	Procs            int     `json:"gomaxprocs"`
+	ColdNs           float64 `json:"cold_ns_per_op"`
+	WarmNs           float64 `json:"warm_ns_per_op"`
+	OneIslandNs      float64 `json:"oneisland_ns_per_op,omitempty"`
+	FullHitSpeedup   float64 `json:"full_hit_speedup"`
+	WarmStartSpeedup float64 `json:"warmstart_speedup,omitempty"`
+}
+
 // campaignSummary condenses one power-state fault-campaign report
 // (nocsynth -campaign-json) for the record's "campaign" section.
 type campaignSummary struct {
@@ -112,6 +124,9 @@ type record struct {
 	// so when that leaves nothing to report.
 	Efficiency     map[string]efficiency `json:"parallel_efficiency,omitempty"`
 	EfficiencyNote string                `json:"efficiency_note,omitempty"`
+	// Cache holds the SynthesizeCached cold/warm/oneisland ratios,
+	// computed from Current when present, else Baseline.
+	Cache *cacheSummary `json:"cache,omitempty"`
 	// Campaign holds the latest fault-campaign summary per design.
 	Campaign map[string]campaignSummary `json:"campaign,omitempty"`
 }
@@ -123,6 +138,7 @@ func main() {
 	requireProcs := flag.Int("require-procs", 0, "with -floor: fail unless the input has a GOMAXPROCS lane of at least this width")
 	campaignPath := flag.String("campaign", "", "fold a fault-campaign JSON report (nocsynth -campaign-json) into the record")
 	campaignFloor := flag.Float64("campaign-floor", 0, "fail unless the -campaign report's aggregate recoverability reaches this fraction")
+	cacheFloor := flag.Float64("cache-floor", 0, "fail unless the SynthesizeCached lanes on stdin show at least this cold/warm full-hit speedup")
 	flag.Parse()
 
 	results, lanes, err := parseBench(os.Stdin)
@@ -151,6 +167,18 @@ func main() {
 				fmt.Fprintln(os.Stderr, "bench2json:", err)
 				os.Exit(1)
 			}
+		}
+	}
+	if *cacheFloor > 0 {
+		cs := cacheSummaryFrom(results)
+		switch {
+		case cs == nil:
+			fmt.Fprintf(os.Stderr, "bench2json: -cache-floor %.2f: no SynthesizeCached cold+warm lanes on stdin\n", *cacheFloor)
+			os.Exit(1)
+		case cs.FullHitSpeedup < *cacheFloor:
+			fmt.Fprintf(os.Stderr, "bench2json: cache full-hit speedup %.2f below the %.2f floor (cold %.0f ns, warm %.0f ns)\n",
+				cs.FullHitSpeedup, *cacheFloor, cs.ColdNs, cs.WarmNs)
+			os.Exit(1)
 		}
 	}
 	campDesign, campSum := "", campaignSummary{}
@@ -205,6 +233,9 @@ func main() {
 		rec.EfficiencyNote = ""
 		if len(rec.Efficiency) == 0 && hasWorkerSuites(src) {
 			rec.EfficiencyNote = "not computed: every workers= lane was measured at gomaxprocs=1, which cannot exhibit parallel speedup"
+		}
+		if cs := cacheSummaryFrom(src); cs != nil {
+			rec.Cache = cs
 		}
 	}
 	if campDesign != "" {
@@ -440,6 +471,61 @@ func efficiencies(results map[string]result) map[string]efficiency {
 		return nil
 	}
 	return out
+}
+
+// cacheSummaryFrom extracts the SynthesizeCached/{cold,warm,oneisland}
+// lanes from a result set and condenses them into ratios, using the
+// widest GOMAXPROCS lane that measured both cold and warm. Speedups are
+// cold/warm (the full-hit payoff) and cold/oneisland (what
+// warm-starting saves a genuine one-island-edit miss). nil when the
+// lanes are absent.
+func cacheSummaryFrom(results map[string]result) *cacheSummary {
+	perLane := make(map[int]*cacheSummary)
+	for key, r := range results {
+		procs := 1
+		if i := strings.LastIndex(key, "@p"); i >= 0 {
+			p, err := strconv.Atoi(key[i+2:])
+			if err != nil {
+				continue
+			}
+			procs = p
+			key = key[:i]
+		}
+		lane, ok := strings.CutPrefix(key, "SynthesizeCached/")
+		if !ok || r.NsPerOp <= 0 {
+			continue
+		}
+		cs := perLane[procs]
+		if cs == nil {
+			cs = &cacheSummary{Procs: procs}
+			perLane[procs] = cs
+		}
+		switch lane {
+		case "cold":
+			cs.ColdNs = r.NsPerOp
+		case "warm":
+			cs.WarmNs = r.NsPerOp
+		case "oneisland":
+			cs.OneIslandNs = r.NsPerOp
+		}
+	}
+	var best *cacheSummary
+	for _, cs := range perLane {
+		if cs.ColdNs <= 0 || cs.WarmNs <= 0 {
+			continue
+		}
+		if best == nil || cs.Procs > best.Procs {
+			best = cs
+		}
+	}
+	if best == nil {
+		return nil
+	}
+	best.FullHitSpeedup = round2(best.ColdNs / best.WarmNs)
+	if best.OneIslandNs > 0 {
+		best.WarmStartSpeedup = round2(best.ColdNs / best.OneIslandNs)
+	}
+	return best
 }
 
 // assertFloor enforces the parallel-efficiency floor over the parsed

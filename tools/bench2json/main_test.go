@@ -173,6 +173,33 @@ func writeCampaign(t *testing.T, body string) string {
 	return path
 }
 
+func TestCacheSummaryFrom(t *testing.T) {
+	results := map[string]result{
+		"SynthesizeCached/cold@p1":      {NsPerOp: 9000},
+		"SynthesizeCached/warm@p1":      {NsPerOp: 1000},
+		"SynthesizeCached/cold@p8":      {NsPerOp: 10000},
+		"SynthesizeCached/warm@p8":      {NsPerOp: 1000},
+		"SynthesizeCached/oneisland@p8": {NsPerOp: 4000},
+		"RouteAll/d26@p8":               {NsPerOp: 100}, // unrelated: ignored
+	}
+	cs := cacheSummaryFrom(results)
+	if cs == nil {
+		t.Fatal("expected a cache summary")
+	}
+	if cs.Procs != 8 {
+		t.Fatalf("widest lane should win, got procs=%d", cs.Procs)
+	}
+	if cs.FullHitSpeedup != 10 || cs.WarmStartSpeedup != 2.5 {
+		t.Fatalf("speedups = %.2f / %.2f, want 10 / 2.5", cs.FullHitSpeedup, cs.WarmStartSpeedup)
+	}
+	if cacheSummaryFrom(map[string]result{"SynthesizeCached/cold@p4": {NsPerOp: 1}}) != nil {
+		t.Fatal("cold without warm must yield nil")
+	}
+	if cacheSummaryFrom(map[string]result{"RouteAll/d26@p8": {NsPerOp: 1}}) != nil {
+		t.Fatal("no cache lanes must yield nil")
+	}
+}
+
 func TestLoadCampaign(t *testing.T) {
 	path := writeCampaign(t, `{
 		"design": "d26_media", "islands": 6, "shutdownable": 4,
