@@ -10,9 +10,9 @@
 # stay bit-identical to cold).
 GO ?= go
 
-.PHONY: ci vet fmt lint build test race bench bench-smoke bench-all campaign-smoke cache-smoke
+.PHONY: ci vet fmt lint surface build test race bench bench-analysis bench-smoke bench-all campaign-smoke cache-smoke
 
-ci: vet fmt lint build race bench-smoke campaign-smoke cache-smoke
+ci: vet fmt lint surface build race bench-smoke campaign-smoke cache-smoke
 
 vet:
 	$(GO) vet ./...
@@ -25,14 +25,27 @@ fmt:
 
 # lint runs the determinism/invariant analyzers (maprange, floateq,
 # errdrop, wallclock, bannedcall, goroutineleak, scratchcopy,
-# sortstability) over every package — including internal/analysis and
-# cmd/noclint themselves, so the linter stays clean on its own code.
-# -unused additionally warns (without failing) about //noclint:ignore
-# directives that no longer suppress anything, so stale suppressions
-# are surfaced instead of silently hiding future findings. See
-# DESIGN.md "Static analysis layer".
+# sortstability, detflow, poolescape) over every package — including
+# internal/analysis and cmd/noclint themselves, so the linter stays
+# clean on its own code. The scoped analyzers (wallclock, maprange,
+# bannedcall) apply to the function set reachable from the engine
+# roots, derived from the interprocedural call graph (noclint -why
+# explains any site's chain). -unused additionally warns (without
+# failing) about //noclint:ignore directives that no longer suppress
+# anything — and calls out misplaced ones — so stale suppressions are
+# surfaced instead of silently hiding future findings. See DESIGN.md
+# "Static analysis layer".
 lint:
 	$(GO) run ./cmd/noclint -unused ./...
+
+# surface recomputes the engine-surface digest (the source of every
+# hot-path function, hashed) and fails when it drifted from
+# artifacts/engine-surface.sum without a cache.EngineVersion bump —
+# the mechanical stale-cache gate. After an intentional change:
+# bump EngineVersion in internal/cache/store.go, then
+# `go run ./cmd/noclint -surface update`.
+surface:
+	$(GO) run ./cmd/noclint -surface check
 
 build:
 	$(GO) build ./...
@@ -60,6 +73,14 @@ BENCH_LANES := $(shell if [ $(NPROC) -ge 8 ]; then echo 1,2,4,8; \
 bench:
 	$(GO) test -bench=RouteAll -cpu=$(BENCH_LANES) -benchmem -run='^$$' . | $(GO) run ./tools/bench2json -o BENCH_routing.json
 	$(GO) test -bench='SynthesizeParallel|SynthesizeCached' -cpu=$(BENCH_LANES) -benchmem -run='^$$' . | $(GO) run ./tools/bench2json -o BENCH_synthesize.json
+	$(GO) test -bench='CallGraph|AnalyzeModule' -benchmem -run='^$$' ./internal/analysis/callgraph ./cmd/noclint | $(GO) run ./tools/bench2json -o BENCH_analysis.json
+
+# bench-analysis re-measures only the static-analysis lane: call-graph
+# construction + reachability (BenchmarkCallGraph) and the full
+# analyzer pass over the module (BenchmarkAnalyzeModule), folded into
+# BENCH_analysis.json so analyzer cost regressions show up in review.
+bench-analysis:
+	$(GO) test -bench='CallGraph|AnalyzeModule' -benchmem -run='^$$' ./internal/analysis/callgraph ./cmd/noclint | $(GO) run ./tools/bench2json -o BENCH_analysis.json
 
 # bench-smoke keeps the benchmarks runnable and pins the parallel
 # efficiency floor on the largest suite, graded by what the runner can

@@ -1,0 +1,8 @@
+// Package cache mirrors the real tree's cache package closely enough
+// for the engine-surface gate: the sum file records the surface digest
+// against this EngineVersion, and the surface tests mutate both to
+// drive the gate through its failure modes.
+package cache
+
+// EngineVersion is the fixture's engine semantic version.
+const EngineVersion = 1

@@ -54,3 +54,18 @@ func CloseEnough(a, b float64) bool {
 func Exact(a, b float64) bool {
 	return a == b //noclint:ignore floateq fixture exercises suppression end to end
 }
+
+// Synthesize is the fixture's engine root: everything above is
+// reachable from here, so the scoped analyzers (maprange, wallclock,
+// bannedcall) apply to it. It sits at the end of the file so the
+// pinned line numbers of the findings above never move.
+func Synthesize(m map[string]int) int {
+	total := len(Values(m)) + len(Keys(m))
+	total += len(CacheKey([]int{total}))
+	total += int(Stamp() % 7)
+	Validate()
+	if CloseEnough(float64(total), 0) || Exact(0, float64(total)) {
+		return 0
+	}
+	return total
+}

@@ -1,14 +1,14 @@
 package core
 
-import (
-	"testing"
-	"time"
-)
+import "testing"
 
-// TestStamp exists to prove -tests pulls _test.go files into the
-// analysis: the time.Now below is only reported with the flag set.
-func TestStamp(t *testing.T) {
-	if time.Now().IsZero() {
-		t.Fatal("clock is broken")
+// TestExact exists to prove -tests pulls _test.go files into the
+// analysis: the exact float comparison below is only reported with the
+// flag set (floateq is unscoped, so reachability does not matter in
+// test files either).
+func TestExact(t *testing.T) {
+	var a, b float64 = 1, 1
+	if a == b && !Exact(a, b) {
+		t.Fatal("inconsistent comparison")
 	}
 }

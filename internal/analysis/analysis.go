@@ -65,6 +65,10 @@ type Pass struct {
 	PkgPath  string
 	Pkg      *types.Package
 	Info     *types.Info
+	// Scope is the derived hot-path scope consulted by the scoped
+	// analyzers (wallclock, maprange, bannedcall); nil means
+	// everything is in scope.
+	Scope *Scope
 
 	diags *[]Diagnostic
 }
@@ -85,7 +89,7 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 func (p *Pass) PkgBase() string { return path.Base(p.PkgPath) }
 
 // Analyzers is the full registered suite, in reporting order.
-var Analyzers = []*Analyzer{MapRange, FloatEq, ErrDrop, WallClock, BannedCall, GoroutineLeak, ScratchCopy, SortStability}
+var Analyzers = []*Analyzer{MapRange, FloatEq, ErrDrop, WallClock, BannedCall, GoroutineLeak, ScratchCopy, SortStability, DetFlow, PoolEscape}
 
 // UnusedDirective is a well-formed //noclint:ignore directive that
 // suppressed nothing: every analyzer it names ran and none of them
@@ -94,6 +98,12 @@ var Analyzers = []*Analyzer{MapRange, FloatEq, ErrDrop, WallClock, BannedCall, G
 type UnusedDirective struct {
 	Pos      token.Position
 	Analyzer string
+	// Misplaced lists the analyzers that DID report on the directive's
+	// target lines. A non-empty list almost always means the author
+	// meant to suppress one of those and typo'd or mixed up the name:
+	// the directive neither applied nor aged out — it never matched at
+	// all.
+	Misplaced []string
 }
 
 // Run executes every analyzer over every package, filters findings
@@ -116,6 +126,24 @@ func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 // directive for an unselected analyzer cannot prove itself useful here
 // and is neither used nor unused.
 func RunUnused(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, []UnusedDirective) {
+	return RunWith(pkgs, analyzers, RunOptions{})
+}
+
+// RunOptions configures RunWith.
+type RunOptions struct {
+	// Workers bounds the analyzer worker pool; <=0 selects GOMAXPROCS.
+	// The report is byte-identical at every width — pinned by test —
+	// so this is purely a throughput knob.
+	Workers int
+	// Scope is the hot-path scope for the scoped analyzers. Nil
+	// derives it from EngineRoots over pkgs; FullScope puts everything
+	// in scope (fixture tests).
+	Scope *Scope
+}
+
+// RunWith executes analyzers over pkgs under explicit options; see Run
+// and RunUnused for the defaults.
+func RunWith(pkgs []*Package, analyzers []*Analyzer, opts RunOptions) ([]Diagnostic, []UnusedDirective) {
 	// Directives are validated against the full registered suite, not
 	// just the analyzers of this run: a directive naming a real but
 	// currently-unselected analyzer is fine, a typo never is.
@@ -128,18 +156,25 @@ func RunUnused(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, []UnusedDi
 		known[a.Name] = true
 		ran[a.Name] = true
 	}
+	scope := opts.Scope
+	if scope == nil {
+		scope = DeriveScope(pkgs)
+	}
 	type pkgResult struct {
 		diags  []Diagnostic
 		unused []UnusedDirective
 	}
 	perPkg := make([]pkgResult, len(pkgs))
-	workers := runtime.GOMAXPROCS(0)
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
 	if workers > len(pkgs) {
 		workers = len(pkgs)
 	}
 	if workers <= 1 {
 		for i, pkg := range pkgs {
-			perPkg[i].diags, perPkg[i].unused = runPackage(pkg, analyzers, known, ran)
+			perPkg[i].diags, perPkg[i].unused = runPackage(pkg, analyzers, scope, known, ran)
 		}
 	} else {
 		var next atomic.Int64
@@ -153,7 +188,7 @@ func RunUnused(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, []UnusedDi
 					if i >= len(pkgs) {
 						return
 					}
-					perPkg[i].diags, perPkg[i].unused = runPackage(pkgs[i], analyzers, known, ran)
+					perPkg[i].diags, perPkg[i].unused = runPackage(pkgs[i], analyzers, scope, known, ran)
 				}
 			}()
 		}
@@ -197,9 +232,9 @@ func RunUnused(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, []UnusedDi
 // runPackage applies every analyzer to one package, filters the
 // findings through the package's suppression directives, and reports
 // the directives (for analyzers in the run set) that fired on nothing.
-// It touches no shared mutable state, which is what lets RunUnused fan
+// It touches no shared mutable state, which is what lets RunWith fan
 // packages out to workers.
-func runPackage(pkg *Package, analyzers []*Analyzer, known, ran map[string]bool) ([]Diagnostic, []UnusedDirective) {
+func runPackage(pkg *Package, analyzers []*Analyzer, scope *Scope, known, ran map[string]bool) ([]Diagnostic, []UnusedDirective) {
 	var diags []Diagnostic
 	for _, a := range analyzers {
 		a.Run(&Pass{
@@ -209,6 +244,7 @@ func runPackage(pkg *Package, analyzers []*Analyzer, known, ran map[string]bool)
 			PkgPath:  pkg.Path,
 			Pkg:      pkg.Types,
 			Info:     pkg.Info,
+			Scope:    scope,
 			diags:    &diags,
 		})
 	}
@@ -219,7 +255,34 @@ func runPackage(pkg *Package, analyzers []*Analyzer, known, ran map[string]bool)
 			out = append(out, d)
 		}
 	}
-	return out, dirs.unused(ran)
+	unused := dirs.unused(ran)
+	markMisplaced(unused, out)
+	return out, unused
+}
+
+// markMisplaced annotates unused directives whose target lines carry
+// surviving findings from other analyzers: a directive at line L
+// suppresses findings on L (trailing form) and L+1 (standalone form),
+// so a finding there from a different analyzer means the directive's
+// name is wrong, not merely stale.
+func markMisplaced(unused []UnusedDirective, surviving []Diagnostic) {
+	for i := range unused {
+		u := &unused[i]
+		seen := map[string]bool{}
+		for _, d := range surviving {
+			if d.Pos.Filename != u.Pos.Filename || d.Analyzer == u.Analyzer {
+				continue
+			}
+			if d.Pos.Line != u.Pos.Line && d.Pos.Line != u.Pos.Line+1 {
+				continue
+			}
+			if !seen[d.Analyzer] {
+				seen[d.Analyzer] = true
+				u.Misplaced = append(u.Misplaced, d.Analyzer)
+			}
+		}
+		sort.Strings(u.Misplaced)
+	}
 }
 
 // directiveKey identifies one source line of one file.

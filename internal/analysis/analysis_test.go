@@ -36,11 +36,25 @@ func loadFixture(t *testing.T, patterns ...string) []*Package {
 // produced diagnostics against the want annotations, in both
 // directions: every diagnostic must be annotated and every annotation
 // must fire. A disabled or broken analyzer therefore fails the test
-// through its unmatched annotations.
+// through its unmatched annotations. The per-analyzer golden tests run
+// under FullScope so they exercise analyzer logic independently of
+// reachability; runGoldenDerived exercises the derived scope itself.
 func runGolden(t *testing.T, analyzers []*Analyzer, patterns ...string) {
 	t.Helper()
+	runGoldenScope(t, analyzers, FullScope, patterns...)
+}
+
+// runGoldenDerived is runGolden under the scope DeriveScope computes
+// from EngineRoots over the loaded fixture packages.
+func runGoldenDerived(t *testing.T, analyzers []*Analyzer, patterns ...string) {
+	t.Helper()
+	runGoldenScope(t, analyzers, nil, patterns...)
+}
+
+func runGoldenScope(t *testing.T, analyzers []*Analyzer, scope *Scope, patterns ...string) {
+	t.Helper()
 	pkgs := loadFixture(t, patterns...)
-	diags := Run(pkgs, analyzers)
+	diags, _ := RunWith(pkgs, analyzers, RunOptions{Scope: scope})
 
 	type key struct {
 		file string
@@ -118,12 +132,112 @@ func TestSortStabilityGolden(t *testing.T) {
 	runGolden(t, []*Analyzer{SortStability}, "./sortstability/...")
 }
 
+func TestPoolEscapeGolden(t *testing.T) {
+	runGolden(t, []*Analyzer{PoolEscape}, "./poolescape/...")
+}
+
+// TestDetFlowDerivedScope pins the tentpole behavior: with the scope
+// derived from EngineRoots, the scoped analyzers flag sites reachable
+// from the fixture's core.Synthesize (statically, through an interface
+// dispatch, and through a func value) and stay silent on the
+// byte-identical shapes in the unreached package.
+func TestDetFlowDerivedScope(t *testing.T) {
+	runGoldenDerived(t, []*Analyzer{MapRange, WallClock, BannedCall}, "./detflow/...")
+}
+
+// TestScopeWhyFixture drives Scope.Why over the detflow fixture: the
+// flagged time.Now site in helper must come back with a call chain that
+// starts at the core.Synthesize root and ends at helper.stamp.
+func TestScopeWhyFixture(t *testing.T) {
+	pkgs := loadFixture(t, "./detflow/...")
+	scope := DeriveScope(pkgs)
+	if missing := scope.Missing(); len(missing) != 3 {
+		// Only core.Synthesize exists in the fixture; the other three
+		// roots are expected absences in a partial load.
+		t.Fatalf("Missing() = %v, want the three non-fixture roots", missing)
+	}
+	var file string
+	var line int
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			pos := pkg.Fset.Position(f.Pos())
+			if filepath.Base(pos.Filename) == "helper.go" {
+				src, err := os.ReadFile(pos.Filename)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for i, l := range strings.Split(string(src), "\n") {
+					if strings.Contains(l, "time.Now()") {
+						file, line = pos.Filename, i+1
+					}
+				}
+			}
+		}
+	}
+	if file == "" {
+		t.Fatal("time.Now site not found in detflow/helper/helper.go")
+	}
+	chain, known, reachable := scope.Why(file, line, nil)
+	if !known || !reachable {
+		t.Fatalf("Why(%s:%d) = known=%v reachable=%v, want both true", file, line, known, reachable)
+	}
+	if !strings.HasPrefix(chain, "core.Synthesize ") {
+		t.Errorf("call chain must start at the root, got:\n%s", chain)
+	}
+	if !strings.Contains(chain, "helper.stamp") {
+		t.Errorf("call chain must end at helper.stamp, got:\n%s", chain)
+	}
+
+	// A site in the unreached package resolves to a known function that
+	// is not reachable.
+	for _, pkg := range pkgs {
+		if filepath.Base(pkg.Path) != "unreached" {
+			continue
+		}
+		pos := pkg.Fset.Position(pkg.Files[0].Pos())
+		src, err := os.ReadFile(pos.Filename)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, l := range strings.Split(string(src), "\n") {
+			if strings.Contains(l, "time.Now()") {
+				_, known, reachable := scope.Why(pos.Filename, i+1, nil)
+				if !known || reachable {
+					t.Errorf("unreached site: known=%v reachable=%v, want known and not reachable", known, reachable)
+				}
+			}
+		}
+	}
+}
+
+// TestMisplacedDirective pins the -unused misplaced report: a directive
+// naming floateq on a line whose finding belongs to maprange is
+// reported unused with maprange in its Misplaced list, and the maprange
+// finding itself survives.
+func TestMisplacedDirective(t *testing.T) {
+	pkgs := loadFixture(t, "./misplaced/...")
+	diags, unused := RunWith(pkgs, []*Analyzer{FloatEq, MapRange}, RunOptions{Scope: FullScope})
+	if len(diags) != 1 || diags[0].Analyzer != "maprange" {
+		t.Fatalf("expected the maprange finding to survive, got %v", diags)
+	}
+	if len(unused) != 1 {
+		t.Fatalf("expected one unused directive, got %v", unused)
+	}
+	u := unused[0]
+	if u.Analyzer != "floateq" {
+		t.Errorf("unused analyzer = %q, want floateq", u.Analyzer)
+	}
+	if len(u.Misplaced) != 1 || u.Misplaced[0] != "maprange" {
+		t.Errorf("Misplaced = %v, want [maprange]", u.Misplaced)
+	}
+}
+
 // TestRunUnused: a directive that suppresses a live diagnostic is used,
 // one that suppresses nothing is reported, and one naming an analyzer
 // outside the run set is judged neither way.
 func TestRunUnused(t *testing.T) {
 	pkgs := loadFixture(t, "./unuseddir/...")
-	diags, unused := RunUnused(pkgs, []*Analyzer{FloatEq})
+	diags, unused := RunWith(pkgs, []*Analyzer{FloatEq}, RunOptions{Scope: FullScope})
 	if len(diags) != 0 {
 		t.Fatalf("expected every diagnostic suppressed, got %v", diags)
 	}
@@ -139,7 +253,7 @@ func TestRunUnused(t *testing.T) {
 	}
 	// With maprange in the run set too, its directive is still used (it
 	// suppresses the range-over-map diagnostic), so the report is stable.
-	diags, unused = RunUnused(pkgs, []*Analyzer{FloatEq, MapRange})
+	diags, unused = RunWith(pkgs, []*Analyzer{FloatEq, MapRange}, RunOptions{Scope: FullScope})
 	if len(diags) != 0 {
 		t.Fatalf("expected every diagnostic suppressed, got %v", diags)
 	}
@@ -154,11 +268,11 @@ func TestDirectiveValidation(t *testing.T) {
 	runGolden(t, Analyzers, "./directives/...")
 }
 
-// TestUnscopedPackageIsExempt runs the full suite over a package
-// outside every scope list; the fixture carries no annotations, so any
-// diagnostic fails the test.
+// TestUnscopedPackageIsExempt runs the full suite under a derived
+// scope over a package no engine root reaches; the fixture carries no
+// annotations, so any diagnostic fails the test.
 func TestUnscopedPackageIsExempt(t *testing.T) {
-	runGolden(t, Analyzers, "./unscoped/...")
+	runGoldenDerived(t, Analyzers, "./unscoped/...")
 }
 
 // repoRoot walks up from the working directory to the enclosing go.mod
@@ -195,13 +309,13 @@ func TestSortedKeysExemptionIsLoadBearing(t *testing.T) {
 	if err != nil {
 		t.Fatalf("LoadPatterns: %v", err)
 	}
-	if diags := Run(pkgs, []*Analyzer{MapRange}); len(diags) != 0 {
+	if diags, _ := RunWith(pkgs, []*Analyzer{MapRange}, RunOptions{Scope: FullScope}); len(diags) != 0 {
 		t.Fatalf("internal/soc should be maprange-clean with the exemption enabled, got:\n%v", diags)
 	}
 
 	disableSortedKeysExemption = true
 	defer func() { disableSortedKeysExemption = false }()
-	diags := Run(pkgs, []*Analyzer{MapRange})
+	diags, _ := RunWith(pkgs, []*Analyzer{MapRange}, RunOptions{Scope: FullScope})
 	found := false
 	for _, d := range diags {
 		if filepath.Base(d.Pos.Filename) == "usecase.go" && strings.Contains(d.Message, "range over map merged") {
@@ -216,7 +330,7 @@ func TestSortedKeysExemptionIsLoadBearing(t *testing.T) {
 // TestDiagnosticsAreSorted pins the deterministic reporting order.
 func TestDiagnosticsAreSorted(t *testing.T) {
 	pkgs := loadFixture(t, "./maprange/...", "./floateq/...")
-	diags := Run(pkgs, Analyzers)
+	diags, _ := RunWith(pkgs, Analyzers, RunOptions{Scope: FullScope})
 	if len(diags) < 2 {
 		t.Fatalf("expected several diagnostics, got %d", len(diags))
 	}

@@ -7,20 +7,10 @@ import (
 )
 
 // A bannedRule denies one callee (exact name or prefix when the rule
-// name ends in "*") within a set of packages, identified by final
-// import-path segment. A nil scope means every package.
+// name ends in "*") in every function on the engine hot path.
 type bannedRule struct {
-	scope   map[string]bool
 	name    string // "fmt.Sprint*" or "reflect.DeepEqual"
 	message string
-}
-
-func pkgSet(names ...string) map[string]bool {
-	m := make(map[string]bool, len(names))
-	for _, n := range names {
-		m[n] = true
-	}
-	return m
 }
 
 // bannedRules seeds the deny-list with the two regressions the engine
@@ -28,44 +18,36 @@ func pkgSet(names ...string) map[string]bool {
 // hot path (replaced by the varint countsKey in PR 2 — a Sprint key is
 // slower and, worse, not guaranteed injective) and reflect.DeepEqual on
 // routing/partitioning hot paths (allocates, reflects, and hides the
-// comparison semantics the equivalence tests pin down).
+// comparison semantics the equivalence tests pin down). Before the
+// call-graph layer each rule carried its own package allowlist; scope
+// is now the reachable set the detflow layer derives, so the rules
+// apply wherever the engine can actually execute them.
 var bannedRules = []bannedRule{
 	{
-		scope: pkgSet("core", "partition"),
-		name:  "fmt.Sprint*",
+		name: "fmt.Sprint*",
 		message: "fmt.Sprint* on the synthesis hot path: string-formatted cache keys are slow and non-injective " +
 			"(the PR 2 varint countsKey regression); build a typed or varint key instead",
 	},
 	{
-		scope: pkgSet("core", "route", "graph", "partition", "pareto", "topology"),
-		name:  "reflect.DeepEqual",
+		name: "reflect.DeepEqual",
 		message: "reflect.DeepEqual on a hot path allocates and reflects per comparison; " +
 			"write a typed equality the equivalence tests can pin down",
 	},
 }
 
-// BannedCall enforces a per-package deny-list of callees. It guards
-// hot-path regressions that vet cannot see: the rules carry the project
-// history of why each callee is banned where it is.
+// BannedCall enforces a deny-list of callees on the engine hot path. It
+// guards hot-path regressions that vet cannot see: the rules carry the
+// project history of why each callee is banned.
 var BannedCall = &Analyzer{
 	Name: "bannedcall",
-	Doc: "flags calls on the per-package deny-list (fmt.Sprint* as cache " +
-		"keys in core/partition, reflect.DeepEqual on hot paths)",
+	Doc: "flags deny-listed calls (fmt.Sprint* as cache keys, " +
+		"reflect.DeepEqual) in functions reachable from the engine roots",
 	Run: runBannedCall,
 }
 
 func runBannedCall(p *Pass) {
-	var rules []bannedRule
-	for _, r := range bannedRules {
-		if r.scope == nil || r.scope[p.PkgBase()] {
-			rules = append(rules, r)
-		}
-	}
-	if len(rules) == 0 {
-		return
-	}
-	for _, f := range p.Files {
-		ast.Inspect(f, func(n ast.Node) bool {
+	check := func(n ast.Node) {
+		ast.Inspect(n, func(n ast.Node) bool {
 			call, ok := n.(*ast.CallExpr)
 			if !ok {
 				return true
@@ -78,7 +60,7 @@ func runBannedCall(p *Pass) {
 				return true // rules name package-level functions only
 			}
 			full := fn.Pkg().Path() + "." + fn.Name()
-			for _, r := range rules {
+			for _, r := range bannedRules {
 				if prefix, wild := strings.CutSuffix(r.name, "*"); wild {
 					if !strings.HasPrefix(full, prefix) {
 						continue
@@ -86,9 +68,23 @@ func runBannedCall(p *Pass) {
 				} else if full != r.name {
 					continue
 				}
-				p.Reportf(call.Pos(), "call to %s is banned in package %s: %s", full, p.PkgBase(), r.message)
+				p.Reportf(call.Pos(), "call to %s is banned on the engine hot path: %s", full, r.message)
 			}
 			return true
 		})
+	}
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			switch decl := decl.(type) {
+			case *ast.FuncDecl:
+				if decl.Body != nil && p.FuncDeclInScope(decl) {
+					check(decl.Body)
+				}
+			case *ast.GenDecl:
+				if p.Scope.PkgInScope(p.PkgPath) {
+					check(decl)
+				}
+			}
+		}
 	}
 }

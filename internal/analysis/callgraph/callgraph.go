@@ -1,0 +1,705 @@
+// Package callgraph constructs a deterministic, type-informed call
+// graph over a set of type-checked packages — the interprocedural
+// substrate under the detflow scope derivation, the poolescape escape
+// summaries and the engine-surface digest (see DESIGN.md "Static
+// analysis layer").
+//
+// Resolution rules, in decreasing precision:
+//
+//   - Static calls (package-level functions, concrete methods, method
+//     expressions) resolve through go/types to exactly one callee.
+//   - Interface method calls resolve conservatively to every concrete
+//     method in the analyzed packages with the same name whose receiver
+//     type (or its pointer) implements the interface — an
+//     over-approximation, never an omission.
+//   - Calls through func values (variables, parameters, fields, call
+//     results) mark the caller as dynamic; at reachability time a
+//     dynamic caller reaches every function whose value was taken (as a
+//     plain reference or a method value) somewhere in already-reachable
+//     code and whose signature matches the call site. A function value
+//     must be created in executed code before it can flow anywhere, so
+//     restricting the pool to reachable takers loses nothing.
+//   - Instantiating a named type (composite literal, conversion, new)
+//     in reachable code makes the type's whole method set reachable:
+//     the instance may travel into the standard library (sort.Sort,
+//     fmt's Stringer) and come back through calls the AST never shows.
+//
+// Function literals are folded into their enclosing declared function:
+// a closure is reachable exactly when its creator is. Package-level
+// var/const initializers and init functions form synthetic nodes that
+// become reachable as soon as any function of their package does,
+// mirroring the runtime's init-on-first-import rule closely enough for
+// enforcement purposes.
+//
+// Construction is order-deterministic by design: packages and files
+// arrive in the loader's sorted order, every adjacency list is sorted
+// and deduplicated by node ID, and reachability is a breadth-first
+// visit over those sorted lists — byte-identical graphs and visit
+// parents regardless of GOMAXPROCS or map seed.
+package callgraph
+
+import (
+	"fmt"
+	"go/ast"
+	"go/printer"
+	"go/token"
+	"go/types"
+	"io"
+	"path"
+	"sort"
+	"strings"
+)
+
+// A Unit is one type-checked package handed to Build — the fields of
+// analysis.Package the graph needs, kept structural so this package
+// depends only on go/ast and go/types.
+type Unit struct {
+	Path  string
+	Fset  *token.FileSet
+	Files []*ast.File
+	Info  *types.Info
+}
+
+// A Node is one function of the graph: a declared function or method,
+// or a synthetic per-package node for init functions and package-level
+// initializers.
+type Node struct {
+	// ID is the stable identity the graph sorts by: the types.Func
+	// FullName for declared functions ("pkg/path.Fn",
+	// "(*pkg/path.T).Method"), "pkg/path.init#file:line" for init
+	// functions and "pkg/path.<vars>" for the package-initializer node.
+	ID string
+	// Label is the short display form used in diagnostics and -why
+	// paths: final import-path segment plus name ("core.Synthesize",
+	// "route.(*Router).RouteAll").
+	Label string
+	// Obj is the declared function object; nil for the synthetic
+	// package-initializer node.
+	Obj *types.Func
+	// Decl is the declaration; nil for the package-initializer node,
+	// whose source lives in Inits.
+	Decl *ast.FuncDecl
+	// Inits holds the package-level const/var declarations of the
+	// synthetic initializer node, in file order.
+	Inits []*ast.GenDecl
+	// PkgPath is the import path of the declaring package.
+	PkgPath string
+	// Pos is the resolved position of the declaration (the package
+	// clause of the first file for initializer nodes).
+	Pos token.Position
+
+	// Calls is the sorted, deduplicated adjacency list: every callee
+	// resolved statically or through the interface conservatism.
+	Calls []*Node
+	// Dynamic records that the body calls through at least one func
+	// value; reachability then consults the taken-function pool.
+	Dynamic bool
+
+	fset  *token.FileSet
+	calls map[string]*Node
+	// takes lists functions whose value this node captures (func
+	// references outside call position, method values); they join the
+	// dynamic-call pool once this node is reachable.
+	takes []*Node
+	// dynSigs are the signatures of the body's dynamic call sites,
+	// matched against taken functions' signatures.
+	dynSigs []*types.Signature
+	// instantiated lists named types whose values this node creates;
+	// their method sets become reachable with the node.
+	instantiated []*types.Named
+}
+
+// Takes returns the functions whose value this node captures, sorted.
+func (n *Node) Takes() []*Node { return n.takes }
+
+// PrintSource writes the node's declaration(s) through go/printer —
+// comment-free, gofmt-normalized output, so the engine-surface digest
+// tracks code, not formatting.
+func (n *Node) PrintSource(w io.Writer) error {
+	if n.Decl != nil {
+		return printer.Fprint(w, n.fset, n.Decl)
+	}
+	for _, d := range n.Inits {
+		if err := printer.Fprint(w, n.fset, d); err != nil {
+			return err
+		}
+		if _, err := io.WriteString(w, "\n"); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// A Graph is the whole-module call graph.
+type Graph struct {
+	// Nodes is every node sorted by ID.
+	Nodes []*Node
+	// ByObj resolves a declared function object to its node.
+	ByObj map[*types.Func]*Node
+
+	byID map[string]*Node
+	// pkgInits groups the synthetic and init nodes per package path.
+	pkgInits map[string][]*Node
+	// varInit is the synthetic package-initializer node per package.
+	varInit map[string]*Node
+	// methods indexes concrete methods by name for interface
+	// resolution, and by receiver's named type for instantiation
+	// resolution.
+	methodsByName map[string][]*Node
+	methodsByRecv map[*types.TypeName][]*Node
+}
+
+// NodeByID resolves a node by its stable ID.
+func (g *Graph) NodeByID(id string) *Node { return g.byID[id] }
+
+// Build constructs the graph over the given units. Units and their
+// files must arrive in a deterministic order (the analysis loader's
+// sorted-import-path order); everything downstream is then sorted by
+// construction.
+func Build(units []*Unit) *Graph {
+	g := &Graph{
+		ByObj:         map[*types.Func]*Node{},
+		byID:          map[string]*Node{},
+		pkgInits:      map[string][]*Node{},
+		varInit:       map[string]*Node{},
+		methodsByName: map[string][]*Node{},
+		methodsByRecv: map[*types.TypeName][]*Node{},
+	}
+	// Pass 1: create nodes for every declared function with a body,
+	// the per-package init functions, and one initializer node per
+	// package holding the value-bearing const/var declarations.
+	for _, u := range units {
+		var inits []*ast.GenDecl
+		for _, f := range u.Files {
+			for _, d := range f.Decls {
+				switch d := d.(type) {
+				case *ast.FuncDecl:
+					if d.Body == nil {
+						continue
+					}
+					fn, ok := u.Info.Defs[d.Name].(*types.Func)
+					if !ok {
+						continue
+					}
+					g.addFuncNode(u, fn, d)
+				case *ast.GenDecl:
+					if d.Tok == token.CONST || d.Tok == token.VAR {
+						inits = append(inits, d)
+					}
+				}
+			}
+		}
+		if len(inits) > 0 {
+			n := &Node{
+				ID:      u.Path + ".<vars>",
+				Label:   path.Base(u.Path) + ".<vars>",
+				Inits:   inits,
+				PkgPath: u.Path,
+				Pos:     u.Fset.Position(u.Files[0].Package),
+				fset:    u.Fset,
+				calls:   map[string]*Node{},
+			}
+			g.byID[n.ID] = n
+			g.varInit[u.Path] = n
+			g.pkgInits[u.Path] = append(g.pkgInits[u.Path], n)
+		}
+	}
+	// Pass 2: resolve call edges, taken functions, dynamic call
+	// signatures and instantiated types for every node body.
+	for _, u := range units {
+		for _, f := range u.Files {
+			for _, d := range f.Decls {
+				switch d := d.(type) {
+				case *ast.FuncDecl:
+					if d.Body == nil {
+						continue
+					}
+					fn, ok := u.Info.Defs[d.Name].(*types.Func)
+					if !ok {
+						continue
+					}
+					if n := g.ByObj[fn]; n != nil {
+						g.scanBody(u, n, d.Body)
+					}
+				case *ast.GenDecl:
+					// Initializer expressions (including function
+					// literals in package-level vars) belong to the
+					// package's initializer node.
+					if d.Tok != token.CONST && d.Tok != token.VAR {
+						continue
+					}
+					if n := g.varInit[u.Path]; n != nil {
+						g.scanBody(u, n, d)
+					}
+				}
+			}
+		}
+	}
+	// Finalize: sorted node list, sorted adjacency.
+	for _, n := range g.byID {
+		n.Calls = make([]*Node, 0, len(n.calls))
+		for _, c := range n.calls {
+			n.Calls = append(n.Calls, c)
+		}
+		sortNodes(n.Calls)
+		sortNodes(n.takes)
+		g.Nodes = append(g.Nodes, n)
+	}
+	sortNodes(g.Nodes)
+	for _, ns := range g.pkgInits {
+		sortNodes(ns)
+	}
+	return g
+}
+
+func sortNodes(ns []*Node) {
+	sort.Slice(ns, func(i, j int) bool { return ns[i].ID < ns[j].ID })
+}
+
+// addFuncNode creates the node for one declared function or method.
+func (g *Graph) addFuncNode(u *Unit, fn *types.Func, d *ast.FuncDecl) {
+	id := fn.FullName()
+	if fn.Name() == "init" && d.Recv == nil {
+		// Multiple init functions share a FullName; disambiguate by
+		// position, which is stable across runs.
+		pos := u.Fset.Position(d.Pos())
+		id = fmt.Sprintf("%s#%s:%d", id, path.Base(pos.Filename), pos.Line)
+	}
+	n := &Node{
+		ID:      id,
+		Label:   label(fn),
+		Obj:     fn,
+		Decl:    d,
+		PkgPath: u.Path,
+		Pos:     u.Fset.Position(d.Pos()),
+		fset:    u.Fset,
+		calls:   map[string]*Node{},
+	}
+	g.ByObj[fn] = n
+	g.byID[n.ID] = n
+	if fn.Name() == "init" && d.Recv == nil {
+		g.pkgInits[u.Path] = append(g.pkgInits[u.Path], n)
+		return
+	}
+	if recv := recvTypeName(fn); recv != nil {
+		g.methodsByName[fn.Name()] = append(g.methodsByName[fn.Name()], n)
+		g.methodsByRecv[recv] = append(g.methodsByRecv[recv], n)
+	}
+}
+
+// label renders the short display form of a function.
+func label(fn *types.Func) string {
+	pkg := "_"
+	if fn.Pkg() != nil {
+		pkg = path.Base(fn.Pkg().Path())
+	}
+	sig, _ := fn.Type().(*types.Signature)
+	if sig != nil && sig.Recv() != nil {
+		rt := sig.Recv().Type()
+		star := ""
+		if p, ok := rt.(*types.Pointer); ok {
+			rt = p.Elem()
+			star = "*"
+		}
+		name := rt.String()
+		switch t := rt.(type) {
+		case *types.Named:
+			name = t.Obj().Name()
+		case *types.Interface:
+			name = "interface"
+		}
+		return fmt.Sprintf("%s.(%s%s).%s", pkg, star, name, fn.Name())
+	}
+	return pkg + "." + fn.Name()
+}
+
+// recvTypeName returns the *types.TypeName of a concrete method's
+// receiver, nil for package-level functions and interface methods.
+func recvTypeName(fn *types.Func) *types.TypeName {
+	sig, _ := fn.Type().(*types.Signature)
+	if sig == nil || sig.Recv() == nil {
+		return nil
+	}
+	rt := sig.Recv().Type()
+	if p, ok := rt.(*types.Pointer); ok {
+		rt = p.Elem()
+	}
+	named, ok := rt.(*types.Named)
+	if !ok || types.IsInterface(named) {
+		return nil
+	}
+	return named.Obj()
+}
+
+// scanBody walks one node's body (a function body or a package-level
+// declaration), resolving calls, taken function values, dynamic call
+// signatures and instantiated types.
+func (g *Graph) scanBody(u *Unit, n *Node, body ast.Node) {
+	// calleeIdents marks identifiers consumed as the callee of a call
+	// expression, so a later walk can tell a call from a taken value.
+	calleeIdents := map[*ast.Ident]bool{}
+	ast.Inspect(body, func(node ast.Node) bool {
+		switch node := node.(type) {
+		case *ast.CallExpr:
+			g.scanCall(u, n, node, calleeIdents)
+		case *ast.CompositeLit:
+			if named := namedOf(u.Info.TypeOf(node)); named != nil {
+				n.instantiated = append(n.instantiated, named)
+			}
+		case *ast.Ident:
+			if calleeIdents[node] {
+				return true
+			}
+			if fn, ok := u.Info.Uses[node].(*types.Func); ok {
+				if target := g.ByObj[fn]; target != nil {
+					n.takes = append(n.takes, target)
+				}
+			}
+		}
+		return true
+	})
+}
+
+// scanCall resolves one call expression from node n.
+func (g *Graph) scanCall(u *Unit, n *Node, call *ast.CallExpr, calleeIdents map[*ast.Ident]bool) {
+	fun := ast.Unparen(call.Fun)
+	// Type conversions create a value of the target type.
+	if tv, ok := u.Info.Types[fun]; ok && tv.IsType() {
+		if named := namedOf(tv.Type); named != nil {
+			n.instantiated = append(n.instantiated, named)
+		}
+		return
+	}
+	var callee *types.Func
+	switch fun := fun.(type) {
+	case *ast.Ident:
+		calleeIdents[fun] = true
+		switch obj := u.Info.Uses[fun].(type) {
+		case *types.Func:
+			callee = obj
+		case *types.Builtin:
+			if obj.Name() == "new" && len(call.Args) == 1 {
+				if named := namedOf(u.Info.TypeOf(call.Args[0])); named != nil {
+					n.instantiated = append(n.instantiated, named)
+				}
+			}
+			return
+		case nil:
+			// Unresolved; treat as dynamic below.
+		default:
+			// A variable or parameter of function type.
+		}
+	case *ast.SelectorExpr:
+		calleeIdents[fun.Sel] = true
+		if obj, ok := u.Info.Uses[fun.Sel].(*types.Func); ok {
+			callee = obj
+		}
+	case *ast.IndexExpr, *ast.IndexListExpr:
+		// Generic instantiation: the Uses entry hangs off the inner
+		// identifier.
+		inner := fun
+		for {
+			switch e := inner.(type) {
+			case *ast.IndexExpr:
+				inner = ast.Unparen(e.X)
+				continue
+			case *ast.IndexListExpr:
+				inner = ast.Unparen(e.X)
+				continue
+			}
+			break
+		}
+		switch e := inner.(type) {
+		case *ast.Ident:
+			calleeIdents[e] = true
+			if obj, ok := u.Info.Uses[e].(*types.Func); ok {
+				callee = obj
+			}
+		case *ast.SelectorExpr:
+			calleeIdents[e.Sel] = true
+			if obj, ok := u.Info.Uses[e.Sel].(*types.Func); ok {
+				callee = obj
+			}
+		}
+	}
+	if callee == nil {
+		// A call through a func value (variable, field, parameter,
+		// another call's result).
+		n.Dynamic = true
+		if sig, ok := u.Info.TypeOf(call.Fun).(*types.Signature); ok {
+			n.dynSigs = append(n.dynSigs, sig)
+		}
+		return
+	}
+	if iface := interfaceRecv(callee); iface != nil {
+		// Interface dispatch: every concrete same-name method whose
+		// receiver implements the interface is a possible callee.
+		for _, m := range g.methodsByName[callee.Name()] {
+			recv := m.Obj.Type().(*types.Signature).Recv().Type()
+			if types.Implements(recv, iface) || types.Implements(types.NewPointer(derefType(recv)), iface) {
+				n.calls[m.ID] = m
+			}
+		}
+		return
+	}
+	if target := g.ByObj[callee]; target != nil {
+		n.calls[target.ID] = target
+	}
+	// Calls out of the analyzed set (standard library) carry no edge;
+	// callbacks handed to them are covered by the taken-value pool and
+	// the instantiated-type method-set rule.
+}
+
+// interfaceRecv returns the receiver interface of an interface method,
+// nil otherwise.
+func interfaceRecv(fn *types.Func) *types.Interface {
+	sig, _ := fn.Type().(*types.Signature)
+	if sig == nil || sig.Recv() == nil {
+		return nil
+	}
+	iface, _ := sig.Recv().Type().Underlying().(*types.Interface)
+	return iface
+}
+
+func derefType(t types.Type) types.Type {
+	if p, ok := t.(*types.Pointer); ok {
+		return p.Elem()
+	}
+	return t
+}
+
+// namedOf unwraps pointers, slices, arrays and maps down to a named
+// type, nil when there is none. Instantiating []T or map[K]T
+// instantiates T for method-set purposes.
+func namedOf(t types.Type) *types.Named {
+	for t != nil {
+		switch tt := t.(type) {
+		case *types.Named:
+			return tt
+		case *types.Alias:
+			t = types.Unalias(tt)
+		case *types.Pointer:
+			t = tt.Elem()
+		case *types.Slice:
+			t = tt.Elem()
+		case *types.Array:
+			t = tt.Elem()
+		case *types.Map:
+			t = tt.Elem()
+		default:
+			return nil
+		}
+	}
+	return nil
+}
+
+// A Reach is the result of one reachability computation: the set of
+// reachable nodes plus the breadth-first parent tree that lets Path
+// reconstruct a root→node call chain.
+type Reach struct {
+	Graph *Graph
+	// Roots are the entry nodes, sorted by ID.
+	Roots []*Node
+
+	nodes  map[*Node]bool
+	parent map[*Node]*Node
+}
+
+// ReachableFrom computes the functions reachable from the given roots.
+// The visit is a deterministic breadth-first traversal: the frontier
+// is processed in sorted order, dynamic-call resolution re-runs
+// whenever the taken-function pool grows, and the recorded parent of a
+// node is its first (shallowest, then lexicographically smallest)
+// discoverer — so Path output is byte-stable across runs.
+func (g *Graph) ReachableFrom(roots []*Node) *Reach {
+	r := &Reach{
+		Graph:  g,
+		nodes:  map[*Node]bool{},
+		parent: map[*Node]*Node{},
+	}
+	r.Roots = append(r.Roots, roots...)
+	sortNodes(r.Roots)
+
+	var frontier []*Node
+	pkgSeen := map[string]bool{}
+	taken := map[*Node]bool{}   // pool of function values taken in reachable code
+	dynamic := map[*Node]bool{} // reachable nodes with dynamic call sites
+
+	add := func(n *Node, from *Node) {
+		if n == nil || r.nodes[n] {
+			return
+		}
+		r.nodes[n] = true
+		if from != nil {
+			r.parent[n] = from
+		}
+		frontier = append(frontier, n)
+	}
+	for _, root := range r.Roots {
+		add(root, nil)
+	}
+	for len(frontier) > 0 {
+		// Sort each BFS layer so discovery order — and therefore the
+		// parent tree — never depends on map iteration.
+		layer := frontier
+		frontier = nil
+		sortNodes(layer)
+		for _, n := range layer {
+			if !pkgSeen[n.PkgPath] {
+				// First function of a package: its initializers run.
+				pkgSeen[n.PkgPath] = true
+				for _, ini := range g.pkgInits[n.PkgPath] {
+					add(ini, n)
+				}
+			}
+			for _, c := range n.Calls {
+				add(c, n)
+			}
+			for _, t := range n.takes {
+				taken[t] = true
+			}
+			for _, named := range n.instantiated {
+				for _, m := range g.methodsByRecv[named.Obj()] {
+					add(m, n)
+				}
+			}
+			if n.Dynamic {
+				dynamic[n] = true
+			}
+		}
+		if len(frontier) == 0 {
+			// Fixpoint step for dynamic calls: match the pool of taken
+			// functions against reachable dynamic call sites.
+			callers := make([]*Node, 0, len(dynamic))
+			for n := range dynamic {
+				callers = append(callers, n)
+			}
+			sortNodes(callers)
+			pool := make([]*Node, 0, len(taken))
+			for t := range taken {
+				pool = append(pool, t)
+			}
+			sortNodes(pool)
+			for _, caller := range callers {
+				for _, t := range pool {
+					if r.nodes[t] {
+						continue
+					}
+					if dynMatch(caller, t) {
+						add(t, caller)
+					}
+				}
+			}
+		}
+	}
+	return r
+}
+
+// dynMatch reports whether a taken function t is a plausible target of
+// one of caller's dynamic call sites: identical signature (receiver
+// stripped — a method value's call signature has no receiver), or an
+// unresolvable site signature, which stays conservative.
+func dynMatch(caller, t *Node) bool {
+	if t.Obj == nil {
+		return false
+	}
+	tsig, ok := t.Obj.Type().(*types.Signature)
+	if !ok {
+		return false
+	}
+	if tsig.Recv() != nil {
+		tsig = types.NewSignatureType(nil, nil, nil, tsig.Params(), tsig.Results(), tsig.Variadic())
+	}
+	if len(caller.dynSigs) == 0 {
+		return true
+	}
+	for _, s := range caller.dynSigs {
+		if types.Identical(s, tsig) {
+			return true
+		}
+	}
+	return false
+}
+
+// Has reports whether the declared function is reachable.
+func (r *Reach) Has(fn *types.Func) bool {
+	n := r.Graph.ByObj[fn]
+	return n != nil && r.nodes[n]
+}
+
+// HasNode reports whether the node is reachable.
+func (r *Reach) HasNode(n *Node) bool { return r.nodes[n] }
+
+// Nodes returns every reachable node sorted by ID.
+func (r *Reach) Nodes() []*Node {
+	out := make([]*Node, 0, len(r.nodes))
+	for n := range r.nodes {
+		out = append(out, n)
+	}
+	sortNodes(out)
+	return out
+}
+
+// Path reconstructs the breadth-first discovery chain from a root to
+// n, inclusive; nil when n is not reachable.
+func (r *Reach) Path(n *Node) []*Node {
+	if !r.nodes[n] {
+		return nil
+	}
+	var rev []*Node
+	for cur := n; cur != nil; cur = r.parent[cur] {
+		rev = append(rev, cur)
+	}
+	out := make([]*Node, 0, len(rev))
+	for i := len(rev) - 1; i >= 0; i-- {
+		out = append(out, rev[i])
+	}
+	return out
+}
+
+// FormatPath renders a Path as a one-call-per-line chain:
+//
+//	core.Synthesize (internal/core/core.go:297)
+//	  → route.(*Router).RouteAll (internal/route/route.go:101)
+func FormatPath(nodes []*Node, rel func(string) string) string {
+	var b strings.Builder
+	for i, n := range nodes {
+		file := n.Pos.Filename
+		if rel != nil {
+			file = rel(file)
+		}
+		if i > 0 {
+			b.WriteString("  → ")
+		}
+		fmt.Fprintf(&b, "%s (%s:%d)\n", n.Label, file, n.Pos.Line)
+	}
+	return b.String()
+}
+
+// EnclosingNode finds the node whose declaration spans the given
+// file/line — the innermost FuncDecl covering it, or the package
+// initializer node when the position sits in a package-level var/const
+// declaration. Filename must match the position's resolved filename
+// exactly.
+func (g *Graph) EnclosingNode(filename string, line int) *Node {
+	var best *Node
+	for _, n := range g.Nodes {
+		spans := func(node ast.Node) bool {
+			start := n.fset.Position(node.Pos())
+			end := n.fset.Position(node.End())
+			return start.Filename == filename && start.Line <= line && line <= end.Line
+		}
+		if n.Decl != nil {
+			if spans(n.Decl) {
+				best = n
+			}
+			continue
+		}
+		for _, d := range n.Inits {
+			if spans(d) {
+				best = n
+			}
+		}
+	}
+	return best
+}

@@ -1,0 +1,226 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"path"
+
+	"nocvi/internal/analysis/callgraph"
+)
+
+// EngineRoots names the entry points of the synthesis engine — the
+// functions whose transitive callees constitute the hot path that the
+// determinism analyzers (wallclock, maprange, bannedcall) must cover.
+// Roots are matched as "<final import-path segment>.<function name>"
+// on package-level functions, the same identity rule every scoped
+// table in this package uses, so fixture modules can stand in for the
+// real tree.
+//
+// Before the call-graph layer, scope was a pair of hand-maintained
+// package allowlists (synthesisPathPkgs, deterministicPathPkgs); a new
+// helper package on the hot path was silently unchecked until someone
+// edited the lists. Deriving the scope from these roots makes
+// "on the hot path" a computed property: add a package, call it from
+// the engine, and the analyzers follow automatically.
+var EngineRoots = []string{
+	"core.Synthesize",
+	"core.SynthesizeSweep",
+	"fault.RunCampaign",
+	"cache.Synthesize",
+}
+
+// DetFlow is the scope-derivation layer's registry entry. Its work —
+// building the module call graph, computing reachability from
+// EngineRoots, and re-scoping wallclock/maprange/bannedcall to the
+// reachable function set — happens once per run in DeriveScope, not
+// per package, so Run here is a no-op; the entry exists so -list
+// documents the layer and directive validation accepts the name.
+var DetFlow = &Analyzer{
+	Name: "detflow",
+	Doc: "derives the hot-path scope of wallclock/maprange/bannedcall " +
+		"from call-graph reachability over the engine roots " +
+		"(core.Synthesize, core.SynthesizeSweep, fault.RunCampaign, " +
+		"cache.Synthesize); noclint -why prints a root→site call path",
+	Run: func(*Pass) {},
+}
+
+// A Scope answers "is this function on the engine hot path?" for the
+// scoped analyzers. The zero value is unusable; use DeriveScope or
+// FullScope.
+type Scope struct {
+	all   bool
+	graph *callgraph.Graph
+	reach *callgraph.Reach
+	// pkgs holds the import paths with at least one reachable
+	// function; package-level declarations of such packages are in
+	// scope (their initializers run as soon as the package is linked
+	// into the engine).
+	pkgs map[string]bool
+	// missing lists EngineRoots entries that matched no loaded
+	// function — a renamed root would otherwise silently empty the
+	// scope.
+	missing []string
+}
+
+// FullScope puts every function in scope. The golden fixture tests use
+// it to exercise analyzer logic independently of reachability; real
+// runs derive the scope instead.
+var FullScope = &Scope{all: true}
+
+// DeriveScope builds the call graph over the loaded packages and
+// computes the function set reachable from EngineRoots. Roots absent
+// from the load are recorded (see Missing); if none match, the scope
+// is empty and the scoped analyzers report nothing.
+func DeriveScope(pkgs []*Package) *Scope {
+	units := make([]*callgraph.Unit, 0, len(pkgs))
+	for _, p := range pkgs {
+		units = append(units, &callgraph.Unit{
+			Path:  p.Path,
+			Fset:  p.Fset,
+			Files: p.Files,
+			Info:  p.Info,
+		})
+	}
+	g := callgraph.Build(units)
+	var roots []*callgraph.Node
+	var missing []string
+	for _, want := range EngineRoots {
+		found := false
+		for _, n := range g.Nodes {
+			if n.Obj == nil || n.Decl == nil || n.Decl.Recv != nil {
+				continue
+			}
+			if path.Base(n.PkgPath)+"."+n.Obj.Name() == want {
+				roots = append(roots, n)
+				found = true
+			}
+		}
+		if !found {
+			missing = append(missing, want)
+		}
+	}
+	s := &Scope{
+		graph:   g,
+		reach:   g.ReachableFrom(roots),
+		pkgs:    map[string]bool{},
+		missing: missing,
+	}
+	for _, n := range s.reach.Nodes() {
+		s.pkgs[n.PkgPath] = true
+	}
+	return s
+}
+
+// Missing lists the EngineRoots that matched no loaded function; for a
+// whole-module load a non-empty result means a root was renamed or
+// removed and the derived scope is silently narrower than intended.
+func (s *Scope) Missing() []string {
+	if s == nil {
+		return nil
+	}
+	return s.missing
+}
+
+// Empty reports whether no root matched at all, leaving the scoped
+// analyzers without any functions to check.
+func (s *Scope) Empty() bool {
+	return s != nil && !s.all && len(s.reach.Roots) == 0
+}
+
+// FuncInScope reports whether the declared function is on the hot
+// path. A nil scope and FullScope cover everything.
+func (s *Scope) FuncInScope(fn *types.Func) bool {
+	if s == nil || s.all {
+		return true
+	}
+	return fn != nil && s.reach.Has(fn)
+}
+
+// PkgInScope reports whether the package has any reachable function,
+// which puts its package-level initializers in scope.
+func (s *Scope) PkgInScope(pkgPath string) bool {
+	if s == nil || s.all {
+		return true
+	}
+	return s.pkgs[pkgPath]
+}
+
+// Graph exposes the underlying call graph (nil under FullScope).
+func (s *Scope) Graph() *callgraph.Graph {
+	if s == nil {
+		return nil
+	}
+	return s.graph
+}
+
+// ReachableNodes returns the reachable node set sorted by ID, empty
+// under FullScope (which has no graph to enumerate).
+func (s *Scope) ReachableNodes() []*callgraph.Node {
+	if s == nil || s.all {
+		return nil
+	}
+	return s.reach.Nodes()
+}
+
+// Why explains how the function enclosing filename:line is reached
+// from an engine root: the breadth-first discovery chain rendered by
+// callgraph.FormatPath. The second result is false when the position
+// is not inside any known function, the third when the function exists
+// but is unreachable.
+func (s *Scope) Why(filename string, line int, rel func(string) string) (string, bool, bool) {
+	if s == nil || s.all || s.graph == nil {
+		return "", false, false
+	}
+	n := s.graph.EnclosingNode(filename, line)
+	if n == nil {
+		return "", false, false
+	}
+	chain := s.reach.Path(n)
+	if chain == nil {
+		return n.Label, true, false
+	}
+	return callgraph.FormatPath(chain, rel), true, true
+}
+
+// FuncDeclInScope resolves a declaration to its function object and
+// asks the pass's scope. Declarations that fail to resolve stay in
+// scope: a strict gate must not lose findings to a type-checker gap.
+func (p *Pass) FuncDeclInScope(fd *ast.FuncDecl) bool {
+	if p.Scope == nil || p.Scope.all {
+		return true
+	}
+	fn, ok := p.Info.Defs[fd.Name].(*types.Func)
+	if !ok {
+		return true
+	}
+	if fn.Name() == "init" && fd.Recv == nil {
+		// init functions run with the package; scope them like
+		// package-level declarations.
+		return p.Scope.PkgInScope(p.PkgPath)
+	}
+	return p.Scope.FuncInScope(fn)
+}
+
+// FileInScope reports whether any function declared in the file is in
+// scope — the granularity at which import-level findings (wallclock's
+// math/rand rule) apply.
+func (p *Pass) FileInScope(f *ast.File) bool {
+	if p.Scope == nil || p.Scope.all {
+		return true
+	}
+	for _, d := range f.Decls {
+		if fd, ok := d.(*ast.FuncDecl); ok && p.FuncDeclInScope(fd) {
+			return true
+		}
+	}
+	// A file with no function declarations (pure tables) is in scope
+	// with its package.
+	hasFunc := false
+	for _, d := range f.Decls {
+		if _, ok := d.(*ast.FuncDecl); ok {
+			hasFunc = true
+			break
+		}
+	}
+	return !hasFunc && p.Scope.PkgInScope(p.PkgPath)
+}

@@ -6,30 +6,17 @@ import (
 	"go/types"
 )
 
-// deterministicPathPkgs names the packages (by final import-path
-// segment) whose outputs feed the synthesized design point directly.
-// PR 1's serial-vs-parallel identity and the paper's tie-break-aware
-// argmin (Algorithm 1, §4) are only as deterministic as iteration order
-// in these packages.
-var deterministicPathPkgs = map[string]bool{
-	"core":      true,
-	"route":     true,
-	"partition": true,
-	"topology":  true,
-	"graph":     true,
-	"pareto":    true,
-	"soc":       true,
-}
-
 // disableSortedKeysExemption is a test hook: internal/analysis tests
 // flip it to prove the sorted-key-collection exemption is load-bearing
 // (with it disabled, maprange must flag internal/soc/usecase.go).
 var disableSortedKeysExemption bool
 
-// MapRange flags `range` over a map in deterministic-path packages. Go
-// randomizes map iteration order, so any such loop whose effect depends
-// on visit order silently breaks reproducible sweeps. Two shapes are
-// exempt because they provably do not depend on order:
+// MapRange flags `range` over a map in functions on the engine hot
+// path — the set reachable from EngineRoots, derived by the detflow
+// call-graph layer. Go randomizes map iteration order, so any such
+// loop whose effect depends on visit order silently breaks
+// reproducible sweeps. Two shapes are exempt because they provably do
+// not depend on order:
 //
 //   - key collection: every statement appends the iteration variables
 //     to slices that are sorted later in the same function (the idiom
@@ -39,21 +26,17 @@ var disableSortedKeysExemption bool
 //     touches a distinct entry.
 var MapRange = &Analyzer{
 	Name: "maprange",
-	Doc: "flags unordered map iteration in deterministic-path packages " +
-		"(core, route, partition, topology, graph, pareto, soc) unless the " +
-		"body only collects keys that are later sorted or only performs " +
-		"per-key commuting map writes",
+	Doc: "flags unordered map iteration in functions reachable from the " +
+		"engine roots unless the body only collects keys that are later " +
+		"sorted or only performs per-key commuting map writes",
 	Run: runMapRange,
 }
 
 func runMapRange(p *Pass) {
-	if !deterministicPathPkgs[p.PkgBase()] {
-		return
-	}
 	for _, f := range p.Files {
 		for _, decl := range f.Decls {
 			fd, ok := decl.(*ast.FuncDecl)
-			if !ok || fd.Body == nil {
+			if !ok || fd.Body == nil || !p.FuncDeclInScope(fd) {
 				continue
 			}
 			ast.Inspect(fd.Body, func(n ast.Node) bool {
@@ -77,7 +60,7 @@ func runMapRange(p *Pass) {
 				if commutingMapWrites(p, rs) {
 					return true
 				}
-				p.Reportf(rs.For, "range over map %s has nondeterministic iteration order on a deterministic path; collect the keys into a slice and sort it, or iterate a sorted index", types.ExprString(rs.X))
+				p.Reportf(rs.For, "range over map %s has nondeterministic iteration order on the engine hot path; collect the keys into a slice and sort it, or iterate a sorted index", types.ExprString(rs.X))
 				return true
 			})
 		}

@@ -1,0 +1,163 @@
+package analysis
+
+import (
+	"crypto/sha256"
+	"fmt"
+	"go/constant"
+	"go/types"
+	"path"
+	"strconv"
+	"strings"
+)
+
+// A Surface is the digest of the engine's hot-path source: every
+// function reachable from EngineRoots, printed comment-free through
+// go/printer and hashed in sorted node-ID order. Because the print is
+// format-normalized, the digest tracks code semantics-carrying text —
+// not comments, not whitespace — and because the node set is the
+// derived scope, it grows and shrinks with the call graph
+// automatically. The checked-in artifacts/engine-surface.sum pairs the
+// digest with the cache.EngineVersion it was recorded under, turning
+// the "bump EngineVersion when synthesis semantics change" convention
+// into a mechanical gate: change the surface without touching the
+// version and the ci check refuses.
+type Surface struct {
+	// EngineVersion is cache.EngineVersion as seen in the analyzed
+	// module (read through the type-checker so fixture modules carry
+	// their own).
+	EngineVersion int
+	// Digest is "sha256:<hex>" over the sorted reachable node sources.
+	Digest string
+	// Functions counts the reachable nodes, a human-scale hint of how
+	// large the surface is.
+	Functions int
+}
+
+// ComputeSurface derives the hot-path scope over the loaded packages
+// and digests it. The load must cover the module root (the engine
+// roots and the cache package must be present).
+func ComputeSurface(pkgs []*Package) (*Surface, error) {
+	scope := DeriveScope(pkgs)
+	if scope.Empty() {
+		return nil, fmt.Errorf("no engine root matched the loaded packages; load the module root (./...)")
+	}
+	version, err := engineVersionOf(pkgs)
+	if err != nil {
+		return nil, err
+	}
+	h := sha256.New()
+	nodes := scope.ReachableNodes()
+	for _, n := range nodes {
+		// besteffort: hash.Hash writes are documented never to fail.
+		fmt.Fprintf(h, "-- %s --\n", n.ID)
+		if err := n.PrintSource(h); err != nil {
+			return nil, fmt.Errorf("printing %s: %w", n.ID, err)
+		}
+		// besteffort: hash.Hash writes are documented never to fail.
+		fmt.Fprintf(h, "\n")
+	}
+	return &Surface{
+		EngineVersion: version,
+		Digest:        fmt.Sprintf("sha256:%x", h.Sum(nil)),
+		Functions:     len(nodes),
+	}, nil
+}
+
+// engineVersionOf reads the EngineVersion constant from the analyzed
+// module's cache package (matched, like every scoped table, on the
+// final import-path segment).
+func engineVersionOf(pkgs []*Package) (int, error) {
+	for _, p := range pkgs {
+		if path.Base(p.Path) != "cache" || p.Types == nil {
+			continue
+		}
+		obj := p.Types.Scope().Lookup("EngineVersion")
+		c, ok := obj.(*types.Const)
+		if !ok {
+			continue
+		}
+		v, ok := constant.Int64Val(constant.ToInt(c.Val()))
+		if !ok {
+			return 0, fmt.Errorf("%s.EngineVersion is not an integer constant", p.Path)
+		}
+		return int(v), nil
+	}
+	return 0, fmt.Errorf("no cache package with an EngineVersion constant in the load; the surface gate needs it")
+}
+
+// Format renders the sum-file form:
+//
+//	engine-version: 1
+//	functions: 212
+//	surface: sha256:abcd...
+func (s *Surface) Format() string {
+	return fmt.Sprintf("engine-version: %d\nfunctions: %d\nsurface: %s\n", s.EngineVersion, s.Functions, s.Digest)
+}
+
+// ParseSurfaceFile parses the sum-file form back; unknown keys are
+// rejected so a corrupted file fails loudly.
+func ParseSurfaceFile(data []byte) (*Surface, error) {
+	s := &Surface{}
+	seen := map[string]bool{}
+	for _, line := range strings.Split(strings.TrimSpace(string(data)), "\n") {
+		key, val, ok := strings.Cut(line, ":")
+		if !ok {
+			return nil, fmt.Errorf("malformed surface sum line %q", line)
+		}
+		key = strings.TrimSpace(key)
+		val = strings.TrimSpace(val)
+		seen[key] = true
+		switch key {
+		case "engine-version":
+			v, err := strconv.Atoi(val)
+			if err != nil {
+				return nil, fmt.Errorf("bad engine-version %q", val)
+			}
+			s.EngineVersion = v
+		case "functions":
+			v, err := strconv.Atoi(val)
+			if err != nil {
+				return nil, fmt.Errorf("bad functions count %q", val)
+			}
+			s.Functions = v
+		case "surface":
+			s.Digest = val
+		default:
+			return nil, fmt.Errorf("unknown surface sum key %q", key)
+		}
+	}
+	for _, k := range []string{"engine-version", "surface"} {
+		if !seen[k] {
+			return nil, fmt.Errorf("surface sum missing %q", k)
+		}
+	}
+	return s, nil
+}
+
+// CheckSurface compares the freshly computed surface against the
+// recorded one. The three failure shapes get distinct messages because
+// they demand different actions:
+//
+//   - surface changed, version unchanged: the gate's reason to exist —
+//     hot-path semantics moved and stale cached responses would be
+//     served under the old version; bump cache.EngineVersion.
+//   - surface and version both changed: the bump happened; re-record
+//     the sum file.
+//   - version changed alone: a bump without a semantic change (or a
+//     stale file); re-record.
+func CheckSurface(current, recorded *Surface) error {
+	digestChanged := current.Digest != recorded.Digest
+	versionChanged := current.EngineVersion != recorded.EngineVersion
+	switch {
+	case digestChanged && !versionChanged:
+		return fmt.Errorf("engine surface changed (%d hot-path functions, digest %s != recorded %s) without a cache.EngineVersion bump: cached design points recorded under version %d would go stale silently; bump cache.EngineVersion and run noclint -surface update",
+			current.Functions, current.Digest, recorded.Digest, recorded.EngineVersion)
+	case digestChanged && versionChanged:
+		return fmt.Errorf("engine surface and cache.EngineVersion both changed (now version %d); run noclint -surface update to re-record artifacts/engine-surface.sum",
+			current.EngineVersion)
+	case versionChanged:
+		return fmt.Errorf("cache.EngineVersion changed to %d with an unchanged surface; run noclint -surface update to re-record (or drop the gratuitous bump)",
+			current.EngineVersion)
+	}
+	return nil
+}

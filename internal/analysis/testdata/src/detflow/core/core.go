@@ -1,0 +1,32 @@
+// Package core is the detflow fixture's engine entry point: Synthesize
+// matches the core.Synthesize engine root, and everything it reaches —
+// a static cross-package call, an interface dispatch, and a func-value
+// call — lands in the derived scope. The twin package unreached holds
+// identical code that no root reaches and must stay silent.
+package core
+
+import (
+	"fixture/detflow/helper"
+)
+
+// Metric is dispatched through an interface so the fixture exercises
+// the call graph's conservative interface resolution: helper.Cost
+// implements it, so Cost.Score is reachable.
+type Metric interface {
+	Score(xs []int) int
+}
+
+// Synthesize is the engine root. Its own map range is flagged, as are
+// the sites in helper it reaches transitively.
+func Synthesize(m map[int]int, ms []Metric) int {
+	total := 0
+	for _, v := range m { // want maprange "range over map m"
+		total += v
+	}
+	total += helper.Sum(m)
+	for _, me := range ms {
+		total += me.Score(nil)
+	}
+	f := helper.Pick()
+	return total + f(total)
+}

@@ -1,0 +1,43 @@
+// Package helper is reachable from the fixture's core.Synthesize root
+// three ways: Sum statically, Cost.Score through the Metric interface,
+// and double through the func value Pick returns. All three carry a
+// finding the derived scope must surface.
+package helper
+
+import "time"
+
+func Sum(m map[int]int) int {
+	s := 0
+	for _, v := range m { // want maprange "range over map m"
+		s += v
+	}
+	return s
+}
+
+// Cost implements core.Metric; the interface dispatch in Synthesize
+// pulls Score (and its callee stamp) into the reachable set.
+type Cost struct{}
+
+func (Cost) Score(xs []int) int {
+	return stamp() + len(xs)
+}
+
+func stamp() int {
+	return int(time.Now().UnixNano()) // want wallclock "time.Now on the engine hot path"
+}
+
+// Pick hands back a func value; the dynamic-call resolution matches
+// double (address-taken here, signature-compatible with the call in
+// Synthesize) into the reachable set.
+func Pick() func(int) int {
+	return double
+}
+
+func double(x int) int {
+	seen := map[int]bool{x: true}
+	n := 0
+	for k := range seen { // want maprange "range over map seen"
+		n += k
+	}
+	return n
+}

@@ -1,0 +1,27 @@
+// Package unreached is the negative half of the detflow fixture: the
+// same shapes that are flagged in core and helper, in a package no
+// engine root reaches. The derived scope must keep maprange, wallclock
+// and bannedcall silent here — the file carries no want annotations, so
+// any diagnostic fails the golden test.
+package unreached
+
+import (
+	"math/rand"
+	"time"
+)
+
+func Sum(m map[int]int) int {
+	s := 0
+	for _, v := range m {
+		s += v
+	}
+	return s
+}
+
+func Stamp() int64 {
+	return time.Now().UnixNano()
+}
+
+func Roll() int {
+	return rand.Intn(6)
+}

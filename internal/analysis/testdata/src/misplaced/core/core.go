@@ -1,0 +1,14 @@
+// Package core exercises misplaced-suppression reporting: the
+// directive below names a real analyzer (floateq) but sits on a line
+// whose only finding belongs to maprange — it neither suppresses nor
+// ages out, and -unused must call it misplaced.
+package core
+
+func Values(m map[int]int) []int {
+	var out []int
+	//noclint:ignore floateq wrong analyzer: the finding below is maprange's
+	for _, v := range m {
+		out = append(out, v)
+	}
+	return out
+}

@@ -1,0 +1,7 @@
+// Package graph mimics the real graph package: its Scratch is a pooled
+// arena type (matched by package base + type name).
+package graph
+
+type Scratch struct {
+	Buf []int
+}

@@ -1,0 +1,23 @@
+// Package route mimics the real route package: Router is
+// Reset-recycled and pins a scratch pointer via SetScratch.
+package route
+
+import "fixture/poolescape/graph"
+
+type Router struct {
+	scratch *graph.Scratch
+}
+
+// New returns a fresh Router; constructor results are creation, not
+// escape, so callers may store them anywhere.
+func New() *Router { return &Router{} }
+
+// SetScratch pins the router to its worker's arena.
+func (r *Router) SetScratch(s *graph.Scratch) { r.scratch = s }
+
+// LeakScratch extracts the pinned scratch out of a pooled object: the
+// root of the chain is itself pooled, so the reference crosses the
+// pooling boundary.
+func LeakScratch(r *Router) *graph.Scratch {
+	return r.scratch // want poolescape "return of pooled *graph.Scratch extracted from route.Router"
+}

@@ -1,0 +1,10 @@
+// Package topology mimics the real topology package: Topology is
+// Reset-recycled, so references to one are pooled state.
+package topology
+
+type Topology struct {
+	Routers int
+}
+
+// Reset recycles the object for the next design point.
+func (t *Topology) Reset() { t.Routers = 0 }

@@ -1,0 +1,95 @@
+// Package worker exercises the three poolescape escape shapes —
+// global store, non-arena field store, boundary return — against the
+// sanctioned arena idioms, which must all stay clean.
+package worker
+
+import (
+	"fixture/poolescape/graph"
+	"fixture/poolescape/route"
+	"fixture/poolescape/topology"
+)
+
+// buildContext is an arena container: it owns a scratch by value, so
+// stores into its fields and returns rooted at it are the pooling
+// boundary itself, not an escape.
+type buildContext struct {
+	scratch graph.Scratch
+	top     *topology.Topology
+	router  *route.Router
+}
+
+// Server is NOT an arena container — it holds only pointers — so
+// parking a pooled reference in one of its fields outlives the arena.
+type Server struct {
+	router *route.Router
+	tops   map[string]*topology.Topology
+}
+
+var leakedTop *topology.Topology
+var leakedScratch *graph.Scratch
+var registry = map[string]*route.Router{}
+
+func globalEscape(bc *buildContext) {
+	leakedTop = bc.top // want poolescape "pooled *topology.Topology stored into package-level var leakedTop"
+}
+
+func globalAddrEscape(bc *buildContext) {
+	leakedScratch = &bc.scratch // want poolescape "graph.Scratch reference stored into package-level var leakedScratch"
+}
+
+func globalIndexEscape(bc *buildContext, name string) {
+	registry[name] = bc.router // want poolescape "pooled *route.Router stored into package-level var registry"
+}
+
+func fieldEscape(s *Server, bc *buildContext) {
+	s.router = bc.router // want poolescape "pooled *route.Router stored into field router of non-arena type worker.Server"
+}
+
+type result struct {
+	top *topology.Topology
+}
+
+func returnEscape(r *result) *topology.Topology {
+	return r.top // want poolescape "return of pooled *topology.Topology extracted from worker.result"
+}
+
+// --- sanctioned idioms below: no annotations, any finding fails ---
+
+// takeTop is the arena handoff: a field store into the container and a
+// return rooted at a pointer-to-container parameter are both clean.
+func takeTop(bc *buildContext) *topology.Topology {
+	if bc.top == nil {
+		bc.top = &topology.Topology{}
+	}
+	return bc.top
+}
+
+// takeRouter wires a fresh router to the worker's own scratch; the
+// constructor result and the SetScratch call never leave the arena.
+func takeRouter(bc *buildContext) *route.Router {
+	if bc.router == nil {
+		bc.router = route.New()
+		bc.router.SetScratch(&bc.scratch)
+	}
+	return bc.router
+}
+
+// fresh values are creation, not escape, even stored globally.
+func fresh() *route.Router { return route.New() }
+
+// passThrough returns its own parameter unchanged: plumbing, not
+// extraction.
+func passThrough(t *topology.Topology) *topology.Topology {
+	if t == nil {
+		return &topology.Topology{}
+	}
+	return t
+}
+
+// localUse keeps every pooled reference inside the arena's lifetime.
+func localUse(bc *buildContext) int {
+	t := takeTop(bc)
+	r := takeRouter(bc)
+	_ = r
+	return t.Routers + len(bc.scratch.Buf)
+}

@@ -6,72 +6,32 @@ import (
 	"strconv"
 )
 
-// synthesisPathPkgs names the packages (by final import-path segment)
-// that execute between spec and synthesized design point. A wall-clock
-// read or an unseeded RNG in any of them makes two runs of the same
-// sweep diverge, which breaks the serial-vs-parallel identity tests and
-// every frozen-router equivalence check. CLIs, benchmarks and the
-// profiling harness (cmd/*, examples/*, internal/prof, internal/bench,
-// internal/experiments) may time things; the synthesis path may not.
-var synthesisPathPkgs = map[string]bool{
-	"core":      true,
-	"route":     true,
-	"partition": true,
-	"topology":  true,
-	"graph":     true,
-	"pareto":    true,
-	"soc":       true,
-	"vcg":       true,
-	"wormhole":  true,
-	"deadlock":  true,
-	"skeleton":  true,
-	"verify":    true,
-	"mesh":      true,
-	"floorplan": true,
-	"viplace":   true,
-	"model":     true,
-	"power":     true,
-	"specgen":   true,
-	"sim":       true,
-	"fault":     true,
-	"netlist":   true,
-	"export":    true,
-	"specio":    true,
-}
-
 // wallClockFuncs are the package time functions that read the wall
 // clock. time.Duration arithmetic and constants stay allowed.
 var wallClockFuncs = map[string]bool{"Now": true, "Since": true, "Until": true}
 
 // WallClock flags wall-clock reads (time.Now, time.Since, time.Until)
-// and any import of math/rand or math/rand/v2 inside synthesis-path
-// packages. Randomness in the sweep must come from an explicitly seeded
-// generator owned by the caller (the specgen package derives its
-// streams from a spec-supplied seed); the global math/rand state and
-// the wall clock are process-wide and unrepeatable.
+// and any import of math/rand or math/rand/v2 in code on the engine
+// hot path — the function set reachable from EngineRoots, derived by
+// the detflow call-graph layer. A wall-clock read or an unseeded RNG
+// anywhere between spec and synthesized design point makes two runs of
+// the same sweep diverge, which breaks the serial-vs-parallel identity
+// tests and every frozen-router equivalence check. CLIs, benchmarks
+// and the profiling harness never appear in the reachable set, so they
+// may time things freely; randomness on the hot path must come from an
+// explicitly seeded generator owned by the caller (the specgen package
+// derives its streams from a spec-supplied seed).
 var WallClock = &Analyzer{
 	Name: "wallclock",
-	Doc: "flags time.Now/Since/Until and math/rand imports in " +
-		"synthesis-path packages, which would break reproducible sweeps " +
-		"and the serial-vs-parallel identity tests",
+	Doc: "flags time.Now/Since/Until and math/rand imports in functions " +
+		"reachable from the engine roots, which would break reproducible " +
+		"sweeps and the serial-vs-parallel identity tests",
 	Run: runWallClock,
 }
 
 func runWallClock(p *Pass) {
-	if !synthesisPathPkgs[p.PkgBase()] {
-		return
-	}
-	for _, f := range p.Files {
-		for _, imp := range f.Imports {
-			path, err := strconv.Unquote(imp.Path.Value)
-			if err != nil {
-				continue
-			}
-			if path == "math/rand" || path == "math/rand/v2" {
-				p.Reportf(imp.Pos(), "import of %s in a synthesis-path package: process-global randomness makes sweeps unrepeatable; thread an explicitly seeded generator through the API instead", path)
-			}
-		}
-		ast.Inspect(f, func(n ast.Node) bool {
+	check := func(n ast.Node) {
+		ast.Inspect(n, func(n ast.Node) bool {
 			sel, ok := n.(*ast.SelectorExpr)
 			if !ok {
 				return true
@@ -81,9 +41,36 @@ func runWallClock(p *Pass) {
 				return true
 			}
 			if fn.Pkg().Path() == "time" && wallClockFuncs[fn.Name()] {
-				p.Reportf(sel.Pos(), "time.%s in a synthesis-path package reads the wall clock; results must depend only on the spec and options for sweeps to be reproducible", fn.Name())
+				p.Reportf(sel.Pos(), "time.%s on the engine hot path reads the wall clock; results must depend only on the spec and options for sweeps to be reproducible", fn.Name())
 			}
 			return true
 		})
+	}
+	for _, f := range p.Files {
+		if p.FileInScope(f) {
+			for _, imp := range f.Imports {
+				path, err := strconv.Unquote(imp.Path.Value)
+				if err != nil {
+					continue
+				}
+				if path == "math/rand" || path == "math/rand/v2" {
+					p.Reportf(imp.Pos(), "import of %s in a hot-path file: process-global randomness makes sweeps unrepeatable; thread an explicitly seeded generator through the API instead", path)
+				}
+			}
+		}
+		for _, decl := range f.Decls {
+			switch decl := decl.(type) {
+			case *ast.FuncDecl:
+				if decl.Body != nil && p.FuncDeclInScope(decl) {
+					check(decl.Body)
+				}
+			case *ast.GenDecl:
+				// Package-level initializers run with the package; in
+				// scope as soon as any function of the package is.
+				if p.Scope.PkgInScope(p.PkgPath) {
+					check(decl)
+				}
+			}
+		}
 	}
 }

@@ -324,6 +324,7 @@ func decodePoint(d *dec, spec *soc.Spec, lib *model.Library) (*core.DesignPoint,
 	if err != nil {
 		return nil, err
 	}
+	//noclint:ignore poolescape the decoded topology is freshly allocated by decodeTopology, never Reset-recycled
 	p.Top = top
 	p.Placement = decodePlacement(d)
 	decodeBreakdown(d, &p.NoCPower)

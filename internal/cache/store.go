@@ -354,6 +354,7 @@ func (s *Store) evictLocked(justPut string) {
 	for s.total > s.maxBytes {
 		victim := ""
 		var ve *entry
+		//noclint:ignore maprange victim selection is an argmin with a total (last, name) tie-break; visit order cannot change the winner
 		for name, e := range s.entries {
 			if e.refs > 0 || name == justPut {
 				continue

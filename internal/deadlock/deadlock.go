@@ -40,9 +40,11 @@ func (r *Report) Free() bool { return len(r.Cycle) == 0 }
 // String formats the report for logs.
 func (r *Report) String() string {
 	if r.Free() {
+		//noclint:ignore bannedcall log-message formatting in String, not a cache key
 		return fmt.Sprintf("deadlock-free: %d channels, %d dependencies, CDG acyclic",
 			r.Channels, r.Dependencies)
 	}
+	//noclint:ignore bannedcall log-message formatting in String, not a cache key
 	return fmt.Sprintf("DEADLOCK RISK: cyclic channel dependency through links %v", r.Cycle)
 }
 

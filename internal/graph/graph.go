@@ -55,7 +55,7 @@ func (g *Directed) AddEdge(u, v int, w float64) {
 	g.check(u)
 	g.check(v)
 	if u == v {
-		panic(fmt.Sprintf("graph: self loop on %d", u))
+		panic(fmt.Sprintf("graph: self loop on %d", u)) //noclint:ignore bannedcall cold-path validation panic, not a cache key
 	}
 	for i := range g.adj[u] {
 		if g.adj[u][i].to == v {
@@ -83,7 +83,7 @@ func (g *Directed) AddArc(u, v int, w float64) {
 	g.check(u)
 	g.check(v)
 	if u == v {
-		panic(fmt.Sprintf("graph: self loop on %d", u))
+		panic(fmt.Sprintf("graph: self loop on %d", u)) //noclint:ignore bannedcall cold-path validation panic, not a cache key
 	}
 	g.adj[u] = append(g.adj[u], halfEdge{to: v, w: w})
 	g.in[v] = append(g.in[v], halfEdge{to: u, w: w})
@@ -170,7 +170,7 @@ func (g *Directed) Undirect() *Undirected {
 
 func (g *Directed) check(u int) {
 	if u < 0 || u >= g.n {
-		panic(fmt.Sprintf("graph: vertex %d out of range [0,%d)", u, g.n))
+		panic(fmt.Sprintf("graph: vertex %d out of range [0,%d)", u, g.n)) //noclint:ignore bannedcall cold-path validation panic, not a cache key
 	}
 }
 
@@ -202,7 +202,7 @@ func (g *Undirected) AddEdge(u, v int, w float64) {
 		panic("graph: vertex out of range")
 	}
 	if u == v {
-		panic(fmt.Sprintf("graph: self loop on %d", u))
+		panic(fmt.Sprintf("graph: self loop on %d", u)) //noclint:ignore bannedcall cold-path validation panic, not a cache key
 	}
 	for i := range g.adj[u] {
 		if g.adj[u][i].to == v {
@@ -522,7 +522,7 @@ func (g *Directed) ShortestPathScratch(sc *Scratch, src, dst int, cost CostFunc)
 // resolve identically to the materialized equivalent.
 func (sc *Scratch) ShortestPathDense(n int, rank []int8, src, dst int, cost CostFunc) ([]int, float64) {
 	if src < 0 || src >= n || dst < 0 || dst >= n {
-		panic(fmt.Sprintf("graph: vertex out of range [0,%d)", n))
+		panic(fmt.Sprintf("graph: vertex out of range [0,%d)", n)) //noclint:ignore bannedcall cold-path validation panic, not a cache key
 	}
 	sc.begin(n)
 	sc.dist[src] = 0

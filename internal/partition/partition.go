@@ -401,7 +401,7 @@ func Sizes(part []int, k int) []int {
 	size := make([]int, k)
 	for _, p := range part {
 		if p < 0 || p >= k {
-			panic(fmt.Sprintf("partition: part id %d out of range [0,%d)", p, k)) //noclint:ignore bannedcall cold-path validation panic, not a cache key
+			panic(fmt.Sprintf("partition: part id %d out of range [0,%d)", p, k))
 		}
 		size[p]++
 	}

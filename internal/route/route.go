@@ -303,6 +303,7 @@ func (r *Router) Route(f soc.Flow) error {
 	if path == nil {
 		lat := "unconstrained"
 		if f.MaxLatencyCycles > 0 {
+			//noclint:ignore bannedcall error-path message formatting, not a cache key
 			lat = fmt.Sprintf("lat<=%.0f", f.MaxLatencyCycles)
 		}
 		return fmt.Errorf("route: no feasible path for flow %d->%d (%.0f MB/s, %s)",

@@ -251,7 +251,7 @@ func (t *Topology) SetIslandVoltage(id soc.IslandID, v float64) {
 // Pass indirect=true only for switches in the intermediate island.
 func (t *Topology) AddSwitch(island soc.IslandID, indirect bool) SwitchID {
 	if int(island) >= len(t.IslandFreqHz) || island < 0 {
-		panic(fmt.Sprintf("topology: switch in unknown island %d", island))
+		panic(fmt.Sprintf("topology: switch in unknown island %d", island)) //noclint:ignore bannedcall cold-path validation panic, not a cache key
 	}
 	if t.indexStale() {
 		t.reindex()
