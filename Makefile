@@ -10,9 +10,9 @@
 # stay bit-identical to cold).
 GO ?= go
 
-.PHONY: ci vet fmt lint surface build test race bench bench-analysis bench-smoke bench-all campaign-smoke cache-smoke
+.PHONY: ci vet fmt lint surface build test race bench bench-analysis bench-smoke bench-all campaign-smoke cache-smoke prune-smoke
 
-ci: vet fmt lint surface build race bench-smoke campaign-smoke cache-smoke
+ci: vet fmt lint surface build race bench-smoke campaign-smoke cache-smoke prune-smoke
 
 vet:
 	$(GO) vet ./...
@@ -72,7 +72,7 @@ BENCH_LANES := $(shell if [ $(NPROC) -ge 8 ]; then echo 1,2,4,8; \
 # pre-optimization baselines.
 bench:
 	$(GO) test -bench=RouteAll -cpu=$(BENCH_LANES) -benchmem -run='^$$' . | $(GO) run ./tools/bench2json -o BENCH_routing.json
-	$(GO) test -bench='SynthesizeParallel|SynthesizeCached' -cpu=$(BENCH_LANES) -benchmem -run='^$$' . | $(GO) run ./tools/bench2json -o BENCH_synthesize.json
+	$(GO) test -bench='SynthesizeParallel|SynthesizeCached|SynthesizePrune' -cpu=$(BENCH_LANES) -benchmem -run='^$$' . | $(GO) run ./tools/bench2json -o BENCH_synthesize.json
 	$(GO) test -bench='CallGraph|AnalyzeModule' -benchmem -run='^$$' ./internal/analysis/callgraph ./cmd/noclint | $(GO) run ./tools/bench2json -o BENCH_analysis.json
 
 # bench-analysis re-measures only the static-analysis lane: call-graph
@@ -135,3 +135,14 @@ cache-smoke:
 	rm -rf $$dir; exit $$rc
 	$(GO) test -run 'TestWarmStartIdenticalToCold|TestSynthesizeCachedIdentityOnSuite' ./internal/cache/
 	$(GO) test -bench=SynthesizeCached -benchtime=3x -run='^$$' . | $(GO) run ./tools/bench2json -o '' -cache-floor 5
+
+# prune-smoke gates the branch-and-bound layer end-to-end: the winner
+# identity tests (pruned sweep vs -no-prune oracle across worker
+# counts), then the SynthesizePrune bench lanes through bench2json
+# -prune-floor — the pruned d48 sweep must beat the exhaustive one by
+# at least 1.3x with a nonzero pruned fraction. The speedup is
+# algorithmic, not parallel, so the floor holds even on a single-CPU
+# runner.
+prune-smoke:
+	$(GO) test -run 'TestSynthesizeOracleIdentity|TestBoundsAdmissibility' ./internal/core/
+	$(GO) test -bench=SynthesizePrune -benchtime=3x -run='^$$' . | $(GO) run ./tools/bench2json -o '' -prune-floor 1.3

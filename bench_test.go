@@ -241,9 +241,54 @@ func BenchmarkSynthesizeParallel(b *testing.B) {
 				if err != nil {
 					b.Fatal(err)
 				}
-				if res.Evaluated != 5000 {
-					b.Fatalf("evaluated %d of the 5000-candidate prefix", res.Evaluated)
+				if res.Explored != 5000 {
+					b.Fatalf("explored %d of the 5000-candidate prefix", res.Explored)
 				}
+			}
+		})
+	}
+}
+
+// BenchmarkSynthesizePrune measures the branch-and-bound payoff on the
+// d48 full-factorial sweep in the pre-layout estimation mode
+// (Floorplan.SkipAnnotate), where link power is length-independent and
+// the admissible bounds are at their tightest. Both lanes sweep the
+// identical candidate space and agree on every winner; the prune lane
+// additionally reports the fraction of candidates the layer discarded
+// (pruned_frac), which bench2json folds into the record's "prune"
+// section and `make prune-smoke` gates with -prune-floor.
+func BenchmarkSynthesizePrune(b *testing.B) {
+	spec, err := bench.Islanded("d48_network")
+	if err != nil {
+		b.Fatal(err)
+	}
+	lib := model.Default65nm()
+	for _, lane := range []struct {
+		name    string
+		noPrune bool
+	}{{"prune", false}, {"noprune", true}} {
+		b.Run("d48_sweep/"+lane.name, func(b *testing.B) {
+			var frac float64
+			for i := 0; i < b.N; i++ {
+				res, err := core.SynthesizeSweep(context.Background(), spec, lib, core.Options{
+					AllowIntermediate:       true,
+					MaxIntermediateSwitches: 3,
+					NoPrune:                 lane.noPrune,
+					Floorplan:               floorplan.Options{SkipAnnotate: true},
+				}, core.SweepOptions{WidthPerIsland: 3})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.Explored == 0 || res.BestPowerPoint == nil {
+					b.Fatal("sweep found nothing")
+				}
+				frac = float64(res.PruneStats.Pruned()) / float64(res.Explored)
+			}
+			if !lane.noPrune {
+				if frac == 0 {
+					b.Fatal("prune lane pruned nothing")
+				}
+				b.ReportMetric(frac, "pruned_frac")
 			}
 		})
 	}

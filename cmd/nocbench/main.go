@@ -35,6 +35,7 @@ func main() {
 	out := flag.String("out", "", "directory to write DOT/SVG artifacts to (optional)")
 	width := flag.Int("width", 32, "NoC link data width in bits")
 	workers := flag.Int("workers", 0, "design-point evaluation goroutines per synthesis (0 = GOMAXPROCS, 1 = serial)")
+	noPrune := flag.Bool("no-prune", false, "disable branch-and-bound pruning of the design-space sweeps")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file (go tool pprof)")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	cacheDir := flag.String("cache-dir", "", "content-addressed result cache directory (default $"+cache.EnvDir+"; empty = off)")
@@ -49,6 +50,7 @@ func main() {
 	experiments.Cache = store
 
 	experiments.Workers = *workers
+	experiments.NoPrune = *noPrune
 	lib := model.Default65nm()
 	lib.LinkWidthBits = *width
 	stopProf, err := prof.Start(*cpuProfile, *memProfile)

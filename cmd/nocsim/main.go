@@ -27,19 +27,20 @@ func main() {
 	offList := flag.String("off", "", "comma-separated island IDs to power gate")
 	tracePath := flag.String("trace", "", "write a per-packet CSV trace to this file")
 	workers := flag.Int("workers", 0, "design-point evaluation goroutines (0 = GOMAXPROCS, 1 = serial)")
+	noPrune := flag.Bool("no-prune", false, "disable branch-and-bound pruning of the design-space sweep")
 	campaign := flag.Bool("campaign", false, "run the power-state fault campaign (with simulator verification) instead of one simulation")
 	campaignStates := flag.Int("campaign-states", 0, "power-state cap for -campaign (0 = default, sampled above it)")
 	cacheDir := flag.String("cache-dir", "", "content-addressed result cache directory (default $"+nocvi.CacheEnvDir+"; empty = off)")
 	noCache := flag.Bool("no-cache", false, "disable the result cache even when configured")
 	flag.Parse()
 
-	if err := run(*benchName, *method, *islands, *duration, *scale, *offList, *tracePath, *workers, *campaign, *campaignStates, *cacheDir, *noCache); err != nil {
+	if err := run(*benchName, *method, *islands, *duration, *scale, *offList, *tracePath, *workers, *noPrune, *campaign, *campaignStates, *cacheDir, *noCache); err != nil {
 		fmt.Fprintln(os.Stderr, "nocsim:", err)
 		os.Exit(1)
 	}
 }
 
-func run(benchName, method string, islands int, duration, scale float64, offList, tracePath string, workers int, campaign bool, campaignStates int, cacheDir string, noCache bool) error {
+func run(benchName, method string, islands int, duration, scale float64, offList, tracePath string, workers int, noPrune, campaign bool, campaignStates int, cacheDir string, noCache bool) error {
 	var spec *nocvi.Spec
 	var err error
 	if islands == 0 {
@@ -58,7 +59,7 @@ func run(benchName, method string, islands int, duration, scale float64, offList
 	if err != nil {
 		return err
 	}
-	res, err := nocvi.SynthesizeCached(context.Background(), store, spec, nocvi.DefaultLibrary(), nocvi.Options{AllowIntermediate: true, Workers: workers})
+	res, err := nocvi.SynthesizeCached(context.Background(), store, spec, nocvi.DefaultLibrary(), nocvi.Options{AllowIntermediate: true, Workers: workers, NoPrune: noPrune})
 	if err != nil {
 		return err
 	}

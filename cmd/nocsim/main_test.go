@@ -7,14 +7,14 @@ import (
 )
 
 func TestRunBasic(t *testing.T) {
-	if err := run("d16_industrial", "logical", 0, 5000, 1.0, "", "", 0, false, 0, "", true); err != nil {
+	if err := run("d16_industrial", "logical", 0, 5000, 1.0, "", "", 0, false, false, 0, "", true); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunWithTrace(t *testing.T) {
 	path := t.TempDir() + "/trace.csv"
-	if err := run("d16_industrial", "logical", 0, 3000, 1.0, "", path, 0, false, 0, "", true); err != nil {
+	if err := run("d16_industrial", "logical", 0, 3000, 1.0, "", path, 0, false, false, 0, "", true); err != nil {
 		t.Fatal(err)
 	}
 	data, err := os.ReadFile(path)
@@ -28,10 +28,10 @@ func TestRunWithTrace(t *testing.T) {
 
 func TestRunWithShutdown(t *testing.T) {
 	// d26 logical-6: islands 0,1,4,5 are shutdownable (2,3 hold memory).
-	if err := run("d26_media", "logical", 6, 5000, 1.0, "1", "", 0, false, 0, "", true); err != nil {
+	if err := run("d26_media", "logical", 6, 5000, 1.0, "1", "", 0, false, false, 0, "", true); err != nil {
 		t.Fatal(err)
 	}
-	if err := run("d26_media", "logical", 6, 5000, 2.0, "1,4", "", 0, false, 0, "", true); err != nil {
+	if err := run("d26_media", "logical", 6, 5000, 2.0, "1,4", "", 0, false, false, 0, "", true); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -39,23 +39,23 @@ func TestRunWithShutdown(t *testing.T) {
 func TestRunCampaign(t *testing.T) {
 	// Campaign mode replaces the single simulation: every power state is
 	// checked with the simulator, and a clean design exits zero.
-	if err := run("d16_industrial", "logical", 0, 1000, 1.0, "", "", 0, true, 0, "", true); err != nil {
+	if err := run("d16_industrial", "logical", 0, 1000, 1.0, "", "", 0, false, true, 0, "", true); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunErrors(t *testing.T) {
-	if err := run("missing", "logical", 0, 1000, 1, "", "", 0, false, 0, "", true); err == nil {
+	if err := run("missing", "logical", 0, 1000, 1, "", "", 0, false, false, 0, "", true); err == nil {
 		t.Fatal("unknown benchmark accepted")
 	}
-	if err := run("d26_media", "logical", 6, 1000, 1, "notanumber", "", 0, false, 0, "", true); err == nil {
+	if err := run("d26_media", "logical", 6, 1000, 1, "notanumber", "", 0, false, false, 0, "", true); err == nil {
 		t.Fatal("bad island id accepted")
 	}
-	if err := run("d26_media", "logical", 6, 1000, 1, "99", "", 0, false, 0, "", true); err == nil {
+	if err := run("d26_media", "logical", 6, 1000, 1, "99", "", 0, false, false, 0, "", true); err == nil {
 		t.Fatal("out-of-range island accepted")
 	}
 	// Island 2 of the logical-6 partition holds memory: never gateable.
-	if err := run("d26_media", "logical", 6, 1000, 1, "2", "", 0, false, 0, "", true); err == nil {
+	if err := run("d26_media", "logical", 6, 1000, 1, "2", "", 0, false, false, 0, "", true); err == nil {
 		t.Fatal("gating a non-shutdownable island accepted")
 	}
 }

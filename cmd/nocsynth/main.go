@@ -43,6 +43,7 @@ func main() {
 	dotPath := flag.String("dot", "", "write topology DOT to this file")
 	svgPath := flag.String("svg", "", "write floorplan SVG to this file")
 	workers := flag.Int("workers", 0, "design-point evaluation goroutines (0 = GOMAXPROCS, 1 = serial)")
+	noPrune := flag.Bool("no-prune", false, "disable branch-and-bound pruning of the design-space sweep")
 	cacheDir := flag.String("cache-dir", "", "content-addressed result cache directory (default $"+nocvi.CacheEnvDir+"; empty = off)")
 	noCache := flag.Bool("no-cache", false, "disable the result cache even when configured")
 	timeout := flag.Duration("timeout", 0, "abort synthesis after this duration (0 = none)")
@@ -62,7 +63,7 @@ func main() {
 		width: *width, node: *node, dotPath: *dotPath, svgPath: *svgPath, jsonPath: *jsonPath,
 		verilogPath: *verilogPath, verify: *doVerify, fault: *doFault,
 		campaign: *doCampaign, campaignStates: *campaignStates, campaignJSON: *campaignJSON,
-		relax: *relax, workers: *workers,
+		relax: *relax, workers: *workers, noPrune: *noPrune,
 		cacheDir: *cacheDir, noCache: *noCache,
 	}
 	// Ctrl-C / SIGTERM (and -timeout) cancel the synthesis sweep.
@@ -105,6 +106,7 @@ type runConfig struct {
 	verilogPath                   string
 	verify                        bool
 	workers                       int
+	noPrune                       bool
 	cacheDir                      string
 	noCache                       bool
 }
@@ -160,6 +162,7 @@ func run(ctx context.Context, cfg runConfig) error {
 		AllowIntermediate: mid,
 		Workers:           cfg.workers,
 		Relax:             cfg.relax,
+		NoPrune:           cfg.noPrune,
 	})
 	if err != nil {
 		return err
@@ -176,6 +179,10 @@ func run(ctx context.Context, cfg runConfig) error {
 		trunc = " (sweep truncated at the design-point cap)"
 	}
 	fmt.Printf("explored %d configurations, %d valid design points%s\n", res.Explored, res.Feasible, trunc)
+	if pruned := res.PruneStats.Pruned(); pruned > 0 {
+		fmt.Printf("branch-and-bound pruned %d of %d candidates (%d bound, %d staged)\n",
+			pruned, res.Explored, res.PruneStats.BoundPruned, res.PruneStats.StagePruned)
+	}
 	if res.Partial {
 		fmt.Printf("sweep stopped early (%s): reporting the best-so-far partial result\n", res.StopReason)
 	}

@@ -1,0 +1,26 @@
+// The bounds-shaped half of the fixture: a lower-bound helper the root
+// reaches only through the branch-and-bound pattern the engine uses —
+// an env struct built once and a method called per candidate. The
+// derived scope must follow the method value through the struct.
+package core
+
+// boundsEnv mirrors the engine's precomputed bound environment.
+type boundsEnv struct {
+	fixed map[int]int
+}
+
+// lowerBound folds the env's fixed terms with a candidate's; its map
+// range is on the hot path because Prune reaches it from the root.
+func (be *boundsEnv) lowerBound(extra int) int {
+	lb := extra
+	for _, v := range be.fixed { // want maprange "range over map be.fixed"
+		lb += v
+	}
+	return lb
+}
+
+// Prune is called from the root with the env, the engine's
+// per-candidate shape.
+func Prune(be *boundsEnv, cand int) bool {
+	return be.lowerBound(cand) > 0
+}

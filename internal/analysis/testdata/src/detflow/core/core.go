@@ -28,5 +28,9 @@ func Synthesize(m map[int]int, ms []Metric) int {
 		total += me.Score(nil)
 	}
 	f := helper.Pick()
+	be := &boundsEnv{fixed: m}
+	if Prune(be, total) {
+		total++
+	}
 	return total + f(total)
 }

@@ -33,7 +33,9 @@ import (
 
 // codecVersion participates in every full-result cache key, so a
 // layout change invalidates old entries instead of misdecoding them.
-const codecVersion = 1
+// v2: SweepResult.Evaluated became the three-way Explored count when
+// the branch-and-bound layer landed.
+const codecVersion = 2
 
 var errCorrupt = errors.New("cache: malformed encoded result")
 
@@ -630,7 +632,7 @@ func EncodeSweepResult(res *core.SweepResult) []byte {
 	e := &enc{}
 	e.u64(codecVersion)
 	e.u64(res.Size)
-	e.u64(res.Evaluated)
+	e.u64(res.Explored)
 	e.u64(res.Feasible)
 	e.bool(res.Truncated)
 	e.bool(res.Partial)
@@ -668,7 +670,7 @@ func DecodeSweepResult(data []byte, spec *soc.Spec, lib *model.Library) (*core.S
 	}
 	res := &core.SweepResult{Spec: spec}
 	res.Size = d.u64()
-	res.Evaluated = d.u64()
+	res.Explored = d.u64()
 	res.Feasible = d.u64()
 	res.Truncated = d.bool()
 	res.Partial = d.bool()

@@ -123,7 +123,7 @@ func TestSweepResultCodecRoundTrip(t *testing.T) {
 	if SweepResultDigest(res) != SweepResultDigest(dec) {
 		t.Fatal("sweep digests differ after round trip")
 	}
-	if res.Size != dec.Size || res.Evaluated != dec.Evaluated || res.Feasible != dec.Feasible ||
+	if res.Size != dec.Size || res.Explored != dec.Explored || res.Feasible != dec.Feasible ||
 		res.StopReason != dec.StopReason || res.ErrorCount != dec.ErrorCount {
 		t.Fatalf("accounting differs: %+v vs %+v", res, dec)
 	}

@@ -38,7 +38,12 @@ import (
 // even when the change is "better": a stale hit would otherwise be
 // served as current engine output. Pure performance work that the
 // identity tests prove bit-neutral does not need a bump.
-const EngineVersion = 1
+//
+// v2: the branch-and-bound layer — winners are proven bit-identical,
+// but Result.Points under pruning is the canonical kept subset and
+// SweepResult gained the Explored/PruneStats accounting, so v1 entries
+// no longer describe what the engine reports.
+const EngineVersion = 2
 
 // Entry classes: the subdirectory an artifact kind lives under. Keys
 // are only unique within a class.

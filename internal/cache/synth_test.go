@@ -238,7 +238,7 @@ func TestSweepCached(t *testing.T) {
 	// Different Limit: a different sweep key, but the same partition
 	// space — the run must skip partition resolution via warm starts.
 	sw2 := sw
-	sw2.Limit = first.Evaluated / 2
+	sw2.Limit = first.Explored / 2
 	if sw2.Limit == 0 {
 		sw2.Limit = 1
 	}

@@ -21,6 +21,12 @@ type sweepEnv struct {
 	midFreq     float64
 	islandCores [][]soc.CoreID
 	flows       []soc.Flow // decreasing-bandwidth order, shared read-only
+
+	// pruner is the shared incumbent bound of the branch-and-bound
+	// layer; nil when pruning is off (Options.NoPrune, or a
+	// MaxDesignPoints cap in Synthesize). Its atomic slots are the one
+	// piece of sweep-wide state workers write through the env.
+	pruner *incumbentPruner
 }
 
 // buildContext is one worker's reusable build arena: the pooled
@@ -46,6 +52,16 @@ type buildContext struct {
 	scratch graph.Scratch      // pinned to router, replaces pool traffic
 	fp      floorplan.Scratch
 	part    partition.Scratch // worker-owned min-cut buffers for first-touch vecParts resolution
+
+	// pruneIdx is the current candidate's sweep index, set before each
+	// evaluation; buildPoint's staged bound check only accepts incumbent
+	// witnesses with a strictly smaller index. The zero value disables
+	// staged pruning (nothing precedes candidate 0), which is exactly
+	// right for fresh contexts such as the sweep winners' rebuild.
+	// stagePruned is buildPoint's out-of-band flag that its error was
+	// errStagePruned; safeEval transfers it onto the outcome.
+	pruneIdx    uint64
+	stagePruned bool
 }
 
 // newBuildContext creates an empty arena for one worker. Buffers grow

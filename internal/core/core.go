@@ -99,6 +99,20 @@ type Options struct {
 	// sweep order regardless of completion order.
 	Workers int
 
+	// NoPrune disables the admissible-bound pruning layer (bounds.go):
+	// every candidate is fully evaluated, exactly as the sweeps ran
+	// before pruning existed. Pruning never changes winners — Best,
+	// BestLatency, the Pareto front over point values, errors of real
+	// runs and relaxation outcomes are identical either way — but with
+	// pruning Result.Points holds the canonical branch-and-bound subset
+	// (points not strictly dominated, in both power and latency, by an
+	// earlier violation-free point) instead of every feasible candidate.
+	// Because the two modes' Points differ, NoPrune participates in
+	// cache-key digests. MaxDesignPoints > 0 implies the incumbent layer
+	// is off (truncation counts every feasible point); the infeasibility
+	// fast checks still apply.
+	NoPrune bool
+
 	// Relax opts into the degradation ladder: when the sweep finds no
 	// valid design point, the spec is retried under cumulative
 	// Algorithm-1-style relaxations (more indirect switches, latency
@@ -187,12 +201,19 @@ type Result struct {
 	MaxSwitchSize []int
 	MinSwitches   []int
 
-	// Points holds every valid design point found.
+	// Points holds the valid design points found: every one under
+	// Options.NoPrune (or a MaxDesignPoints cap), otherwise the
+	// canonical branch-and-bound subset — feasible points not strictly
+	// dominated, in both power and latency, by an earlier
+	// violation-free point (see bounds.go). Both forms are identical
+	// across worker counts, and both yield the same Best, BestLatency
+	// and Pareto-front values.
 	Points []DesignPoint
 
-	// Explored counts attempted (switch-count, mid-count) combinations,
-	// including those whose min-cut partitioning failed; Feasible counts
-	// those that routed successfully.
+	// Explored counts attempted (switch-count, mid-count) combinations —
+	// evaluated, bound-pruned or stage-pruned alike; PruneStats splits
+	// it three ways (Explored == Evaluated + BoundPruned + StagePruned).
+	// Feasible counts the points kept on Points.
 	Explored, Feasible int
 
 	// Truncated reports that the sweep stopped early because
@@ -228,7 +249,54 @@ type Result struct {
 	// the cache codec never encodes it and digest comparisons zero it,
 	// so a cached result and a fresh one still compare byte-identical.
 	CacheStats CacheStats
+
+	// PruneStats reports the branch-and-bound layer's work (bounds.go).
+	// Like CacheStats it is bookkeeping about the run, not part of the
+	// result's identity: whether a given candidate was pruned cheaply or
+	// evaluated and then discarded depends on worker timing, so the
+	// split is schedule-dependent — never encoded by the cache codec and
+	// zeroed in digest and identity comparisons. The winner set never
+	// depends on it.
+	PruneStats PruneStats
 }
+
+// PruneStats counts the admissible-bound pruning layer's decisions over
+// one run's candidates. The three-way split is exact:
+//
+//	Explored == Evaluated + BoundPruned + StagePruned
+//
+// holds for every run, and under Options.NoPrune (or a MaxDesignPoints
+// cap, which disables the incumbent layer) Evaluated == Explored with
+// the prune counters zero.
+type PruneStats struct {
+	// Evaluated counts candidates that were not pruned: fully built and
+	// costed (kept points and routing/floorplan-infeasible candidates
+	// alike), failed partitionings, and recovered panics. Infeasibility
+	// discovered by evaluation is not pruning.
+	Evaluated int
+
+	// BoundPruned counts candidates dismissed before evaluation — the
+	// candidate-local infeasibility proofs (which skip partitioning
+	// entirely) or an incumbent strictly dominating the candidate's
+	// (power, latency) lower bounds — plus completed points the
+	// canonical fold discarded on the same lower-bound test.
+	BoundPruned int
+
+	// StagePruned counts evaluations aborted at a staged bound re-check
+	// inside buildPoint (post-route, pre-floorplan), plus completed
+	// points the canonical fold discarded on the refined post-route
+	// test.
+	StagePruned int
+
+	// Feasible counts every candidate observed to complete with a valid
+	// design point, including points the canonical fold then discarded
+	// as dominated. The streaming sweep reports its observed feasible
+	// count here because SweepResult.Feasible must stay deterministic.
+	Feasible int
+}
+
+// Pruned returns the total pruned candidates, both flavors.
+func (s PruneStats) Pruned() int { return s.BoundPruned + s.StagePruned }
 
 // CacheStats counts the cache layer's contribution to one synthesis
 // run (see internal/cache). Hits counts full-result cache hits (the
@@ -407,12 +475,27 @@ func synthesizeAttempt(ctx context.Context, spec *soc.Spec, lib *model.Library, 
 		islandCores: islandCores,
 		flows:       spec.SortFlowsByBandwidth(),
 	}
+	// The branch-and-bound layer (bounds.go): candidate-local lower
+	// bounds and infeasibility proofs always come with the bounds env;
+	// the incumbent pruner additionally requires an uncapped sweep —
+	// under MaxDesignPoints the truncation point must count every
+	// feasible point, so only the infeasibility fast checks apply there
+	// (they are result-neutral: a skipped candidate could never build).
+	if !opt.NoPrune {
+		parter.bounds = newBoundsEnv(spec, lib, opt, freqs, islandCores)
+		if opt.MaxDesignPoints == 0 {
+			env.pruner = &incumbentPruner{}
+		}
+	}
 	eval := func(bc *buildContext, c candidate) *DesignPoint {
 		if c.vec.err != nil {
 			return nil // attempted but infeasible: no k-way cut fits
 		}
 		dp, err := buildPoint(bc, c.vec.counts, c.vec.parts, c.mid)
 		if err != nil {
+			if errors.Is(err, errStagePruned) {
+				bc.stagePruned = true
+			}
 			return nil
 		}
 		return dp
@@ -460,7 +543,16 @@ type vecParts struct {
 	counts []int
 	parts  [][]int
 	err    error
-	once   sync.Once
+
+	// powerLB and latLB are the vector's admissible lower bounds, and
+	// skip its provable-infeasibility verdict, computed during resolve
+	// when the bounds layer is active (see bounds.go). A skipped vector
+	// is never partitioned. Deterministic per vector, like parts.
+	powerLB float64
+	latLB   float64
+	skip    bool
+
+	once sync.Once
 }
 
 // enumerateCandidates lists the sweep's candidates in deterministic
@@ -500,10 +592,12 @@ func enumerateCandidates(minSwitches []int, islandCores [][]soc.CoreID, maxCores
 }
 
 // evalOutcome is one candidate's evaluation: a valid design point, a
-// recovered panic, or neither (the candidate was infeasible).
+// recovered panic, a prune verdict, or none of those (the candidate was
+// infeasible).
 type evalOutcome struct {
-	dp  *DesignPoint
-	err *CandidateError
+	dp     *DesignPoint
+	err    *CandidateError
+	pruned uint8 // pruneNone, pruneBound or pruneStage
 }
 
 // testHookEvalStart, when non-nil, runs at the top of every candidate
@@ -534,7 +628,36 @@ func safeEval(bc *buildContext, c candidate, eval func(*buildContext, candidate)
 	if testHookEvalStart != nil {
 		testHookEvalStart(c.vec.counts, c.mid)
 	}
-	return evalOutcome{dp: eval(bc, c)}
+	out = evalOutcome{dp: eval(bc, c)}
+	if bc.stagePruned {
+		bc.stagePruned = false
+		out.pruned = pruneStage
+	}
+	return out
+}
+
+// evalCandidate runs the full per-candidate pipeline on one worker:
+// resolve the vector (partitions plus bounds), apply the pre-evaluation
+// prune checks, evaluate behind the panic boundary, and publish a
+// completed violation-free point to the incumbent pruner. idx is the
+// candidate's position in sweep order; incumbent dominance only ever
+// uses strictly earlier witnesses, so the worker-side decision here is
+// always implied by the canonical fold-time decision in collect.
+func evalCandidate(bc *buildContext, c candidate, idx int, parter *partitioner, env *sweepEnv, eval func(*buildContext, candidate) *DesignPoint) evalOutcome {
+	parter.resolve(c.vec, &bc.part)
+	if c.vec.skip {
+		return evalOutcome{pruned: pruneBound} // provably infeasible, partitioning skipped
+	}
+	if env.pruner != nil && c.vec.err == nil &&
+		env.pruner.dominates(uint64(idx), c.vec.powerLB, c.vec.latLB) {
+		return evalOutcome{pruned: pruneBound}
+	}
+	bc.pruneIdx = uint64(idx)
+	out := safeEval(bc, c, eval)
+	if env.pruner != nil && out.dp != nil && out.dp.WireViolations == 0 {
+		env.pruner.publish(uint64(idx), out.dp.NoCPower.DynW(), out.dp.MeanLatencyCycles)
+	}
+	return out
 }
 
 // normalizeStack reduces a debug.Stack dump to the frames between the
@@ -585,18 +708,50 @@ func normalizeStack(stack []byte) string {
 
 // collect folds one evaluated candidate into the result in sweep order.
 // It returns true when the sweep should stop (MaxDesignPoints reached).
-// Every attempted candidate counts toward Explored — whether its
-// partitioning failed, its routing/floorplanning was infeasible, or its
-// evaluation panicked (recorded on res.Errors).
-func collect(res *Result, out evalOutcome, total int, opt Options) (stop bool) {
+// Every attempted candidate counts toward Explored — whether it was
+// pruned, its partitioning failed, its routing/floorplanning was
+// infeasible, or its evaluation panicked (recorded on res.Errors).
+//
+// With the incumbent layer active, the fold is also the canonical
+// pruning authority: every completed point is re-checked against the
+// kept points so far (prunedBy), a decision that depends only on
+// earlier candidates — never on worker timing — so res.Points is
+// identical for every worker count even though which candidates the
+// workers managed to prune cheaply is not. A worker-side prune always
+// implies the canonical discard, so pruning can only move a candidate
+// between the PruneStats buckets, never into Points.
+func collect(res *Result, out evalOutcome, c candidate, total int, env *sweepEnv) (stop bool) {
+	opt := env.opt
 	res.Explored++
+	switch out.pruned {
+	case pruneBound:
+		res.PruneStats.BoundPruned++
+		return false
+	case pruneStage:
+		res.PruneStats.StagePruned++
+		return false
+	}
 	if out.err != nil {
+		res.PruneStats.Evaluated++
 		res.Errors = append(res.Errors, *out.err)
 		return false
 	}
 	if out.dp == nil {
+		res.PruneStats.Evaluated++
 		return false
 	}
+	res.PruneStats.Feasible++
+	if env.pruner != nil {
+		switch prunedBy(res.Points, c, out.dp, env.opt.Floorplan.SkipAnnotate) {
+		case pruneBound:
+			res.PruneStats.BoundPruned++
+			return false
+		case pruneStage:
+			res.PruneStats.StagePruned++
+			return false
+		}
+	}
+	res.PruneStats.Evaluated++
 	res.Feasible++
 	res.Points = append(res.Points, *out.dp)
 	if opt.MaxDesignPoints > 0 && len(res.Points) >= opt.MaxDesignPoints {
@@ -625,13 +780,12 @@ func markPartial(ctx context.Context, res *Result) {
 // is marked Partial.
 func synthesizeSerial(ctx context.Context, res *Result, cands []candidate, opt Options, env *sweepEnv, parter *partitioner, eval func(*buildContext, candidate) *DesignPoint) {
 	bc := newBuildContext(env)
-	for _, c := range cands {
+	for i, c := range cands {
 		if ctx.Err() != nil {
 			markPartial(ctx, res)
 			return
 		}
-		parter.resolve(c.vec, &bc.part)
-		if collect(res, safeEval(bc, c, eval), len(cands), opt) {
+		if collect(res, evalCandidate(bc, c, i, parter, env, eval), c, len(cands), env) {
 			return
 		}
 	}
@@ -693,8 +847,7 @@ func synthesizeParallel(ctx context.Context, res *Result, cands []candidate, opt
 					if i >= len(outs) {
 						return
 					}
-					parter.resolve(cands[lo+i].vec, &bc.part)
-					outs[i] = safeEval(bc, cands[lo+i], eval)
+					outs[i] = evalCandidate(bc, cands[lo+i], lo+i, parter, env, eval)
 				}
 			}(w)
 		}
@@ -708,7 +861,7 @@ func synthesizeParallel(ctx context.Context, res *Result, cands []candidate, opt
 			}
 		}
 		for i := 0; i < done; i++ {
-			if collect(res, outs[i], len(cands), opt) {
+			if collect(res, outs[i], cands[lo+i], len(cands), env) {
 				return
 			}
 		}
@@ -771,6 +924,12 @@ func countsKey(counts []int) string {
 // microseconds) and then read the immutable result without any lock.
 type partitioner struct {
 	caches []*partition.Cache
+
+	// bounds, when non-nil, activates the branch-and-bound layer's
+	// per-vector work inside resolve: the pre-partition infeasibility
+	// proof (a provably-doomed vector is never partitioned at all) and
+	// the admissible lower bounds stored on the vecParts.
+	bounds *boundsEnv
 }
 
 // newPartitioner builds one cache per island VCG, with the same
@@ -812,6 +971,10 @@ func newPartitioner(vcgs []*vcg.VCG, maxSizes []int, opt Options) *partitioner {
 // deterministic functions of (graph, k, options).
 func (p *partitioner) resolve(v *vecParts, sc *partition.Scratch) {
 	v.once.Do(func() {
+		if p.bounds != nil && p.bounds.vectorInfeasible(v.counts) {
+			v.skip = true // provably infeasible: partitioning skipped entirely
+			return
+		}
 		parts := make([][]int, len(p.caches))
 		for j, c := range p.caches {
 			var err error
@@ -822,6 +985,9 @@ func (p *partitioner) resolve(v *vecParts, sc *partition.Scratch) {
 			}
 		}
 		v.parts = parts
+		if p.bounds != nil {
+			v.powerLB, v.latLB, v.skip = p.bounds.vectorBounds(v.counts, parts)
+		}
 	})
 }
 
@@ -880,6 +1046,26 @@ func buildPoint(bc *buildContext, counts []int, parts [][]int, mid int) (*Design
 	// discipline makes this rare, but it is verified, not assumed.
 	if err := deadlock.Check(top); err != nil {
 		return nil, err
+	}
+
+	// Staged bound re-tightening: with the routes fixed, the point's
+	// mean latency is final (zero-load latency never depends on wire
+	// lengths) and its power is final up to the link-wire terms the
+	// floorplan adds — or final outright under SkipAnnotate, where link
+	// lengths stay at the power model's default so the pre-floorplan
+	// breakdown is the post-floorplan one bit-for-bit. If an earlier
+	// incumbent strictly dominates both, floorplanning and validation
+	// cannot save this candidate.
+	if pr := env.pruner; pr != nil {
+		var stagePowerW float64
+		if opt.Floorplan.SkipAnnotate {
+			stagePowerW = power.NoC(top).DynW()
+		} else {
+			stagePowerW = power.NoCSansLinkWires(top).DynW()
+		}
+		if pr.dominates(bc.pruneIdx, stagePowerW, top.MeanZeroLoadLatency()) {
+			return nil, errStagePruned
+		}
 	}
 
 	// Floorplan, then validate with real wire lengths.

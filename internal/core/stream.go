@@ -2,6 +2,7 @@ package core
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"math"
 	"runtime/debug"
@@ -80,11 +81,16 @@ type SweepResult struct {
 	Spec *soc.Spec
 
 	// Size is the full enumerated space (saturating at MaxUint64);
-	// Evaluated the candidates actually decoded and built; Feasible
-	// those that yielded a valid design point.
-	Size      uint64
-	Evaluated uint64
-	Feasible  uint64
+	// Explored the candidates actually decoded and dispositioned —
+	// evaluated, bound-pruned or stage-pruned, the exact three-way split
+	// PruneStats reports. Feasible counts the evaluated candidates that
+	// yielded a valid design point; under pruning it is zeroed (which
+	// candidates the incumbent bound skips is schedule-dependent, and a
+	// completed sweep must stay byte-identical across worker counts —
+	// the observed completion count moves to PruneStats.Feasible).
+	Size     uint64
+	Explored uint64
+	Feasible uint64
 
 	// Truncated reports Limit < Size; Partial a context stop. StopReason
 	// takes the same values as Result.StopReason.
@@ -112,6 +118,11 @@ type SweepResult struct {
 
 	// Errors holds the recovered candidate panics with the smallest
 	// indices, at most MaxErrors of them; ErrorCount is the true total.
+	// Panics are the one exception to cross-worker identity under
+	// pruning: whether a panicking candidate is pruned before it can
+	// panic depends on incumbent timing, so a sweep that records errors
+	// is only schedule-independent under Options.NoPrune. (Panics mark
+	// engine bugs; healthy sweeps record none.)
 	Errors     []CandidateError
 	ErrorCount uint64
 
@@ -122,6 +133,13 @@ type SweepResult struct {
 	// skips partition resolution entirely. Never encoded and zeroed in
 	// digests, so cached and fresh sweeps compare byte-identical.
 	CacheStats CacheStats
+
+	// PruneStats is the branch-and-bound layer's disposition of the
+	// explored candidates (see Result.PruneStats). The counter split is
+	// schedule-dependent under the shared incumbent bound; like
+	// CacheStats it is run bookkeeping — never encoded, zeroed in
+	// digests and comparisons.
+	PruneStats PruneStats
 }
 
 // sweepSpace is the enumeration geometry: per-island switch-count
@@ -171,6 +189,17 @@ type partTable struct {
 type partEntry struct {
 	part []int
 	err  error
+
+	// Branch-and-bound annotations, filled only when pruning is on:
+	// piece and cross are islandPiece's power/latency contributions for
+	// this (island, count) cut, summed per candidate by the workers;
+	// infeas marks a cut proven unable to validate (stage-0 port
+	// arithmetic, or a cross-switch flow no link can serve), in which
+	// case part may be nil — provably-doomed entries skip min-cut
+	// resolution entirely.
+	piece  float64
+	cross  int
+	infeas bool
 }
 
 // sweepBetter is the total order behind both argmins: fewest wire
@@ -235,8 +264,10 @@ func pruneFront(pts []SweepPoint) []SweepPoint {
 // bounded memory: two argmin slots, a Pareto buffer pruned in place
 // whenever it fills, bounded errors, and counters.
 type sweepCollector struct {
-	evaluated uint64
-	feasible  uint64
+	explored   uint64
+	pruneBound uint64
+	pruneStage uint64
+	feasible   uint64
 
 	bestPower   *SweepPoint
 	bestLatency *SweepPoint
@@ -303,9 +334,19 @@ func sweepEval(bc *buildContext, counts []int, parts [][]int, mid int, idx uint6
 	if testHookEvalStart != nil {
 		testHookEvalStart(counts, mid)
 	}
+	// Staged pruning accepts any published incumbent: the sweep's
+	// collectors are winner-invariant under strictly-dominated removals
+	// (the witness beats the removed point on every selection key), so no
+	// index ordering is needed. The panic reset zeroes pruneIdx, hence
+	// the per-call re-arm.
+	bc.pruneIdx = math.MaxUint64
 	dp, err := buildPoint(bc, counts, parts, mid)
+	bc.stagePruned = false
 	if err != nil {
-		return // infeasible: counted by the caller, nothing retained
+		if errors.Is(err, errStagePruned) {
+			col.pruneStage++
+		}
+		return // infeasible or pruned: nothing retained
 	}
 	p := SweepPoint{
 		Index:          idx,
@@ -317,6 +358,9 @@ func sweepEval(bc *buildContext, counts []int, parts [][]int, mid int, idx uint6
 		WireViolations: dp.WireViolations,
 	}
 	bc.top = dp.Top // reclaim: the point was summarized, not published
+	if pr := bc.env.pruner; pr != nil && p.WireViolations == 0 {
+		pr.publish(idx, p.PowerW, p.LatencyCycles)
+	}
 	col.addFeasible(p)
 }
 
@@ -333,6 +377,17 @@ func sweepEval(bc *buildContext, counts []int, parts [][]int, mid int, idx uint6
 // Completed sweeps are byte-identical for every Options.Workers value.
 // Options.MaxDesignPoints and Options.Relax do not apply to the
 // streaming sweep; use SweepOptions.Limit to bound work.
+//
+// Unless Options.NoPrune is set, the sweep runs branch-and-bound:
+// candidates whose admissible lower bounds (see bounds.go) are strictly
+// dominated in both objectives by an already-completed violation-free
+// point are skipped, and evaluations are aborted at a staged bound
+// re-check after routing. Every reported winner — both argmins and the
+// whole Pareto front — is byte-identical to the unpruned sweep's: a
+// pruned candidate is provably beaten by a retained point on every
+// selection key, so it could not have appeared in any of them.
+// SweepResult.Explored still covers every index; PruneStats says how
+// each was dispositioned.
 func SynthesizeSweep(ctx context.Context, spec *soc.Spec, lib *model.Library, opt Options, sw SweepOptions) (*SweepResult, error) {
 	if err := spec.Validate(); err != nil {
 		return nil, fmt.Errorf("core: %w", err)
@@ -398,18 +453,38 @@ func SynthesizeSweep(ctx context.Context, spec *soc.Spec, lib *model.Library, op
 	}
 	parter := newPartitioner(vcgs, maxSizes, opt)
 
+	// The branch-and-bound layer: a bounds environment for the
+	// candidate-local lower bounds and a shared incumbent the workers
+	// tighten. Both off under Options.NoPrune.
+	var be *boundsEnv
+	if !opt.NoPrune {
+		be = newBoundsEnv(spec, lib, opt, freqs, islandCores)
+	}
+
 	// Pre-resolve every per-island partition the space can reference —
 	// the sum of range widths, a few hundred cuts at most — so workers
 	// read the table lock-free. An island/k pair that cannot be cut is
 	// stored as an error; candidates touching it count as evaluated but
-	// infeasible, matching Synthesize's accounting.
+	// infeasible, matching Synthesize's accounting. With pruning on,
+	// each entry also carries its bound contributions, and cuts the
+	// stage-0 port arithmetic proves unable to validate skip min-cut
+	// resolution entirely.
 	table := &partTable{space: space, parts: make([][]partEntry, nIsl)}
 	var psc partition.Scratch
 	for j := 0; j < nIsl; j++ {
 		table.parts[j] = make([]partEntry, space.width[j])
 		for w := 0; w < space.width[j]; w++ {
-			part, err := parter.caches[j].PartitionScratch(space.min[j]+w, &psc)
-			table.parts[j][w] = partEntry{part: part, err: err}
+			k := space.min[j] + w
+			if be != nil && be.islandInfeasible(j, k) {
+				table.parts[j][w] = partEntry{infeas: true}
+				continue
+			}
+			part, err := parter.caches[j].PartitionScratch(k, &psc)
+			e := partEntry{part: part, err: err}
+			if be != nil && err == nil {
+				e.piece, e.cross, e.infeas = be.islandPiece(j, k, part)
+			}
+			table.parts[j][w] = e
 		}
 	}
 
@@ -428,6 +503,9 @@ func SynthesizeSweep(ctx context.Context, spec *soc.Spec, lib *model.Library, op
 		islandCores: islandCores,
 		flows:       spec.SortFlowsByBandwidth(),
 	}
+	if be != nil {
+		env.pruner = &incumbentPruner{}
+	}
 
 	workers := opt.workers()
 	if uint64(workers) > limit {
@@ -444,6 +522,7 @@ func SynthesizeSweep(ctx context.Context, spec *soc.Spec, lib *model.Library, op
 		block = 4096
 	}
 
+	specBad := be != nil && be.specInfeasible
 	cols := make([]*sweepCollector, workers)
 	var cursor atomic.Uint64
 	var wg sync.WaitGroup
@@ -467,18 +546,42 @@ func SynthesizeSweep(ctx context.Context, spec *soc.Spec, lib *model.Library, op
 				}
 				for idx := lo; idx < hi; idx++ {
 					mid := space.decode(idx, counts)
-					col.evaluated++
+					col.explored++
+					if specBad {
+						col.pruneBound++
+						continue // every candidate provably infeasible
+					}
 					ok := true
+					infeas := false
+					var swLB float64
+					crossLB := 0
 					for j := 0; j < nIsl; j++ {
 						e := &table.parts[j][counts[j]-space.min[j]]
+						if e.infeas {
+							infeas = true
+							break
+						}
 						if e.err != nil {
 							ok = false
 							break
 						}
 						parts[j] = e.part
+						swLB += e.piece
+						crossLB += e.cross
+					}
+					if infeas {
+						col.pruneBound++
+						continue // a cut proven unable to validate
 					}
 					if !ok {
 						continue // no k-way cut fits: attempted, infeasible
+					}
+					if pruner := env.pruner; pruner != nil {
+						pLB, lLB := be.combine(swLB, crossLB)
+						if pruner.dominates(math.MaxUint64, pLB, lLB) {
+							col.pruneBound++
+							continue
+						}
 					}
 					sweepEval(bc, counts, parts, mid, idx, col)
 				}
@@ -498,7 +601,9 @@ func SynthesizeSweep(ctx context.Context, spec *soc.Spec, lib *model.Library, op
 	}
 	var errs []idxErr
 	for _, col := range cols {
-		res.Evaluated += col.evaluated
+		res.Explored += col.explored
+		res.PruneStats.BoundPruned += int(col.pruneBound)
+		res.PruneStats.StagePruned += int(col.pruneStage)
 		res.Feasible += col.feasible
 		res.ErrorCount += col.errCount
 		if col.bestPower != nil && (bestP == nil || sweepBetter(col.bestPower, bestP, powerOf)) {
@@ -511,6 +616,15 @@ func SynthesizeSweep(ctx context.Context, spec *soc.Spec, lib *model.Library, op
 		for i := range col.errs {
 			errs = append(errs, idxErr{col.errIdx[i], col.errs[i]})
 		}
+	}
+	res.PruneStats.Evaluated = int(res.Explored) - res.PruneStats.Pruned()
+	res.PruneStats.Feasible = int(res.Feasible)
+	if env.pruner != nil {
+		// Which candidates the incumbent skipped is schedule-dependent, so
+		// the completion count is too; the deterministic headline field is
+		// zeroed (the observed count stays in PruneStats) to keep the
+		// sweep byte-identical across worker counts.
+		res.Feasible = 0
 	}
 	res.Front = pruneFront(front)
 	sort.Slice(errs, func(i, j int) bool { return errs[i].idx < errs[j].idx })

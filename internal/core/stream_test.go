@@ -142,7 +142,10 @@ func oracleFront(pts []SweepPoint) []SweepPoint {
 func TestSweepMatchesBruteForce(t *testing.T) {
 	spec := miniSoC()
 	lib := model.Default65nm()
-	opt := Options{AllowIntermediate: true, MaxIntermediateSwitches: 2, Workers: 4}
+	// NoPrune: the oracle enumerates and evaluates everything, so the
+	// counter and Feasible comparisons are only meaningful unpruned. The
+	// pruned sweep is checked against the same oracle winners below.
+	opt := Options{AllowIntermediate: true, MaxIntermediateSwitches: 2, Workers: 4, NoPrune: true}
 
 	feasible, evaluated := oracleSweep(t, spec, lib, opt, 0)
 	if len(feasible) == 0 {
@@ -153,11 +156,14 @@ func TestSweepMatchesBruteForce(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if res.Size != evaluated || res.Evaluated != evaluated {
-		t.Fatalf("size/evaluated = %d/%d, oracle evaluated %d", res.Size, res.Evaluated, evaluated)
+	if res.Size != evaluated || res.Explored != evaluated {
+		t.Fatalf("size/explored = %d/%d, oracle evaluated %d", res.Size, res.Explored, evaluated)
 	}
 	if res.Feasible != uint64(len(feasible)) {
 		t.Fatalf("feasible = %d, oracle found %d", res.Feasible, len(feasible))
+	}
+	if res.PruneStats != (PruneStats{Evaluated: int(evaluated), Feasible: len(feasible)}) {
+		t.Fatalf("NoPrune sweep reported pruning: %+v", res.PruneStats)
 	}
 	if res.StopReason != StopComplete || res.Truncated || res.Partial {
 		t.Fatalf("stop metadata wrong: %q truncated=%v partial=%v", res.StopReason, res.Truncated, res.Partial)
@@ -192,6 +198,34 @@ func TestSweepMatchesBruteForce(t *testing.T) {
 	if res.BestLatency == nil || res.BestLatency.MeanLatencyCycles != wantBestL.LatencyCycles {
 		t.Fatalf("rebuilt BestLatency does not match its summary")
 	}
+
+	// The branch-and-bound sweep must reproduce the oracle's winners and
+	// front byte-for-byte while still accounting for every index.
+	opt.NoPrune = false
+	pruned, err := SynthesizeSweep(context.Background(), spec, lib, opt, SweepOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pruned.Explored != evaluated {
+		t.Fatalf("pruned sweep explored %d of %d", pruned.Explored, evaluated)
+	}
+	if !reflect.DeepEqual(pruned.BestPowerPoint, wantBestP) || !reflect.DeepEqual(pruned.BestLatencyPoint, wantBestL) {
+		t.Fatalf("pruned argmins differ from oracle:\n power %+v vs %+v\n latency %+v vs %+v",
+			pruned.BestPowerPoint, wantBestP, pruned.BestLatencyPoint, wantBestL)
+	}
+	if !reflect.DeepEqual(pruned.Front, oracleFront(feasible)) {
+		t.Fatalf("pruned front differs from oracle:\n got %+v\nwant %+v", pruned.Front, oracleFront(feasible))
+	}
+	if !reflect.DeepEqual(pruned.BestPower, res.BestPower) || !reflect.DeepEqual(pruned.BestLatency, res.BestLatency) {
+		t.Fatal("pruned rebuilt winners differ from the unpruned sweep's")
+	}
+	s := pruned.PruneStats
+	if s.Evaluated+s.BoundPruned+s.StagePruned != int(evaluated) {
+		t.Fatalf("three-way split does not cover the space: %+v over %d", s, evaluated)
+	}
+	if pruned.Feasible != 0 || s.Feasible == 0 {
+		t.Fatalf("pruned feasibility accounting wrong: Feasible=%d PruneStats=%+v", pruned.Feasible, s)
+	}
 }
 
 // sweepOnce runs SynthesizeSweep and fails the test on error.
@@ -205,10 +239,14 @@ func sweepOnce(t *testing.T, spec *soc.Spec, lib *model.Library, opt Options, sw
 }
 
 // sameSweep asserts two sweep results are deeply identical apart from
-// pointer identity.
+// pointer identity and PruneStats, which (like CacheStats) is run
+// bookkeeping: the counter split depends on incumbent timing and is
+// explicitly outside the cross-worker identity contract.
 func sameSweep(t *testing.T, label string, a, b *SweepResult) {
 	t.Helper()
-	if !reflect.DeepEqual(a, b) {
+	ca, cb := *a, *b
+	ca.PruneStats, cb.PruneStats = PruneStats{}, PruneStats{}
+	if !reflect.DeepEqual(&ca, &cb) {
 		t.Fatalf("%s: sweep results differ:\n%+v\nvs\n%+v", label, a, b)
 	}
 }
@@ -232,17 +270,24 @@ func TestSweepIdenticalAcrossWorkers(t *testing.T) {
 	for _, tc := range cases {
 		spec := tc.spec
 		for _, sw := range tc.sws {
-			opt := Options{AllowIntermediate: spec.Name == "mini8", MaxIntermediateSwitches: 2, Workers: 1}
-			base := sweepOnce(t, spec, lib, opt, sw)
-			for _, workers := range []int{2, 3, 8, 64} {
-				opt.Workers = workers
-				got := sweepOnce(t, spec, lib, opt, sw)
-				sameSweep(t, fmt.Sprintf("%s limit=%d width=%d workers=%d",
-					spec.Name, sw.Limit, sw.WidthPerIsland, workers), base, got)
-			}
-			if sw.Limit > 0 {
-				if !base.Truncated || base.Evaluated != sw.Limit || base.StopReason != StopTruncated {
-					t.Fatalf("%s: limited sweep metadata wrong: %+v", spec.Name, base)
+			// Both modes carry the contract: NoPrune is the seed path, the
+			// default is the branch-and-bound path whose worker-side prune
+			// decisions race against incumbent publication and must still
+			// converge on one result.
+			for _, noPrune := range []bool{false, true} {
+				opt := Options{AllowIntermediate: spec.Name == "mini8", MaxIntermediateSwitches: 2,
+					Workers: 1, NoPrune: noPrune}
+				base := sweepOnce(t, spec, lib, opt, sw)
+				for _, workers := range []int{2, 3, 8, 64} {
+					opt.Workers = workers
+					got := sweepOnce(t, spec, lib, opt, sw)
+					sameSweep(t, fmt.Sprintf("%s limit=%d width=%d noprune=%v workers=%d",
+						spec.Name, sw.Limit, sw.WidthPerIsland, noPrune, workers), base, got)
+				}
+				if sw.Limit > 0 {
+					if !base.Truncated || base.Explored != sw.Limit || base.StopReason != StopTruncated {
+						t.Fatalf("%s: limited sweep metadata wrong: %+v", spec.Name, base)
+					}
 				}
 			}
 		}
@@ -258,10 +303,10 @@ func TestSweepSinglePointSpace(t *testing.T) {
 	opt := Options{Workers: 1}
 	sw := SweepOptions{WidthPerIsland: 1}
 	base := sweepOnce(t, spec, lib, opt, sw)
-	if base.Size != 1 || base.Evaluated != 1 {
-		t.Fatalf("want a one-point space, got size=%d evaluated=%d", base.Size, base.Evaluated)
+	if base.Size != 1 || base.Explored != 1 {
+		t.Fatalf("want a one-point space, got size=%d explored=%d", base.Size, base.Explored)
 	}
-	if base.Feasible == 1 && len(base.Front) != 1 {
+	if base.PruneStats.Feasible == 1 && len(base.Front) != 1 {
 		t.Fatalf("one feasible point must be the whole front, got %d", len(base.Front))
 	}
 	opt.Workers = 32
@@ -282,7 +327,7 @@ func TestSweepCancellation(t *testing.T) {
 	if err != nil {
 		t.Fatalf("canceled sweep must return a partial result, got %v", err)
 	}
-	if res.Evaluated >= res.Size {
+	if res.Explored >= res.Size {
 		t.Skip("sweep finished before the cancel landed")
 	}
 	if !res.Partial || res.StopReason != StopCanceled {
@@ -302,7 +347,10 @@ func TestSweepPanicsIdenticalAcrossWorkers(t *testing.T) {
 			panic("injected: sweep candidate blew up")
 		}
 	})
-	opt := Options{AllowIntermediate: true, MaxIntermediateSwitches: 2, Workers: 1}
+	// NoPrune: whether a panicking candidate gets pruned before it can
+	// panic depends on incumbent timing, so the error channel is only
+	// schedule-independent on the unpruned path (see SweepResult.Errors).
+	opt := Options{AllowIntermediate: true, MaxIntermediateSwitches: 2, Workers: 1, NoPrune: true}
 	sw := SweepOptions{MaxErrors: 3}
 	base := sweepOnce(t, spec, lib, opt, sw)
 	if base.ErrorCount == 0 {
@@ -346,14 +394,27 @@ func TestSweepMillionPoints(t *testing.T) {
 	if base.Size < 1<<20 {
 		t.Fatalf("space has %d points, want >= 2^20", base.Size)
 	}
-	if base.Evaluated != base.Size || base.StopReason != StopComplete {
+	if base.Explored != base.Size || base.StopReason != StopComplete {
 		t.Fatalf("sweep did not complete: %+v", base)
 	}
-	if base.Feasible == 0 {
+	if base.BestPowerPoint == nil {
 		t.Fatal("million-point space found nothing feasible")
 	}
 	opt.Workers = 4
 	sameSweep(t, "million-point workers=4", base, sweepOnce(t, spec, lib, opt, sw))
+
+	// The scale leg of the pruning oracle: an unpruned sweep of the same
+	// 2^20-point space must land on exactly the winners the pruned runs
+	// reported.
+	opt.NoPrune = true
+	plain := sweepOnce(t, spec, lib, opt, sw)
+	if !reflect.DeepEqual(plain.BestPowerPoint, base.BestPowerPoint) ||
+		!reflect.DeepEqual(plain.BestLatencyPoint, base.BestLatencyPoint) ||
+		!reflect.DeepEqual(plain.Front, base.Front) ||
+		!reflect.DeepEqual(plain.BestPower, base.BestPower) ||
+		!reflect.DeepEqual(plain.BestLatency, base.BestLatency) {
+		t.Fatal("million-point winners differ between pruned and unpruned sweeps")
+	}
 }
 
 // millionPointSpace is the shared geometry of the scale proof and its
@@ -387,10 +448,10 @@ func TestSweepMillionPointGeometry(t *testing.T) {
 	if res.Size < 1<<20 {
 		t.Fatalf("space has %d points, want >= 2^20", res.Size)
 	}
-	if res.Evaluated != 2000 || !res.Truncated {
-		t.Fatalf("limited probe wrong: evaluated=%d truncated=%v", res.Evaluated, res.Truncated)
+	if res.Explored != 2000 || !res.Truncated {
+		t.Fatalf("limited probe wrong: explored=%d truncated=%v", res.Explored, res.Truncated)
 	}
-	if res.Feasible == 0 {
+	if res.BestPowerPoint == nil {
 		t.Fatal("no feasible point in the first 2000 candidates; proof space is degenerate")
 	}
 }

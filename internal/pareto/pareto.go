@@ -22,6 +22,16 @@ func Dominates(a, b Point) bool {
 	return a.X <= b.X && a.Y <= b.Y && (a.X < b.X || a.Y < b.Y)
 }
 
+// StrictlyDominates reports whether a is strictly better than b in BOTH
+// objectives. This is the only dominance a pruning layer may act on:
+// removing a strictly-dominated point can change neither a front (the
+// dominator excludes it) nor any argmin whose tie-breaks are reached
+// only on exact metric ties (the dominator beats it outright, on either
+// objective, before any tie-break fires).
+func StrictlyDominates(a, b Point) bool {
+	return a.X < b.X && a.Y < b.Y
+}
+
 // Front returns the non-dominated subset, sorted by ascending X (and
 // descending Y along the front). Duplicate coordinates keep the earliest
 // index. The input is not modified.

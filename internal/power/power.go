@@ -68,6 +68,18 @@ func NoC(top *topology.Topology) Breakdown {
 	return nocPower(top, nil)
 }
 
+// NoCSansLinkWires computes the breakdown of a routed topology with the
+// wire-length-dependent link terms (LinkDynW, LinkLeakW) left at zero.
+// Every other term is accumulated in exactly the order NoC uses, so
+// zeroing LinkDynW on a full NoC breakdown reproduces this DynW
+// bit-for-bit. The synthesis engine's staged pruning calls it after
+// routing but before floorplanning: at that point the switch, NI and
+// FIFO terms are final (none depends on wire lengths) and the link-wire
+// terms — which only ever add power — are admissibly bounded by zero.
+func NoCSansLinkWires(top *topology.Topology) Breakdown {
+	return nocPowerWires(top, nil, nil, false)
+}
+
 // NoCWithShutdown computes the NoC breakdown with the islands marked in
 // off power-gated. off is indexed by spec island ID; the intermediate
 // NoC island is never gated.
@@ -101,7 +113,7 @@ func islandOff(off []bool, id soc.IslandID) bool {
 }
 
 func nocPower(top *topology.Topology, off []bool) Breakdown {
-	return nocPowerMode(top, off, nil)
+	return nocPowerWires(top, off, nil, true)
 }
 
 // nocPowerMode computes the breakdown with an optional traffic-mode
@@ -109,6 +121,12 @@ func nocPower(top *topology.Topology, off []bool) Breakdown {
 // map carry traffic, at the map's bandwidths (a use case is a subset of
 // the merged flows the topology was synthesized for).
 func nocPowerMode(top *topology.Topology, off []bool, modeBW map[[2]soc.CoreID]float64) Breakdown {
+	return nocPowerWires(top, off, modeBW, true)
+}
+
+// nocPowerWires is the single accumulation loop behind every breakdown
+// variant; wires=false skips only the link dynamic/leakage terms.
+func nocPowerWires(top *topology.Topology, off []bool, modeBW map[[2]soc.CoreID]float64, wires bool) Breakdown {
 	var b Breakdown
 	lib := top.Lib
 	spec := top.Spec
@@ -155,16 +173,18 @@ func nocPowerMode(top *topology.Topology, off []bool, modeBW map[[2]soc.CoreID]f
 		if islandOff(off, fs.Island) || islandOff(off, ts.Island) {
 			continue
 		}
-		length := l.LengthMM
-		if length <= 0 {
-			length = DefaultLinkLengthMM
+		if wires {
+			length := l.LengthMM
+			if length <= 0 {
+				length = DefaultLinkLengthMM
+			}
+			vMax := fs.VoltageV
+			if ts.VoltageV > vMax {
+				vMax = ts.VoltageV
+			}
+			b.LinkDynW += lib.LinkDynPowerW(length, vMax, linkTraffic[i])
+			b.LinkLeakW += lib.LinkLeakPowerW(length, vMax)
 		}
-		vMax := fs.VoltageV
-		if ts.VoltageV > vMax {
-			vMax = ts.VoltageV
-		}
-		b.LinkDynW += lib.LinkDynPowerW(length, vMax, linkTraffic[i])
-		b.LinkLeakW += lib.LinkLeakPowerW(length, vMax)
 		if l.CrossesIslands {
 			b.FIFODynW += lib.FIFODynPowerW(fs.VoltageV, ts.VoltageV, linkTraffic[i])
 			b.FIFOLeakW += lib.FIFOLeakPowerW(fs.VoltageV, ts.VoltageV)

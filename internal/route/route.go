@@ -443,6 +443,26 @@ func (r *Router) shortest(f soc.Flow, src, dst topology.SwitchID, latOnly bool) 
 	return out
 }
 
+// MinZeroLoadLatencyCycles returns the smallest zero-load latency any
+// route can achieve under the timing model: NI injection and ejection
+// links plus one switch traversal, plus one hop when source and
+// destination cannot share a switch (they sit on different switches or
+// in different islands), plus one FIFO crossing when they sit in
+// different islands (a detour through the intermediate island only adds
+// hops and crossings). It is the admissible per-flow latency bound the
+// branch-and-bound layer (internal/core/bounds.go) sums, and the floor
+// below which a flow's MaxLatencyCycles is provably unsatisfiable.
+func MinZeroLoadLatencyCycles(crossesSwitches, crossesIslands bool) float64 {
+	lat := 2*model.LinkTraversalCycles + model.SwitchTraversalCycles
+	if crossesSwitches || crossesIslands {
+		lat += model.SwitchTraversalCycles + model.LinkTraversalCycles
+	}
+	if crossesIslands {
+		lat += model.FIFOCrossingCycles
+	}
+	return lat
+}
+
 // latencyOK checks the flow's zero-load latency constraint on a path.
 func (r *Router) latencyOK(f soc.Flow, path []topology.SwitchID) bool {
 	if f.MaxLatencyCycles <= 0 {

@@ -167,7 +167,7 @@ func encodeLibrary(e *denc, l *model.Library) {
 //     a legitimate hit at -workers 1.
 func OptionsDigest(opt core.Options, lib *model.Library) Digest {
 	e := &denc{}
-	e.str("nocvi-opt-v1")
+	e.str("nocvi-opt-v2")
 	alpha := opt.Alpha
 	if alpha == 0 { //noclint:ignore floateq 0 is the documented unset sentinel for Alpha, resolved like Options.alpha does
 		alpha = vcg.DefaultAlpha
@@ -193,6 +193,7 @@ func OptionsDigest(opt core.Options, lib *model.Library) Digest {
 	e.int(opt.Partition.Passes)
 	e.bool(opt.SpectralPartition)
 	e.bool(opt.AutoVoltage)
+	e.bool(opt.NoPrune)
 	e.bool(opt.Relax)
 	encodeLibrary(e, lib)
 	return e.sum()

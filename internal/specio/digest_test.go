@@ -67,11 +67,11 @@ func TestLibraryAndOptionsDigestGoldens(t *testing.T) {
 	if got := LibraryDigest(lib).String(); got != "fe2b2b57460ecad98b520b7b7c149932541bfddc7e9a1c9d76b0230c65032d06" {
 		t.Errorf("library digest %s", got)
 	}
-	if got := OptionsDigest(core.Options{}, lib).String(); got != "cca6ff739ec216ea6c5f2b423aa6b4c8af9321c7f4d904aa907c15d6ab45ce81" {
+	if got := OptionsDigest(core.Options{}, lib).String(); got != "e22623a5d5e1d045696c016815d8be88d7d9a1cabc5b83531ccda09242cdd3c9" {
 		t.Errorf("zero options digest %s", got)
 	}
 	opt := core.Options{AllowIntermediate: true, MaxIntermediateSwitches: 2}
-	if got := OptionsDigest(opt, lib).String(); got != "6e0084d4cc3002fd0528cd11b2ed7152aab59532584d4b73db6538aa4ada122d" {
+	if got := OptionsDigest(opt, lib).String(); got != "ee305fd24fdc26d0761e68e854adc8b5e6bf1605df6bf4183b8755b837e85e1b" {
 		t.Errorf("bench options digest %s", got)
 	}
 	if got := IslandVCGDigest(bench.D26(), 0, 0.6).String(); got != "157c939b09b9149b8c6e8d07ede6c168de9f516ab20eef347519ee599f129ab3" {
@@ -142,6 +142,10 @@ func TestOptionsDigestNormalization(t *testing.T) {
 	w := core.Options{Workers: 32}
 	if OptionsDigest(w, lib) != OptionsDigest(unset, lib) {
 		t.Fatal("Workers leaked into the options digest")
+	}
+	np := core.Options{NoPrune: true}
+	if OptionsDigest(np, lib) == OptionsDigest(unset, lib) {
+		t.Fatal("NoPrune is result-affecting (Points is the canonical kept subset) and must perturb the digest")
 	}
 	lib2 := *lib
 	lib2.FreqGridHz *= 2

@@ -137,10 +137,15 @@ func DefaultLibrary() *Library { return model.Default65nm() }
 // island shutdown).
 func LibraryForNode(node string) (*Library, error) { return model.ByNode(node) }
 
-// Synthesize runs Algorithm 1 on the spec and returns every valid
-// design point found. Candidate design points are evaluated across
+// Synthesize runs Algorithm 1 on the spec and returns the valid design
+// points found. Candidate design points are evaluated across
 // Options.Workers goroutines (default: all CPUs); the result is
-// identical for every worker count.
+// identical for every worker count. By default a branch-and-bound layer
+// discards candidates that provably cannot beat an already-found point
+// in either power or latency — the argmin winners and the Pareto front
+// are exactly those of the exhaustive sweep, but dominated interior
+// points may be absent from Result.Points (Result.PruneStats reports
+// how many). Options.NoPrune restores the exhaustive enumeration.
 func Synthesize(spec *Spec, lib *Library, opt Options) (*Result, error) {
 	return core.Synthesize(spec, lib, opt)
 }
@@ -302,6 +307,9 @@ type (
 	CacheOptions = cache.StoreOptions
 	// CacheStats reports a run's cache interaction on Result.CacheStats.
 	CacheStats = core.CacheStats
+	// PruneStats reports what the branch-and-bound layer did on
+	// Result.PruneStats and SweepResult.PruneStats.
+	PruneStats = core.PruneStats
 )
 
 // CacheEnvDir is the environment variable ResolveCache consults for a

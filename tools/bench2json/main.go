@@ -61,12 +61,14 @@ import (
 	"strings"
 )
 
-// result is one benchmark line: iterations plus the -benchmem triple.
+// result is one benchmark line: iterations plus the -benchmem triple,
+// and the custom pruned_frac metric the SynthesizePrune lanes report.
 type result struct {
 	Iterations  int64   `json:"iterations"`
 	NsPerOp     float64 `json:"ns_per_op"`
 	BytesPerOp  int64   `json:"bytes_per_op,omitempty"`
 	AllocsPerOp int64   `json:"allocs_per_op,omitempty"`
+	PrunedFrac  float64 `json:"pruned_frac,omitempty"`
 }
 
 // delta compares current against baseline for one benchmark. Ratios
@@ -95,6 +97,19 @@ type cacheSummary struct {
 	OneIslandNs      float64 `json:"oneisland_ns_per_op,omitempty"`
 	FullHitSpeedup   float64 `json:"full_hit_speedup"`
 	WarmStartSpeedup float64 `json:"warmstart_speedup,omitempty"`
+}
+
+// pruneSummary condenses the SynthesizePrune lanes: the branch-and-
+// bound sweep against the exhaustive one on the same candidate space,
+// at matching GOMAXPROCS. Unlike the workers= efficiency numbers this
+// speedup is algorithmic, not parallel, so a GOMAXPROCS=1 lane is a
+// perfectly valid measurement.
+type pruneSummary struct {
+	Procs      int     `json:"gomaxprocs"`
+	PruneNs    float64 `json:"prune_ns_per_op"`
+	NoPruneNs  float64 `json:"noprune_ns_per_op"`
+	PrunedFrac float64 `json:"pruned_frac"`
+	Speedup    float64 `json:"speedup_vs_noprune"`
 }
 
 // campaignSummary condenses one power-state fault-campaign report
@@ -127,6 +142,9 @@ type record struct {
 	// Cache holds the SynthesizeCached cold/warm/oneisland ratios,
 	// computed from Current when present, else Baseline.
 	Cache *cacheSummary `json:"cache,omitempty"`
+	// Prune holds the SynthesizePrune branch-and-bound ratios, computed
+	// from Current when present, else Baseline.
+	Prune *pruneSummary `json:"prune,omitempty"`
 	// Campaign holds the latest fault-campaign summary per design.
 	Campaign map[string]campaignSummary `json:"campaign,omitempty"`
 }
@@ -139,6 +157,7 @@ func main() {
 	campaignPath := flag.String("campaign", "", "fold a fault-campaign JSON report (nocsynth -campaign-json) into the record")
 	campaignFloor := flag.Float64("campaign-floor", 0, "fail unless the -campaign report's aggregate recoverability reaches this fraction")
 	cacheFloor := flag.Float64("cache-floor", 0, "fail unless the SynthesizeCached lanes on stdin show at least this cold/warm full-hit speedup")
+	pruneFloor := flag.Float64("prune-floor", 0, "fail unless the SynthesizePrune lanes on stdin show at least this speedup over the exhaustive sweep, with a nonzero pruned fraction")
 	flag.Parse()
 
 	results, lanes, err := parseBench(os.Stdin)
@@ -178,6 +197,21 @@ func main() {
 		case cs.FullHitSpeedup < *cacheFloor:
 			fmt.Fprintf(os.Stderr, "bench2json: cache full-hit speedup %.2f below the %.2f floor (cold %.0f ns, warm %.0f ns)\n",
 				cs.FullHitSpeedup, *cacheFloor, cs.ColdNs, cs.WarmNs)
+			os.Exit(1)
+		}
+	}
+	if *pruneFloor > 0 {
+		ps := pruneSummaryFrom(results)
+		switch {
+		case ps == nil:
+			fmt.Fprintf(os.Stderr, "bench2json: -prune-floor %.2f: no SynthesizePrune prune+noprune lanes on stdin\n", *pruneFloor)
+			os.Exit(1)
+		case ps.PrunedFrac <= 0:
+			fmt.Fprintf(os.Stderr, "bench2json: prune lane reported a zero pruned fraction — the branch-and-bound layer never fired\n")
+			os.Exit(1)
+		case ps.Speedup < *pruneFloor:
+			fmt.Fprintf(os.Stderr, "bench2json: prune speedup %.2f below the %.2f floor (prune %.0f ns, noprune %.0f ns)\n",
+				ps.Speedup, *pruneFloor, ps.PruneNs, ps.NoPruneNs)
 			os.Exit(1)
 		}
 	}
@@ -236,6 +270,9 @@ func main() {
 		}
 		if cs := cacheSummaryFrom(src); cs != nil {
 			rec.Cache = cs
+		}
+		if ps := pruneSummaryFrom(src); ps != nil {
+			rec.Prune = ps
 		}
 	}
 	if campDesign != "" {
@@ -371,6 +408,8 @@ func parseBench(r io.Reader) (map[string]result, []int, error) {
 				res.BytesPerOp, err = strconv.ParseInt(val, 10, 64)
 			case "allocs/op":
 				res.AllocsPerOp, err = strconv.ParseInt(val, 10, 64)
+			case "pruned_frac":
+				res.PrunedFrac, err = strconv.ParseFloat(val, 64)
 			}
 			if err != nil {
 				return nil, nil, fmt.Errorf("parsing %q: %w", sc.Text(), err)
@@ -525,6 +564,55 @@ func cacheSummaryFrom(results map[string]result) *cacheSummary {
 	if best.OneIslandNs > 0 {
 		best.WarmStartSpeedup = round2(best.ColdNs / best.OneIslandNs)
 	}
+	return best
+}
+
+// pruneSummaryFrom extracts the SynthesizePrune/<space>/{prune,noprune}
+// lanes from a result set and condenses them into the branch-and-bound
+// speedup, using the widest GOMAXPROCS lane that measured both legs.
+// nil when either leg is absent.
+func pruneSummaryFrom(results map[string]result) *pruneSummary {
+	perLane := make(map[int]*pruneSummary)
+	for key, r := range results {
+		procs := 1
+		if i := strings.LastIndex(key, "@p"); i >= 0 {
+			p, err := strconv.Atoi(key[i+2:])
+			if err != nil {
+				continue
+			}
+			procs = p
+			key = key[:i]
+		}
+		rest, ok := strings.CutPrefix(key, "SynthesizePrune/")
+		if !ok || r.NsPerOp <= 0 {
+			continue
+		}
+		ps := perLane[procs]
+		if ps == nil {
+			ps = &pruneSummary{Procs: procs}
+			perLane[procs] = ps
+		}
+		switch {
+		case strings.HasSuffix(rest, "/prune"):
+			ps.PruneNs = r.NsPerOp
+			ps.PrunedFrac = r.PrunedFrac
+		case strings.HasSuffix(rest, "/noprune"):
+			ps.NoPruneNs = r.NsPerOp
+		}
+	}
+	var best *pruneSummary
+	for _, ps := range perLane {
+		if ps.PruneNs <= 0 || ps.NoPruneNs <= 0 {
+			continue
+		}
+		if best == nil || ps.Procs > best.Procs {
+			best = ps
+		}
+	}
+	if best == nil {
+		return nil
+	}
+	best.Speedup = round2(best.NoPruneNs / best.PruneNs)
 	return best
 }
 

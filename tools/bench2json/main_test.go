@@ -200,6 +200,32 @@ func TestCacheSummaryFrom(t *testing.T) {
 	}
 }
 
+func TestPruneSummaryFrom(t *testing.T) {
+	results := map[string]result{
+		"SynthesizePrune/d48_sweep/prune@p1":   {NsPerOp: 5000, PrunedFrac: 0.98},
+		"SynthesizePrune/d48_sweep/noprune@p1": {NsPerOp: 13000},
+		"SynthesizePrune/d48_sweep/prune@p4":   {NsPerOp: 2000, PrunedFrac: 0.97},
+		"SynthesizePrune/d48_sweep/noprune@p4": {NsPerOp: 5000},
+		"RouteAll/d26@p4":                      {NsPerOp: 100}, // unrelated: ignored
+	}
+	ps := pruneSummaryFrom(results)
+	if ps == nil {
+		t.Fatal("expected a prune summary")
+	}
+	if ps.Procs != 4 {
+		t.Fatalf("widest lane should win, got procs=%d", ps.Procs)
+	}
+	if ps.Speedup != 2.5 || ps.PrunedFrac != 0.97 {
+		t.Fatalf("speedup=%.2f frac=%.2f, want 2.5 / 0.97", ps.Speedup, ps.PrunedFrac)
+	}
+	if pruneSummaryFrom(map[string]result{"SynthesizePrune/d48_sweep/prune@p1": {NsPerOp: 1}}) != nil {
+		t.Fatal("prune without noprune must yield nil")
+	}
+	if pruneSummaryFrom(map[string]result{"RouteAll/d26@p8": {NsPerOp: 1}}) != nil {
+		t.Fatal("no prune lanes must yield nil")
+	}
+}
+
 func TestLoadCampaign(t *testing.T) {
 	path := writeCampaign(t, `{
 		"design": "d26_media", "islands": 6, "shutdownable": 4,
