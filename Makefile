@@ -5,14 +5,15 @@
 # first-class failures), a single-iteration routing-benchmark smoke
 # run so a broken benchmark cannot sit unnoticed until the next perf
 # pass, a power-state fault-campaign smoke run on the paper's D26
-# case study, and a result-cache smoke run (second synthesis of an
-# unchanged spec must be a full hit, and warm-started re-synthesis must
-# stay bit-identical to cold).
+# case study, a survivability smoke run (k=1 synthesis must absorb
+# every single-link fault with zero re-routing), and a result-cache
+# smoke run (second synthesis of an unchanged spec must be a full hit,
+# and warm-started re-synthesis must stay bit-identical to cold).
 GO ?= go
 
-.PHONY: ci vet fmt lint surface build test race bench bench-analysis bench-smoke bench-all campaign-smoke cache-smoke prune-smoke
+.PHONY: ci vet fmt lint surface build test race bench bench-analysis bench-smoke bench-all campaign-smoke survive-smoke cache-smoke prune-smoke
 
-ci: vet fmt lint surface build race bench-smoke campaign-smoke cache-smoke prune-smoke
+ci: vet fmt lint surface build race bench-smoke campaign-smoke survive-smoke cache-smoke prune-smoke
 
 vet:
 	$(GO) vet ./...
@@ -117,6 +118,18 @@ campaign-smoke:
 	@tmp=$$(mktemp); \
 	$(GO) run ./cmd/nocsynth -bench d26_media -campaign -campaign-json $$tmp >/dev/null && \
 	$(GO) run ./tools/bench2json -campaign $$tmp -o '' </dev/null; \
+	rc=$$?; rm -f $$tmp; exit $$rc
+
+# survive-smoke gates the survivability-k synthesis end-to-end: d26 is
+# synthesized with one link-disjoint backup route per flow (-survive 1),
+# the power-state fault campaign composes every single-link fault under
+# every legal power state, and bench2json -survive-floor 1 fails unless
+# every fault was absorbed by a pre-synthesized backup with zero
+# re-routing (a single non-recoverable fault is a hard failure).
+survive-smoke:
+	@tmp=$$(mktemp); \
+	$(GO) run ./cmd/nocsynth -bench d26_media -survive 1 -campaign -campaign-json $$tmp >/dev/null && \
+	$(GO) run ./tools/bench2json -campaign $$tmp -survive-floor 1 -o '' </dev/null; \
 	rc=$$?; rm -f $$tmp; exit $$rc
 
 # cache-smoke gates the content-addressed result cache end-to-end:

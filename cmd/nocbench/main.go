@@ -8,6 +8,7 @@
 //	nocbench -exp tab1       shutdown-support overhead across the suite
 //	nocbench -exp tab2       island-shutdown power savings scenarios
 //	nocbench -exp campaign   power-state fault campaign across the suite
+//	nocbench -exp survive    power/latency vs survivability degree k
 //	nocbench -exp abl-alpha  ablation: VCG weight alpha
 //	nocbench -exp abl-mid    ablation: intermediate NoC island on/off
 //	nocbench -exp abl-width  ablation: link data width
@@ -25,17 +26,19 @@ import (
 	"time"
 
 	"nocvi/internal/cache"
+	"nocvi/internal/cliflags"
 	"nocvi/internal/experiments"
 	"nocvi/internal/model"
 	"nocvi/internal/prof"
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run (fig2|fig3|fig4|fig5|tab1|tab2|campaign|abl-alpha|abl-mid|abl-part|abl-buffer|abl-dvs|abl-width|all)")
+	exp := flag.String("exp", "all", "experiment to run (fig2|fig3|fig4|fig5|tab1|tab2|campaign|survive|abl-alpha|abl-mid|abl-part|abl-buffer|abl-dvs|abl-width|all)")
 	out := flag.String("out", "", "directory to write DOT/SVG artifacts to (optional)")
 	width := flag.Int("width", 32, "NoC link data width in bits")
 	workers := flag.Int("workers", 0, "design-point evaluation goroutines per synthesis (0 = GOMAXPROCS, 1 = serial)")
 	noPrune := flag.Bool("no-prune", false, "disable branch-and-bound pruning of the design-space sweeps")
+	survive := cliflags.Survive(flag.CommandLine)
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file (go tool pprof)")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	cacheDir := flag.String("cache-dir", "", "content-addressed result cache directory (default $"+cache.EnvDir+"; empty = off)")
@@ -51,6 +54,7 @@ func main() {
 
 	experiments.Workers = *workers
 	experiments.NoPrune = *noPrune
+	experiments.Survive = *survive
 	lib := model.Default65nm()
 	lib.LinkWidthBits = *width
 	stopProf, err := prof.Start(*cpuProfile, *memProfile)
@@ -155,6 +159,13 @@ func run(exp, out string, lib *model.Library) error {
 		}
 		fmt.Println(experiments.FormatCampaign(rows))
 	}
+	if all || exp == "survive" {
+		rows, err := experiments.SurviveSweep(lib, nil)
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiments.FormatSurvive(rows))
+	}
 	if all || exp == "abl-alpha" {
 		rows, err := experiments.AblAlpha(lib)
 		if err != nil {
@@ -198,7 +209,7 @@ func run(exp, out string, lib *model.Library) error {
 		fmt.Println(experiments.FormatAblation("Ablation — link data width (D26, 6 logical VIs)", rows))
 	}
 	switch exp {
-	case "all", "fig2", "fig3", "fig4", "fig5", "tab1", "tab2", "tab3", "load", "cmp-mesh", "cmp-fault", "campaign", "abl-alpha", "abl-mid", "abl-part", "abl-buffer", "abl-dvs", "abl-width":
+	case "all", "fig2", "fig3", "fig4", "fig5", "tab1", "tab2", "tab3", "load", "cmp-mesh", "cmp-fault", "campaign", "survive", "abl-alpha", "abl-mid", "abl-part", "abl-buffer", "abl-dvs", "abl-width":
 		return nil
 	}
 	return fmt.Errorf("unknown experiment %q", exp)

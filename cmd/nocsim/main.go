@@ -16,6 +16,7 @@ import (
 	"strings"
 
 	"nocvi"
+	"nocvi/internal/cliflags"
 )
 
 func main() {
@@ -28,19 +29,19 @@ func main() {
 	tracePath := flag.String("trace", "", "write a per-packet CSV trace to this file")
 	workers := flag.Int("workers", 0, "design-point evaluation goroutines (0 = GOMAXPROCS, 1 = serial)")
 	noPrune := flag.Bool("no-prune", false, "disable branch-and-bound pruning of the design-space sweep")
-	campaign := flag.Bool("campaign", false, "run the power-state fault campaign (with simulator verification) instead of one simulation")
-	campaignStates := flag.Int("campaign-states", 0, "power-state cap for -campaign (0 = default, sampled above it)")
+	camp := cliflags.Campaign(flag.CommandLine)
+	survive := cliflags.Survive(flag.CommandLine)
 	cacheDir := flag.String("cache-dir", "", "content-addressed result cache directory (default $"+nocvi.CacheEnvDir+"; empty = off)")
 	noCache := flag.Bool("no-cache", false, "disable the result cache even when configured")
 	flag.Parse()
 
-	if err := run(*benchName, *method, *islands, *duration, *scale, *offList, *tracePath, *workers, *noPrune, *campaign, *campaignStates, *cacheDir, *noCache); err != nil {
+	if err := run(*benchName, *method, *islands, *duration, *scale, *offList, *tracePath, *workers, *noPrune, camp, *survive, *cacheDir, *noCache); err != nil {
 		fmt.Fprintln(os.Stderr, "nocsim:", err)
 		os.Exit(1)
 	}
 }
 
-func run(benchName, method string, islands int, duration, scale float64, offList, tracePath string, workers int, noPrune, campaign bool, campaignStates int, cacheDir string, noCache bool) error {
+func run(benchName, method string, islands int, duration, scale float64, offList, tracePath string, workers int, noPrune bool, camp *cliflags.CampaignFlags, survive int, cacheDir string, noCache bool) error {
 	var spec *nocvi.Spec
 	var err error
 	if islands == 0 {
@@ -59,7 +60,7 @@ func run(benchName, method string, islands int, duration, scale float64, offList
 	if err != nil {
 		return err
 	}
-	res, err := nocvi.SynthesizeCached(context.Background(), store, spec, nocvi.DefaultLibrary(), nocvi.Options{AllowIntermediate: true, Workers: workers, NoPrune: noPrune})
+	res, err := nocvi.SynthesizeCached(context.Background(), store, spec, nocvi.DefaultLibrary(), nocvi.Options{AllowIntermediate: true, Workers: workers, NoPrune: noPrune, Survivability: survive})
 	if err != nil {
 		return err
 	}
@@ -68,21 +69,25 @@ func run(benchName, method string, islands int, duration, scale float64, offList
 	}
 	top := res.Best().Top
 
-	if campaign {
+	if camp.Wanted() {
 		// The simulator's view of shutdown: the campaign with SimVerify
 		// checks delivery under every power state, not just the one -off
 		// mask a single run exercises.
-		camp, err := nocvi.RunCampaignCached(store, top, nocvi.CampaignOptions{
-			MaxStates: campaignStates,
-			SimVerify: true,
-			Workers:   workers,
+		rep, err := nocvi.RunCampaignCached(store, top, nocvi.CampaignOptions{
+			MaxStates:     camp.States,
+			SimVerify:     true,
+			Workers:       workers,
+			Survivability: survive,
 		})
 		if err != nil {
 			return err
 		}
-		fmt.Print(camp.Format())
-		if !camp.OK() {
-			return fmt.Errorf("shutdown invariant violated in %d power state(s)", camp.InvariantViolations)
+		fmt.Print(rep.Format())
+		if err := camp.WriteJSON(rep); err != nil {
+			return err
+		}
+		if !rep.OK() {
+			return fmt.Errorf("shutdown invariant violated in %d power state(s)", rep.InvariantViolations)
 		}
 		return nil
 	}

@@ -4,17 +4,21 @@ import (
 	"os"
 	"strings"
 	"testing"
+
+	"nocvi/internal/cliflags"
 )
 
+func noCamp() *cliflags.CampaignFlags { return &cliflags.CampaignFlags{} }
+
 func TestRunBasic(t *testing.T) {
-	if err := run("d16_industrial", "logical", 0, 5000, 1.0, "", "", 0, false, false, 0, "", true); err != nil {
+	if err := run("d16_industrial", "logical", 0, 5000, 1.0, "", "", 0, false, noCamp(), 0, "", true); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunWithTrace(t *testing.T) {
 	path := t.TempDir() + "/trace.csv"
-	if err := run("d16_industrial", "logical", 0, 3000, 1.0, "", path, 0, false, false, 0, "", true); err != nil {
+	if err := run("d16_industrial", "logical", 0, 3000, 1.0, "", path, 0, false, noCamp(), 0, "", true); err != nil {
 		t.Fatal(err)
 	}
 	data, err := os.ReadFile(path)
@@ -28,10 +32,10 @@ func TestRunWithTrace(t *testing.T) {
 
 func TestRunWithShutdown(t *testing.T) {
 	// d26 logical-6: islands 0,1,4,5 are shutdownable (2,3 hold memory).
-	if err := run("d26_media", "logical", 6, 5000, 1.0, "1", "", 0, false, false, 0, "", true); err != nil {
+	if err := run("d26_media", "logical", 6, 5000, 1.0, "1", "", 0, false, noCamp(), 0, "", true); err != nil {
 		t.Fatal(err)
 	}
-	if err := run("d26_media", "logical", 6, 5000, 2.0, "1,4", "", 0, false, false, 0, "", true); err != nil {
+	if err := run("d26_media", "logical", 6, 5000, 2.0, "1,4", "", 0, false, noCamp(), 0, "", true); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -39,23 +43,44 @@ func TestRunWithShutdown(t *testing.T) {
 func TestRunCampaign(t *testing.T) {
 	// Campaign mode replaces the single simulation: every power state is
 	// checked with the simulator, and a clean design exits zero.
-	if err := run("d16_industrial", "logical", 0, 1000, 1.0, "", "", 0, false, true, 0, "", true); err != nil {
+	camp := &cliflags.CampaignFlags{Run: true}
+	if err := run("d16_industrial", "logical", 0, 1000, 1.0, "", "", 0, false, camp, 0, "", true); err != nil {
 		t.Fatal(err)
 	}
 }
 
+func TestRunCampaignJSONSurvivable(t *testing.T) {
+	// A JSON path alone selects campaign mode; at -survive 1 the written
+	// report must carry the zero-reroute contract for bench2json's
+	// -survive-floor gate.
+	path := t.TempDir() + "/camp.json"
+	camp := &cliflags.CampaignFlags{JSON: path}
+	if err := run("d16_industrial", "logical", 0, 1000, 1.0, "", "", 0, false, camp, 1, "", true); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`"invariant_violations": 0`, `"survivability": 1`, `"zero_reroute"`} {
+		if !strings.Contains(string(data), want) {
+			t.Fatalf("campaign JSON missing %s:\n%s", want, data)
+		}
+	}
+}
+
 func TestRunErrors(t *testing.T) {
-	if err := run("missing", "logical", 0, 1000, 1, "", "", 0, false, false, 0, "", true); err == nil {
+	if err := run("missing", "logical", 0, 1000, 1, "", "", 0, false, noCamp(), 0, "", true); err == nil {
 		t.Fatal("unknown benchmark accepted")
 	}
-	if err := run("d26_media", "logical", 6, 1000, 1, "notanumber", "", 0, false, false, 0, "", true); err == nil {
+	if err := run("d26_media", "logical", 6, 1000, 1, "notanumber", "", 0, false, noCamp(), 0, "", true); err == nil {
 		t.Fatal("bad island id accepted")
 	}
-	if err := run("d26_media", "logical", 6, 1000, 1, "99", "", 0, false, false, 0, "", true); err == nil {
+	if err := run("d26_media", "logical", 6, 1000, 1, "99", "", 0, false, noCamp(), 0, "", true); err == nil {
 		t.Fatal("out-of-range island accepted")
 	}
 	// Island 2 of the logical-6 partition holds memory: never gateable.
-	if err := run("d26_media", "logical", 6, 1000, 1, "2", "", 0, false, false, 0, "", true); err == nil {
+	if err := run("d26_media", "logical", 6, 1000, 1, "2", "", 0, false, noCamp(), 0, "", true); err == nil {
 		t.Fatal("gating a non-shutdownable island accepted")
 	}
 }

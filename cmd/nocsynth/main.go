@@ -9,7 +9,6 @@ package main
 
 import (
 	"context"
-	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -18,6 +17,7 @@ import (
 	"syscall"
 
 	"nocvi"
+	"nocvi/internal/cliflags"
 	"nocvi/internal/prof"
 )
 
@@ -30,9 +30,8 @@ func main() {
 	verilogPath := flag.String("verilog", "", "write a structural Verilog netlist to this file")
 	doVerify := flag.Bool("verify", false, "run the full design-rule sign-off on the selected point")
 	doFault := flag.Bool("fault", false, "sweep single-link failures on the selected point")
-	doCampaign := flag.Bool("campaign", false, "run the power-state fault campaign on the selected point")
-	campaignStates := flag.Int("campaign-states", 0, "power-state cap for -campaign (0 = default, sampled above it)")
-	campaignJSON := flag.String("campaign-json", "", "write the -campaign report as JSON to this file")
+	camp := cliflags.Campaign(flag.CommandLine)
+	survive := cliflags.Survive(flag.CommandLine)
 	relax := flag.Bool("relax", false, "retry an infeasible spec under the degradation ladder")
 	method := flag.String("method", "logical", "island partitioning: logical|communication")
 	islands := flag.Int("islands", 0, "voltage island count (0 = benchmark default)")
@@ -62,7 +61,7 @@ func main() {
 		method: *method, islands: *islands, alpha: *alpha, mid: !*noMid,
 		width: *width, node: *node, dotPath: *dotPath, svgPath: *svgPath, jsonPath: *jsonPath,
 		verilogPath: *verilogPath, verify: *doVerify, fault: *doFault,
-		campaign: *doCampaign, campaignStates: *campaignStates, campaignJSON: *campaignJSON,
+		camp: camp, survive: *survive,
 		relax: *relax, workers: *workers, noPrune: *noPrune,
 		cacheDir: *cacheDir, noCache: *noCache,
 	}
@@ -98,9 +97,8 @@ type runConfig struct {
 	width                         int
 	node                          string
 	fault                         bool
-	campaign                      bool
-	campaignStates                int
-	campaignJSON                  string
+	camp                          *cliflags.CampaignFlags
+	survive                       int
 	relax                         bool
 	dotPath, svgPath, jsonPath    string
 	verilogPath                   string
@@ -163,6 +161,7 @@ func run(ctx context.Context, cfg runConfig) error {
 		Workers:           cfg.workers,
 		Relax:             cfg.relax,
 		NoPrune:           cfg.noPrune,
+		Survivability:     cfg.survive,
 	})
 	if err != nil {
 		return err
@@ -245,25 +244,19 @@ func run(ctx context.Context, cfg runConfig) error {
 		fmt.Println()
 		fmt.Print(rep.Format())
 	}
-	if cfg.campaign || cfg.campaignJSON != "" {
+	if cfg.camp.Wanted() {
 		camp, err := nocvi.RunCampaignCached(store, best.Top, nocvi.CampaignOptions{
-			MaxStates: cfg.campaignStates,
-			Workers:   cfg.workers,
+			MaxStates:     cfg.camp.States,
+			Workers:       cfg.workers,
+			Survivability: cfg.survive,
 		})
 		if err != nil {
 			return err
 		}
 		fmt.Println()
 		fmt.Print(camp.Format())
-		if cfg.campaignJSON != "" {
-			data, err := json.MarshalIndent(camp, "", "  ")
-			if err != nil {
-				return err
-			}
-			if err := os.WriteFile(cfg.campaignJSON, append(data, '\n'), 0o644); err != nil {
-				return err
-			}
-			fmt.Printf("[wrote %s]\n", cfg.campaignJSON)
+		if err := cfg.camp.WriteJSON(camp); err != nil {
+			return err
 		}
 	}
 	if cfg.verilogPath != "" {

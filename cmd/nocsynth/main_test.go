@@ -6,6 +6,8 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"nocvi/internal/cliflags"
 )
 
 func TestRunBenchmarkWithArtifacts(t *testing.T) {
@@ -37,17 +39,16 @@ func TestRunBenchmarkWithArtifacts(t *testing.T) {
 func TestRunCampaign(t *testing.T) {
 	dir := t.TempDir()
 	cfg := runConfig{
-		benchName:    "d16_industrial",
-		method:       "logical",
-		mid:          true,
-		width:        32,
-		campaign:     true,
-		campaignJSON: filepath.Join(dir, "campaign.json"),
+		benchName: "d16_industrial",
+		method:    "logical",
+		mid:       true,
+		width:     32,
+		camp:      &cliflags.CampaignFlags{Run: true, JSON: filepath.Join(dir, "campaign.json")},
 	}
 	if err := run(context.Background(), cfg); err != nil {
 		t.Fatal(err)
 	}
-	data, err := os.ReadFile(cfg.campaignJSON)
+	data, err := os.ReadFile(cfg.camp.JSON)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -35,7 +35,9 @@ import (
 // layout change invalidates old entries instead of misdecoding them.
 // v2: SweepResult.Evaluated became the three-way Explored count when
 // the branch-and-bound layer landed.
-const codecVersion = 2
+// v3: routes grew backup paths (topology.Route.Backups) when the
+// survivability constraint landed.
+const codecVersion = 3
 
 var errCorrupt = errors.New("cache: malformed encoded result")
 
@@ -401,6 +403,20 @@ func encodeTopology(e *enc, t *topology.Topology) {
 		// nilness is an in-memory shape to preserve: single-switch routes
 		// keep a nil Links, multi-hop ones a populated slice.
 		e.bool(r.Links != nil)
+		// Backup paths of survivable designs: switch walks only — their
+		// links re-derive by FindLink on decode, exactly like the
+		// primary's, and their links are already in the links section
+		// (backups open real links; they just carry no traffic).
+		e.bool(r.Backups != nil)
+		e.u64(uint64(len(r.Backups)))
+		for bi := range r.Backups {
+			b := &r.Backups[bi]
+			e.u64(uint64(len(b.Switches)))
+			for _, sw := range b.Switches {
+				e.int(int(sw))
+			}
+			e.bool(b.Links != nil)
+		}
 	}
 }
 
@@ -520,6 +536,50 @@ func decodeTopology(d *dec, spec *soc.Spec, lib *model.Library) (*topology.Topol
 		}
 		if err := top.AddRoute(topology.Route{Flow: flow, Switches: sws, Links: links}); err != nil {
 			return nil, fmt.Errorf("cache: %w", err)
+		}
+		backupsNotNil := d.bool()
+		nBackups := d.length()
+		if d.err != nil || (!backupsNotNil && nBackups > 0) {
+			return nil, errCorrupt
+		}
+		if backupsNotNil && nBackups == 0 {
+			// Non-nil empty is a shape the engine never produces, but the
+			// round-trip preserves it for DeepEqual-grade fidelity.
+			top.Routes[i].Backups = []topology.Path{}
+		}
+		for bi := 0; bi < nBackups && d.err == nil; bi++ {
+			nbPath := d.length()
+			if d.err != nil || nbPath == 0 {
+				return nil, errCorrupt
+			}
+			bsws := make([]topology.SwitchID, nbPath)
+			for p := range bsws {
+				sw := d.int()
+				if sw < 0 || sw >= nSw {
+					return nil, errCorrupt
+				}
+				bsws[p] = topology.SwitchID(sw)
+			}
+			bLinksNotNil := d.bool()
+			if d.err != nil {
+				return nil, d.err
+			}
+			var bLinks []topology.LinkID
+			if bLinksNotNil {
+				bLinks = make([]topology.LinkID, nbPath-1)
+				for p := 0; p+1 < nbPath; p++ {
+					lid, ok := top.FindLink(bsws[p], bsws[p+1])
+					if !ok {
+						return nil, errCorrupt
+					}
+					bLinks[p] = lid
+				}
+			} else if nbPath > 1 {
+				return nil, errCorrupt // multi-hop backup cannot have nil links
+			}
+			if err := top.AddBackup(i, topology.Path{Switches: bsws, Links: bLinks}); err != nil {
+				return nil, fmt.Errorf("cache: %w", err)
+			}
 		}
 	}
 	if d.err != nil {

@@ -185,3 +185,43 @@ func TestPartitionPayloadRoundTrip(t *testing.T) {
 		t.Fatal("trailing garbage accepted")
 	}
 }
+
+// TestResultCodecRoundTripSurvivable extends the round-trip proof to
+// topologies carrying backup routes: the Backups arrays (covered by the
+// Routes DeepEqual in sameTopology) must survive the codec bit-exactly,
+// and the decoded topologies must still prove the survivability
+// contract from their reconstructed state.
+func TestResultCodecRoundTripSurvivable(t *testing.T) {
+	lib := model.Default65nm()
+	spec := bench.D26()
+	opt := testOptions()
+	opt.Survivability = 1
+	res, err := core.Synthesize(spec, lib, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	backups := 0
+	for i := range res.Points {
+		top := res.Points[i].Top
+		for ri := range top.Routes {
+			backups += len(top.Routes[ri].Backups)
+		}
+	}
+	if backups == 0 {
+		t.Fatal("k=1 synthesis produced no backups — round trip asserts nothing")
+	}
+	blob := EncodeResult(res)
+	dec, err := DecodeResult(blob, spec, lib)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	sameResult(t, "d26 k=1", res, dec)
+	for i := range dec.Points {
+		if err := dec.Points[i].Top.ValidateSurvivable(1); err != nil {
+			t.Fatalf("decoded point %d lost the survivability contract: %v", i, err)
+		}
+	}
+	if ResultDigest(res) != ResultDigest(dec) {
+		t.Fatal("digest not a fixed point for a survivable result")
+	}
+}

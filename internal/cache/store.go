@@ -43,7 +43,12 @@ import (
 // but Result.Points under pruning is the canonical kept subset and
 // SweepResult gained the Explored/PruneStats accounting, so v1 entries
 // no longer describe what the engine reports.
-const EngineVersion = 2
+//
+// v3: the survivability constraint — Options.Survivability entered the
+// options digest, routed topologies can carry backup paths, and the
+// campaign report grew zero-re-route accounting, so v2 entries no
+// longer describe the engine surface.
+const EngineVersion = 3
 
 // Entry classes: the subdirectory an artifact kind lives under. Keys
 // are only unique within a class.

@@ -55,7 +55,7 @@ func CampaignKey(top *topology.Topology, opt fault.CampaignOptions) specio.Diges
 	}
 	return specio.CombineDigests("nocvi-campaign", EngineVersion,
 		[]specio.Digest{specio.SpecDigest(top.Spec), specio.LibraryDigest(top.Lib), TopologyDigest(top)},
-		[]int64{codecVersion, int64(opt.MaxStates), sim})
+		[]int64{codecVersion, int64(opt.MaxStates), sim, int64(opt.Survivability)})
 }
 
 // resolvedAlpha mirrors core's treatment of the Alpha option: zero is

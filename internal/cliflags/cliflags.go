@@ -1,0 +1,68 @@
+// Package cliflags registers the flags shared by the CLIs
+// (cmd/nocsynth, cmd/nocsim, cmd/nocbench). A knob that several
+// binaries expose is registered here once — same name, same default,
+// same help text — instead of once per main.go, so the binaries cannot
+// silently drift apart: the power-state fault-campaign trio and the
+// survivability degree live here.
+package cliflags
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+)
+
+// CampaignFlags holds the shared -campaign trio after flag parsing.
+type CampaignFlags struct {
+	// Run mirrors -campaign: run the power-state fault campaign.
+	Run bool
+	// States mirrors -campaign-states: the power-state cap.
+	States int
+	// JSON mirrors -campaign-json: where to write the report.
+	JSON string
+}
+
+// Campaign registers -campaign, -campaign-states and -campaign-json on
+// fs (flag.CommandLine in the CLIs) and returns the destination struct,
+// populated once fs.Parse has run.
+func Campaign(fs *flag.FlagSet) *CampaignFlags {
+	c := &CampaignFlags{}
+	fs.BoolVar(&c.Run, "campaign", false, "run the power-state fault campaign on the selected design point")
+	fs.IntVar(&c.States, "campaign-states", 0, "power-state cap for -campaign (0 = default, sampled above it)")
+	fs.StringVar(&c.JSON, "campaign-json", "", "write the -campaign report as JSON to this file")
+	return c
+}
+
+// Wanted reports whether a campaign run was requested: -campaign
+// itself, or -campaign-json (a report file implies a run to produce
+// it). A nil receiver never wants one, so callers that assemble their
+// config by hand need not allocate the struct.
+func (c *CampaignFlags) Wanted() bool { return c != nil && (c.Run || c.JSON != "") }
+
+// WriteJSON writes the campaign report to the -campaign-json path when
+// one was given, logging the write the way the CLIs' other artifact
+// writers do. A nil error with no path is the no-op case.
+func (c *CampaignFlags) WriteJSON(report any) error {
+	if c.JSON == "" {
+		return nil
+	}
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(c.JSON, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("[wrote %s]\n", c.JSON)
+	return nil
+}
+
+// Survive registers the shared -survive flag and returns its
+// destination: the survivability degree k. Every flow is synthesized
+// with k extra link-disjoint island-legal backup routes, so any single
+// link failure (k=1) is absorbed by activating a pre-provisioned
+// standby route — zero re-routing at fault time.
+func Survive(fs *flag.FlagSet) *int {
+	return fs.Int("survive", 0, "survivability degree k: synthesize k link-disjoint backup routes per flow (0 = off)")
+}

@@ -1,0 +1,70 @@
+package cliflags
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestCampaignRegistersSharedTrio(t *testing.T) {
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	c := Campaign(fs)
+	if c.Wanted() {
+		t.Fatal("freshly registered flags already want a campaign")
+	}
+	if err := fs.Parse([]string{"-campaign-json", "out.json", "-campaign-states", "7"}); err != nil {
+		t.Fatal(err)
+	}
+	if c.Run || c.States != 7 || c.JSON != "out.json" {
+		t.Fatalf("parse mismatch: %+v", c)
+	}
+	// -campaign-json alone implies a run.
+	if !c.Wanted() {
+		t.Fatal("a JSON path must imply a campaign run")
+	}
+
+	fs2 := flag.NewFlagSet("test2", flag.ContinueOnError)
+	c2 := Campaign(fs2)
+	if err := fs2.Parse([]string{"-campaign"}); err != nil {
+		t.Fatal(err)
+	}
+	if !c2.Run || !c2.Wanted() {
+		t.Fatal("-campaign not honored")
+	}
+
+	var nilCamp *CampaignFlags
+	if nilCamp.Wanted() {
+		t.Fatal("nil receiver wants a campaign")
+	}
+}
+
+func TestSurviveFlag(t *testing.T) {
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	k := Survive(fs)
+	if err := fs.Parse([]string{"-survive", "2"}); err != nil {
+		t.Fatal(err)
+	}
+	if *k != 2 {
+		t.Fatalf("survive = %d, want 2", *k)
+	}
+}
+
+func TestWriteJSON(t *testing.T) {
+	c := &CampaignFlags{}
+	if err := c.WriteJSON(map[string]int{"x": 1}); err != nil {
+		t.Fatalf("empty path must be a no-op, got %v", err)
+	}
+	c.JSON = filepath.Join(t.TempDir(), "rep.json")
+	if err := c.WriteJSON(map[string]int{"x": 1}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(c.JSON)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), `"x": 1`) || !strings.HasSuffix(string(data), "\n") {
+		t.Fatalf("malformed report file: %q", data)
+	}
+}

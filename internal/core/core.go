@@ -115,11 +115,24 @@ type Options struct {
 
 	// Relax opts into the degradation ladder: when the sweep finds no
 	// valid design point, the spec is retried under cumulative
-	// Algorithm-1-style relaxations (more indirect switches, latency
-	// slack ×1.1, larger max switch size) instead of failing hard. The
-	// applied relaxations are stamped on the Result and on every
-	// DesignPoint it contains. See relax.go.
+	// Algorithm-1-style relaxations (survivability step-down, more
+	// indirect switches, latency slack ×1.1, larger max switch size)
+	// instead of failing hard. The applied relaxations are stamped on
+	// the Result and on every DesignPoint it contains. See relax.go.
 	Relax bool
+
+	// Survivability requires k+1 link-disjoint island-legal routes per
+	// flow: the primary plus k pre-synthesized cold-standby backups,
+	// searched in-loop by the router (see route.Options.Survivability)
+	// and proven by topology.ValidateSurvivable before a candidate may
+	// become a design point. At k >= 1 any single-link fault under any
+	// legal power state is absorbed by switching the severed flow onto
+	// a backup with zero re-routing. Zero (the default) synthesizes
+	// byte-identically to an engine without the feature. This is the
+	// canonical survivability knob — synthesizeAttempt normalizes it
+	// into Router.Survivability, overwriting whatever the caller put
+	// there — and it participates in cache-key digests.
+	Survivability int
 
 	// PartitionBacking, when non-nil, supplies a persistence layer for
 	// island j's partition cache: newPartitioner calls it once per
@@ -393,6 +406,14 @@ func synthesizeAttempt(ctx context.Context, spec *soc.Spec, lib *model.Library, 
 	if err := lib.Validate(); err != nil {
 		return nil, fmt.Errorf("core: %w", err)
 	}
+	// Survivability is normalized into the router options here — the
+	// core knob is canonical, so a caller-set Router.Survivability is
+	// overwritten — and every worker reads the normalized copy through
+	// the shared env.
+	if opt.Survivability < 0 {
+		opt.Survivability = 0
+	}
+	opt.Router.Survivability = opt.Survivability
 	res := &Result{Spec: spec}
 
 	// Step 1: island NoC clocks and max switch sizes.
@@ -1065,6 +1086,17 @@ func buildPoint(bc *buildContext, counts []int, parts [][]int, mid int) (*Design
 		}
 		if pr.dominates(bc.pruneIdx, stagePowerW, top.MeanZeroLoadLatency()) {
 			return nil, errStagePruned
+		}
+	}
+
+	// Survivability as a feasibility predicate: the router already
+	// failed candidates it could not give k disjoint backups, and this
+	// proves the property it claims to have established — per-flow
+	// backup count, structure, island legality, latency and pairwise
+	// link-disjointness — before the candidate may become a point.
+	if k := opt.Survivability; k > 0 {
+		if err := top.ValidateSurvivable(k); err != nil {
+			return nil, err
 		}
 	}
 

@@ -15,6 +15,14 @@ import (
 // still a faithful Algorithm 1 outcome — just of a slightly easier
 // problem, and labeled as such.
 const (
+	// RelaxSurvivability steps Options.Survivability down by one: a
+	// spec that cannot afford k disjoint backups per flow may still
+	// afford k-1. Redundancy is the cheapest guarantee to concede — it
+	// degrades before any constraint of the spec itself bends (per the
+	// roadmap, k steps down before latency slack), and the rung is
+	// skipped entirely at k=0, where it could not change the problem.
+	RelaxSurvivability = "survivability"
+
 	// RelaxIntermediate turns on the intermediate NoC island (or widens
 	// its switch sweep if already on): indirect switches give flows a
 	// second island to route through when direct inter-island links
@@ -41,20 +49,34 @@ const (
 
 // relaxation is one rung of the degradation ladder: a name stamped on
 // results and an apply step producing the relaxed problem. Rungs are
-// cumulative — rung k retries with rungs 1..k all applied.
+// cumulative — rung k retries with rungs 1..k all applied. A non-nil
+// enabled predicate gates the rung: when it reports false for the
+// current options the rung is skipped without being applied or
+// stamped (a no-op retry of the identical problem proves nothing).
 type relaxation struct {
-	name  string
-	apply func(spec *soc.Spec, lib *model.Library, opt Options) (*soc.Spec, *model.Library, Options)
+	name    string
+	apply   func(spec *soc.Spec, lib *model.Library, opt Options) (*soc.Spec, *model.Library, Options)
+	enabled func(opt Options) bool
 }
 
 // ladder lists the rungs in escalation order: cheapest concession
-// first. More indirect switches cost area but honor every constraint;
-// latency slack bends the spec's constraints; a larger max switch size
-// bends the technology model. See DESIGN.md for the rationale.
+// first. Stepping survivability down concedes redundancy the spec
+// never asked for; more indirect switches cost area but honor every
+// constraint; latency slack bends the spec's constraints; a larger max
+// switch size bends the technology model. See DESIGN.md for the
+// rationale.
 var ladder = []relaxation{
-	{RelaxIntermediate, relaxIntermediate},
-	{RelaxLatency, relaxLatency},
-	{RelaxSwitchSize, relaxSwitchSize},
+	{RelaxSurvivability, relaxSurvivability, func(opt Options) bool { return opt.Survivability > 0 }},
+	{RelaxIntermediate, relaxIntermediate, nil},
+	{RelaxLatency, relaxLatency, nil},
+	{RelaxSwitchSize, relaxSwitchSize, nil},
+}
+
+func relaxSurvivability(spec *soc.Spec, lib *model.Library, opt Options) (*soc.Spec, *model.Library, Options) {
+	if opt.Survivability > 0 {
+		opt.Survivability--
+	}
+	return spec, lib, opt
 }
 
 func relaxIntermediate(spec *soc.Spec, lib *model.Library, opt Options) (*soc.Spec, *model.Library, Options) {
@@ -105,6 +127,9 @@ func relaxedSynthesize(ctx context.Context, spec *soc.Spec, lib *model.Library, 
 	for _, rung := range ladder {
 		if ctx.Err() != nil {
 			return nil, orig
+		}
+		if rung.enabled != nil && !rung.enabled(opt) {
+			continue // rung cannot change the problem; skip without stamping
 		}
 		spec, lib, opt = rung.apply(spec, lib, opt)
 		applied = append(applied, rung.name)

@@ -395,6 +395,12 @@ func SynthesizeSweep(ctx context.Context, spec *soc.Spec, lib *model.Library, op
 	if err := lib.Validate(); err != nil {
 		return nil, fmt.Errorf("core: %w", err)
 	}
+	// Same survivability normalization as synthesizeAttempt: the core
+	// knob is canonical and flows to every worker's router via the env.
+	if opt.Survivability < 0 {
+		opt.Survivability = 0
+	}
+	opt.Router.Survivability = opt.Survivability
 	freqs, maxSizes, err := IslandClocks(spec, lib)
 	if err != nil {
 		return nil, err

@@ -46,6 +46,17 @@ type CampaignOptions struct {
 	// byte-identical report: states are enumerated up front and results
 	// collected in state order.
 	Workers int
+
+	// Survivability is the synthesis survivability level the design was
+	// built with (core.Options.Survivability). When >= 1 the campaign
+	// asserts zero-re-route recovery instead of attempting repair: every
+	// affected active flow must hold a pre-synthesized backup route that
+	// avoids the failed link and the gated islands, and a link fault
+	// with no such backup is reported unrecoverable — the campaign never
+	// falls back to re-routing, because re-routing is exactly what the
+	// guarantee promises to make unnecessary. Zero keeps the historical
+	// behaviour: recoverability via constrained re-routing.
+	Survivability int
 }
 
 // StateOutcome is the campaign result for one power state.
@@ -73,9 +84,12 @@ type StateOutcome struct {
 
 	// Links counts the powered links subjected to single-link failure
 	// under this state; Recoverable how many of those failures the
-	// surviving links could route around.
+	// surviving links could route around. ZeroReroute counts the subset
+	// recovered purely by pre-synthesized backup routes — all of
+	// Recoverable for survivable designs, zero (and omitted) otherwise.
 	Links       int `json:"links"`
 	Recoverable int `json:"recoverable"`
+	ZeroReroute int `json:"zero_reroute,omitempty"`
 
 	// Unrecovered lists the link failures the state could not absorb,
 	// sorted by LinkID.
@@ -100,9 +114,14 @@ type Campaign struct {
 	InvariantViolations int `json:"invariant_violations"`
 
 	// LinkFaults and Recovered aggregate the per-state link-failure
-	// sweeps.
-	LinkFaults int `json:"link_faults"`
-	Recovered  int `json:"recovered"`
+	// sweeps; ZeroReroute the subset recovered purely via pre-synthesized
+	// backup routes. Survivability echoes the level the campaign asserted
+	// (CampaignOptions.Survivability). Both are omitted at zero, keeping
+	// k=0 reports byte-identical to builds that predate the fields.
+	LinkFaults    int `json:"link_faults"`
+	Recovered     int `json:"recovered"`
+	ZeroReroute   int `json:"zero_reroute,omitempty"`
+	Survivability int `json:"survivability,omitempty"`
 }
 
 // OK reports whether every evaluated power state upheld the shutdown
@@ -146,10 +165,11 @@ func RunCampaign(top *topology.Topology, opt CampaignOptions) (*Campaign, error)
 	shutdownable := shutdownableIslands(top)
 	k := len(shutdownable)
 	c := &Campaign{
-		Design:       top.Spec.Name,
-		Islands:      len(top.Spec.Islands),
-		Shutdownable: k,
-		StateSpace:   stateSpaceSize(k),
+		Design:        top.Spec.Name,
+		Islands:       len(top.Spec.Islands),
+		Shutdownable:  k,
+		StateSpace:    stateSpaceSize(k),
+		Survivability: opt.Survivability,
 	}
 	masks := enumerateStates(k, opt.maxStates())
 	c.Sampled = int64(len(masks)) < c.StateSpace
@@ -173,6 +193,7 @@ func RunCampaign(top *topology.Topology, opt CampaignOptions) (*Campaign, error)
 		}
 		c.LinkFaults += s.Links
 		c.Recovered += s.Recoverable
+		c.ZeroReroute += s.ZeroReroute
 	}
 	return c, nil
 }
@@ -350,13 +371,16 @@ func evalState(top *topology.Topology, shutdownable []soc.IslandID, mask uint64,
 		if linkGated(top, l, off) {
 			continue
 		}
-		out, err := tryWithoutUnderState(top, l.ID, off, active)
+		out, err := tryWithoutUnderState(top, l.ID, off, active, opt.Survivability)
 		if err != nil {
 			return s, err
 		}
 		s.Links++
 		if out.Recovered {
 			s.Recoverable++
+			if out.ZeroReroute {
+				s.ZeroReroute++
+			}
 		} else {
 			s.Unrecovered = append(s.Unrecovered, *out)
 		}
@@ -392,8 +416,10 @@ func linkGated(top *topology.Topology, l topology.Link, off []bool) bool {
 // failed link is removed, and only the state's active flows are
 // re-routed over the surviving links. Routes that never used the link
 // are unaffected by its loss, so a failure with zero affected active
-// flows recovers trivially without a rebuild.
-func tryWithoutUnderState(orig *topology.Topology, failed topology.LinkID, off []bool, active []soc.Flow) (*LinkOutcome, error) {
+// flows recovers trivially without a rebuild. With survivability >= 1
+// re-routing is off the table: every affected flow must fall back to a
+// pre-synthesized backup route, or the fault is unrecoverable.
+func tryWithoutUnderState(orig *topology.Topology, failed topology.LinkID, off []bool, active []soc.Flow, survivability int) (*LinkOutcome, error) {
 	out := &LinkOutcome{Link: failed}
 	for ri := range orig.Routes {
 		r := &orig.Routes[ri]
@@ -409,7 +435,14 @@ func tryWithoutUnderState(orig *topology.Topology, failed topology.LinkID, off [
 	}
 	if out.AffectedFlows == 0 {
 		out.Recovered = true
+		// No active flow crosses the link: absorbed without re-routing
+		// by definition. Only stamped under the survivability contract so
+		// k=0 reports stay byte-identical to earlier engine versions.
+		out.ZeroReroute = survivability >= 1
 		return out, nil
+	}
+	if survivability >= 1 {
+		return recoverViaBackups(orig, failed, off, out)
 	}
 
 	top, err := rebuildWithout(orig, failed)
@@ -436,6 +469,74 @@ func tryWithoutUnderState(orig *topology.Topology, failed topology.LinkID, off [
 	return out, nil
 }
 
+// recoverViaBackups resolves a link fault under a survivable design's
+// zero-re-route contract: every affected active route must hold a
+// pre-synthesized backup path that avoids both the failed link and
+// every gated island. No topology is rebuilt and no flow re-routed —
+// recovery is a pure lookup, which is the run-time story the
+// survivability guarantee buys. The first flow with no usable backup
+// makes the fault unrecoverable.
+func recoverViaBackups(orig *topology.Topology, failed topology.LinkID, off []bool, out *LinkOutcome) (*LinkOutcome, error) {
+	for ri := range orig.Routes {
+		r := &orig.Routes[ri]
+		if off[orig.Spec.IslandOf[r.Flow.Src]] || off[orig.Spec.IslandOf[r.Flow.Dst]] {
+			continue
+		}
+		affected := false
+		for _, lid := range r.Links {
+			if lid == failed {
+				affected = true
+				break
+			}
+		}
+		if !affected {
+			continue
+		}
+		if !hasUsableBackup(orig, r, failed, off) {
+			//noclint:ignore bannedcall unrecoverable-fault report message, not a cache key
+			out.Reason = fmt.Sprintf("fault: flow %d->%d has no backup route avoiding link %d",
+				r.Flow.Src, r.Flow.Dst, failed)
+			return out, nil
+		}
+	}
+	out.Recovered = true
+	out.ZeroReroute = true
+	return out, nil
+}
+
+// hasUsableBackup reports whether one of the route's pre-synthesized
+// backups survives the composed fault: it must not traverse the failed
+// link, and every switch on it must sit in a powered island. For
+// designs the synthesis engine produced, the island forward discipline
+// already confines backups to the flow's endpoint islands and the
+// never-gated intermediate island, so an active flow's backups pass
+// the island check by construction — it is verified here, not assumed.
+func hasUsableBackup(top *topology.Topology, r *topology.Route, failed topology.LinkID, off []bool) bool {
+	for bi := range r.Backups {
+		b := &r.Backups[bi]
+		usable := true
+		for _, lid := range b.Links {
+			if lid == failed {
+				usable = false
+				break
+			}
+		}
+		if !usable {
+			continue
+		}
+		for _, sw := range b.Switches {
+			if isl := top.Switches[sw].Island; int(isl) < len(off) && off[isl] {
+				usable = false
+				break
+			}
+		}
+		if usable {
+			return true
+		}
+	}
+	return false
+}
+
 // Format renders the campaign report.
 func (c *Campaign) Format() string {
 	var b strings.Builder
@@ -454,6 +555,10 @@ func (c *Campaign) Format() string {
 	}
 	fmt.Fprintf(&b, "  link faults under power states: %d/%d recoverable (%.0f%%)\n",
 		c.Recovered, c.LinkFaults, c.RecoverableFrac()*100)
+	if c.Survivability >= 1 {
+		fmt.Fprintf(&b, "  survivability %d: %d/%d faults absorbed with zero re-routing\n",
+			c.Survivability, c.ZeroReroute, c.LinkFaults)
+	}
 	for i := range c.States {
 		s := &c.States[i]
 		if s.InvariantOK && len(s.Unrecovered) == 0 {

@@ -145,3 +145,87 @@ func TestCampaignSampling(t *testing.T) {
 		t.Fatal("two identical campaigns sampled different states")
 	}
 }
+
+// synthSurvivable synthesizes a benchmark at survivability k.
+func synthSurvivable(t *testing.T, name string, k int) *topology.Topology {
+	t.Helper()
+	spec, err := bench.Islanded(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := core.Synthesize(spec, model.Default65nm(), core.Options{
+		AllowIntermediate: true, MaxDesignPoints: 1, Survivability: k,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res.Best().Top
+}
+
+// TestCampaignZeroRerouteAtK1 is the campaign half of the survivability
+// contract: a k=1 design must absorb every single-link fault in every
+// legal power state purely via its pre-synthesized backups — zero
+// re-routed flows — and the report must be byte-identical at any worker
+// count.
+func TestCampaignZeroRerouteAtK1(t *testing.T) {
+	top := synthSurvivable(t, "d26_media", 1)
+	opt := CampaignOptions{Survivability: 1, Workers: 1}
+	rep, err := RunCampaign(top, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.OK() {
+		t.Fatalf("k=1 design violated the shutdown invariant:\n%s", rep.Format())
+	}
+	if rep.Survivability != 1 {
+		t.Fatalf("report does not echo the asserted level: %d", rep.Survivability)
+	}
+	if rep.LinkFaults == 0 {
+		t.Fatal("campaign composed no link faults — nothing asserted")
+	}
+	if rep.Recovered != rep.LinkFaults || rep.ZeroReroute != rep.LinkFaults {
+		t.Fatalf("zero-reroute recovery broken: %d faults, %d recovered, %d zero-reroute\n%s",
+			rep.LinkFaults, rep.Recovered, rep.ZeroReroute, rep.Format())
+	}
+	for i := range rep.States {
+		s := &rep.States[i]
+		if s.ZeroReroute != s.Links {
+			t.Fatalf("state %s: %d of %d faults zero-reroute", s.State, s.ZeroReroute, s.Links)
+		}
+	}
+	if !strings.Contains(rep.Format(), "zero re-routing") {
+		t.Fatal("formatted report does not surface the zero re-routing line")
+	}
+	for _, workers := range []int{4, 13} {
+		opt.Workers = workers
+		again, err := RunCampaign(top, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(rep, again) {
+			t.Fatalf("workers=%d changed the k=1 campaign report", workers)
+		}
+	}
+}
+
+// TestCampaignK0ReportUnchangedByContract: on a k=0 design the new
+// fields must stay zero — the serialized report is byte-identical to
+// builds that predate survivability (both fields marshal omitempty).
+func TestCampaignK0ReportUnchangedByContract(t *testing.T) {
+	top := synthBench(t, "d26_media")
+	rep, err := RunCampaign(top, CampaignOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Survivability != 0 || rep.ZeroReroute != 0 {
+		t.Fatalf("k=0 report grew survivability fields: k=%d zr=%d", rep.Survivability, rep.ZeroReroute)
+	}
+	for i := range rep.States {
+		if rep.States[i].ZeroReroute != 0 {
+			t.Fatalf("state %s stamped ZeroReroute on a k=0 run", rep.States[i].State)
+		}
+	}
+	if strings.Contains(rep.Format(), "zero re-routing") {
+		t.Fatal("k=0 formatted report mentions zero re-routing")
+	}
+}

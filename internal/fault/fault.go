@@ -27,6 +27,13 @@ type LinkOutcome struct {
 	// Recovered is true when every affected flow found a new path over
 	// the surviving links within its constraints.
 	Recovered bool
+	// ZeroReroute marks a recovery that needed no re-routing at all:
+	// every affected flow fell back to a pre-synthesized disjoint
+	// backup route (topology.Route.Backups). This is the recovery mode
+	// survivable designs (core.Options.Survivability >= 1) guarantee.
+	// omitempty keeps k=0 campaign reports byte-identical to builds
+	// that predate the field.
+	ZeroReroute bool `json:",omitempty"`
 	// Reason holds the first failure when not recovered.
 	Reason string
 }

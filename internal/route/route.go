@@ -54,6 +54,17 @@ type Options struct {
 	// over parallel paths instead of piling onto the first cheapest
 	// one. Costs a little power (less reuse), buys capacity headroom.
 	BalanceLoad bool
+
+	// Survivability requires k additional link-disjoint island-legal
+	// routes per multi-hop flow: after every primary route is committed
+	// (bit-identical to a k=0 run), the router strips each flow's
+	// already-used directed links from the candidate graph and re-routes
+	// it k times (iterative strip-and-reroute over the same pooled
+	// Dijkstra scratch and deterministic tie-breaks). The alternates are
+	// committed as cold-standby Route.Backups — links opened, no traffic
+	// accounted. A flow for which no k-th disjoint path exists fails the
+	// whole routing, making the candidate design infeasible.
+	Survivability int
 }
 
 func (o Options) estLen() float64 {
@@ -105,6 +116,13 @@ type Router struct {
 	curSub  *subgraph
 	curFlow soc.Flow
 	latOnly bool
+
+	// exclude is the per-query set of directed links the current
+	// disjoint-path search must avoid (the flow's primary route plus its
+	// already-committed backups). Empty for primary routing, so k=0
+	// queries never pay for it. A linear scan: the set holds a few path
+	// lengths at most.
+	exclude []topology.LinkID
 }
 
 // islPair keys the subgraph cache.
@@ -273,6 +291,9 @@ func (r *Router) RouteFlows(flows []soc.Flow) error {
 			return err
 		}
 	}
+	if r.opt.Survivability > 0 {
+		return r.routeBackups(r.opt.Survivability)
+	}
 	return nil
 }
 
@@ -310,6 +331,68 @@ func (r *Router) Route(f soc.Flow) error {
 			f.Src, f.Dst, f.BandwidthBps/1e6, lat)
 	}
 	return r.commit(f, path)
+}
+
+// routeBackups runs the survivability pass: for every committed
+// multi-hop route, in commit order, find and commit k additional
+// link-disjoint paths by iterative strip-and-reroute — each search
+// excludes the directed links of the flow's primary route and of the
+// backups committed so far, then reuses the ordinary blended-cost
+// search over the same admissible island subgraph. Backups are held to
+// island legality, capacity and disjointness but NOT to the flow's
+// zero-load latency budget: a backup is a degraded-mode standby whose
+// job is keeping the flow connected under a fault, and an
+// island-crossing detour structurally pays at least one extra
+// bi-synchronous FIFO crossing, which would make every tightly
+// constrained crossing flow unprotectable. Single-switch routes have no
+// link a fault could sever and are skipped. The pass runs strictly
+// after all primaries, so primary routes — and with them every
+// k=0-visible metric — are bit-identical to a run without
+// survivability.
+func (r *Router) routeBackups(k int) error {
+	defer func() { r.exclude = r.exclude[:0] }()
+	for ri := 0; ri < len(r.top.Routes); ri++ {
+		for b := 0; b < k; b++ {
+			rt := &r.top.Routes[ri]
+			if len(rt.Links) == 0 {
+				break // single-switch route: nothing to protect
+			}
+			r.exclude = append(r.exclude[:0], rt.Links...)
+			for bi := range rt.Backups {
+				r.exclude = append(r.exclude, rt.Backups[bi].Links...)
+			}
+			f := rt.Flow
+			src := rt.Switches[0]
+			dst := rt.Switches[len(rt.Switches)-1]
+			path := r.shortest(f, src, dst, false)
+			if path == nil {
+				return fmt.Errorf("route: no disjoint backup %d/%d for flow %d->%d (survivability %d)",
+					b+1, k, f.Src, f.Dst, k)
+			}
+			if err := r.commitBackup(ri, path); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// commitBackup opens any missing links along a backup path and records
+// it cold on route ri: AddBackup accounts no traffic, so the primary
+// metrics are untouched.
+func (r *Router) commitBackup(ri int, path []topology.SwitchID) error {
+	f := r.top.Routes[ri].Flow
+	links := r.top.TakeRouteLinks(len(path) - 1)
+	for i := 1; i < len(path); i++ {
+		lid, err := r.top.EnsureLink(path[i-1], path[i])
+		if err != nil {
+			return fmt.Errorf("route: opening backup link for flow %d->%d: %w", f.Src, f.Dst, err)
+		}
+		links[i-1] = lid
+	}
+	sw := r.top.TakeRouteSwitches(len(path))
+	copy(sw, path)
+	return r.top.AddBackup(ri, topology.Path{Switches: sw, Links: links})
 }
 
 // allowed reports whether the directed candidate edge u->v may be used
@@ -364,6 +447,11 @@ func (r *Router) edgeCost(u, v topology.SwitchID, f soc.Flow, latOnly bool) floa
 	lid, exists := r.top.FindLink(u, v)
 	var pressure float64
 	if exists {
+		for _, ex := range r.exclude {
+			if ex == lid {
+				return graph.Inf // disjoint-path search: link already used by this flow
+			}
+		}
 		l := r.top.Links[lid]
 		if l.TrafficBps+bw > l.CapacityBps*(1+1e-9) {
 			return graph.Inf

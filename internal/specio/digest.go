@@ -164,10 +164,15 @@ func encodeLibrary(e *denc, l *model.Library) {
 //     guarantee the identity tests pin) and PartitionBacking (cache
 //     wiring; backed partitions are bit-identical to computed ones).
 //     Excluding them is what makes a cache entry written at -workers 8
-//     a legitimate hit at -workers 1.
+//     a legitimate hit at -workers 1. Router.Survivability is likewise
+//     excluded: the engine normalizes the canonical Options.Survivability
+//     over it, so encoding both would double-count one knob.
+//
+// v3 added Options.Survivability (the k disjoint-backup-routes
+// constraint), which changes results whenever nonzero.
 func OptionsDigest(opt core.Options, lib *model.Library) Digest {
 	e := &denc{}
-	e.str("nocvi-opt-v2")
+	e.str("nocvi-opt-v3")
 	alpha := opt.Alpha
 	if alpha == 0 { //noclint:ignore floateq 0 is the documented unset sentinel for Alpha, resolved like Options.alpha does
 		alpha = vcg.DefaultAlpha
@@ -195,6 +200,11 @@ func OptionsDigest(opt core.Options, lib *model.Library) Digest {
 	e.bool(opt.AutoVoltage)
 	e.bool(opt.NoPrune)
 	e.bool(opt.Relax)
+	surv := opt.Survivability
+	if surv < 0 {
+		surv = 0 // the engine clamps negatives to the k=0 behaviour
+	}
+	e.int(surv)
 	encodeLibrary(e, lib)
 	return e.sum()
 }

@@ -67,11 +67,11 @@ func TestLibraryAndOptionsDigestGoldens(t *testing.T) {
 	if got := LibraryDigest(lib).String(); got != "fe2b2b57460ecad98b520b7b7c149932541bfddc7e9a1c9d76b0230c65032d06" {
 		t.Errorf("library digest %s", got)
 	}
-	if got := OptionsDigest(core.Options{}, lib).String(); got != "e22623a5d5e1d045696c016815d8be88d7d9a1cabc5b83531ccda09242cdd3c9" {
+	if got := OptionsDigest(core.Options{}, lib).String(); got != "5be7cc44c12a6d17585a7bf31b97aae404a00a2795cf6b83b17aab90131a1e2a" {
 		t.Errorf("zero options digest %s", got)
 	}
 	opt := core.Options{AllowIntermediate: true, MaxIntermediateSwitches: 2}
-	if got := OptionsDigest(opt, lib).String(); got != "ee305fd24fdc26d0761e68e854adc8b5e6bf1605df6bf4183b8755b837e85e1b" {
+	if got := OptionsDigest(opt, lib).String(); got != "0035e6453430ee981179f50903fd1c85fa885d757c41251b71d246205b0099d9" {
 		t.Errorf("bench options digest %s", got)
 	}
 	if got := IslandVCGDigest(bench.D26(), 0, 0.6).String(); got != "157c939b09b9149b8c6e8d07ede6c168de9f516ab20eef347519ee599f129ab3" {
@@ -151,5 +151,18 @@ func TestOptionsDigestNormalization(t *testing.T) {
 	lib2.FreqGridHz *= 2
 	if OptionsDigest(unset, &lib2) == OptionsDigest(unset, lib) {
 		t.Fatal("library change did not change the options digest")
+	}
+	surv := core.Options{Survivability: 1}
+	if OptionsDigest(surv, lib) == OptionsDigest(unset, lib) {
+		t.Fatal("Survivability is result-affecting and must perturb the digest")
+	}
+	neg := core.Options{Survivability: -3}
+	if OptionsDigest(neg, lib) != OptionsDigest(unset, lib) {
+		t.Fatal("negative Survivability must digest like the clamped k=0")
+	}
+	var rsv core.Options
+	rsv.Router.Survivability = 1
+	if OptionsDigest(rsv, lib) != OptionsDigest(unset, lib) {
+		t.Fatal("Router.Survivability is a normalized duplicate and must be excluded")
 	}
 }

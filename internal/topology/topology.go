@@ -64,11 +64,26 @@ type Link struct {
 	LengthMM float64
 }
 
+// Path is one switch/link walk between a flow's endpoint switches,
+// used for the pre-synthesized backup routes of survivable designs.
+type Path struct {
+	Switches []SwitchID // in traversal order; len >= 1
+	Links    []LinkID   // len == len(Switches)-1
+}
+
 // Route is the path assigned to one traffic flow.
 type Route struct {
 	Flow     soc.Flow
 	Switches []SwitchID // in traversal order; len >= 1
 	Links    []LinkID   // len == len(Switches)-1
+
+	// Backups holds the pre-synthesized link-disjoint alternates of a
+	// survivable design (core.Options.Survivability k stores k of them
+	// per multi-hop route). Backups are cold standbys: their links are
+	// open in the topology (and pay leakage, ports and area) but carry
+	// no TrafficBps until a fault diverts the flow onto one, so primary
+	// metrics — link traffic, zero-load latency — never depend on them.
+	Backups []Path
 }
 
 // Topology is a complete synthesized NoC design.
@@ -116,9 +131,11 @@ type Topology struct {
 	// backing arrays the same way: Reset harvests the dismantled
 	// routes' slices, TakeRouteSwitches/TakeRouteLinks hand them back
 	// to the router. Like coresFree, a slice lives either in a free
-	// list or in a route, never both.
+	// list or in a route, never both. Backup paths share the same two
+	// free lists; bakFree recycles the outer Route.Backups arrays.
 	swPathFree  [][]SwitchID
 	lnkPathFree [][]LinkID
+	bakFree     [][]Path
 }
 
 // linkKey identifies a directed link by its endpoints.
@@ -187,6 +204,17 @@ func (t *Topology) Reset() {
 		}
 		if l := t.Routes[i].Links; cap(l) > 0 {
 			t.lnkPathFree = append(t.lnkPathFree, l[:0])
+		}
+		for _, b := range t.Routes[i].Backups {
+			if cap(b.Switches) > 0 {
+				t.swPathFree = append(t.swPathFree, b.Switches[:0])
+			}
+			if cap(b.Links) > 0 {
+				t.lnkPathFree = append(t.lnkPathFree, b.Links[:0])
+			}
+		}
+		if b := t.Routes[i].Backups; cap(b) > 0 {
+			t.bakFree = append(t.bakFree, b[:0])
 		}
 	}
 	t.Switches = t.Switches[:0]
@@ -423,11 +451,22 @@ func (t *Topology) SwitchTrafficBps(sw SwitchID) float64 {
 // per inter-switch link, the converter penalty per island crossing, and
 // the NI ejection link.
 func (t *Topology) ZeroLoadLatencyCycles(r *Route) float64 {
+	return t.pathZeroLoadLatency(r.Switches, r.Links)
+}
+
+// PathZeroLoadLatencyCycles is ZeroLoadLatencyCycles for a standalone
+// Path — the figure a backup route would deliver if a fault activated
+// it.
+func (t *Topology) PathZeroLoadLatencyCycles(p *Path) float64 {
+	return t.pathZeroLoadLatency(p.Switches, p.Links)
+}
+
+func (t *Topology) pathZeroLoadLatency(switches []SwitchID, links []LinkID) float64 {
 	lat := model.LinkTraversalCycles // NI -> first switch
-	for range r.Switches {
+	for range switches {
 		lat += model.SwitchTraversalCycles
 	}
-	for _, lid := range r.Links {
+	for _, lid := range links {
 		lat += model.LinkTraversalCycles
 		if t.Links[lid].CrossesIslands {
 			lat += model.FIFOCrossingCycles
@@ -463,31 +502,59 @@ func (t *Topology) AddRoute(r Route) error {
 	return nil
 }
 
+// AddBackup records a pre-synthesized alternate path on the route at
+// index ri. The path must be structurally valid for the route's flow;
+// it is stored cold — no traffic is accounted on its links. Disjointness
+// against the primary and the other backups is ValidateSurvivable's
+// job, not enforced here.
+func (t *Topology) AddBackup(ri int, p Path) error {
+	if ri < 0 || ri >= len(t.Routes) {
+		return fmt.Errorf("topology: backup for unknown route %d", ri)
+	}
+	r := &t.Routes[ri]
+	if err := t.checkPath(r.Flow, p.Switches, p.Links); err != nil {
+		return err
+	}
+	if r.Backups == nil && len(t.bakFree) > 0 {
+		r.Backups = t.bakFree[len(t.bakFree)-1]
+		t.bakFree = t.bakFree[:len(t.bakFree)-1]
+	}
+	r.Backups = append(r.Backups, p)
+	return nil
+}
+
 // checkRoute verifies the structural validity of a route.
 func (t *Topology) checkRoute(r *Route) error {
-	if len(r.Switches) == 0 {
-		return fmt.Errorf("topology: empty route for flow %d->%d", r.Flow.Src, r.Flow.Dst)
+	return t.checkPath(r.Flow, r.Switches, r.Links)
+}
+
+// checkPath verifies one switch/link walk against a flow: non-empty,
+// link list matching the switch list, endpoints on the flow's NI
+// switches, and every link actually connecting its consecutive pair.
+func (t *Topology) checkPath(f soc.Flow, switches []SwitchID, links []LinkID) error {
+	if len(switches) == 0 {
+		return fmt.Errorf("topology: empty route for flow %d->%d", f.Src, f.Dst)
 	}
-	if len(r.Links) != len(r.Switches)-1 {
+	if len(links) != len(switches)-1 {
 		return fmt.Errorf("topology: route for %d->%d has %d links for %d switches",
-			r.Flow.Src, r.Flow.Dst, len(r.Links), len(r.Switches))
+			f.Src, f.Dst, len(links), len(switches))
 	}
-	if t.SwitchOf[r.Flow.Src] != r.Switches[0] {
+	if t.SwitchOf[f.Src] != switches[0] {
 		return fmt.Errorf("topology: route for %d->%d starts at switch %d, core is on %d",
-			r.Flow.Src, r.Flow.Dst, r.Switches[0], t.SwitchOf[r.Flow.Src])
+			f.Src, f.Dst, switches[0], t.SwitchOf[f.Src])
 	}
-	if t.SwitchOf[r.Flow.Dst] != r.Switches[len(r.Switches)-1] {
+	if t.SwitchOf[f.Dst] != switches[len(switches)-1] {
 		return fmt.Errorf("topology: route for %d->%d ends at switch %d, core is on %d",
-			r.Flow.Src, r.Flow.Dst, r.Switches[len(r.Switches)-1], t.SwitchOf[r.Flow.Dst])
+			f.Src, f.Dst, switches[len(switches)-1], t.SwitchOf[f.Dst])
 	}
-	for i, lid := range r.Links {
+	for i, lid := range links {
 		if int(lid) >= len(t.Links) || lid < 0 {
 			return fmt.Errorf("topology: route references unknown link %d", lid)
 		}
 		l := t.Links[lid]
-		if l.From != r.Switches[i] || l.To != r.Switches[i+1] {
+		if l.From != switches[i] || l.To != switches[i+1] {
 			return fmt.Errorf("topology: route link %d does not connect switches %d->%d",
-				lid, r.Switches[i], r.Switches[i+1])
+				lid, switches[i], switches[i+1])
 		}
 	}
 	return nil
@@ -607,6 +674,98 @@ func (t *Topology) ValidateShutdownSafeMask(off []bool) error {
 					isl, t.Spec.Islands[isl].Name, r.Flow.Src, r.Flow.Dst, srcIsl, dstIsl, sw)
 			}
 		}
+	}
+	return nil
+}
+
+// ValidateSurvivable proves the survivability-k contract: every
+// multi-hop route carries at least k backup paths, each structurally
+// valid for the route's flow, island-legal under the same forward
+// discipline the router enforces (so a backup is shutdown-safe exactly
+// when its primary is), and the primary plus backups are pairwise
+// link-disjoint — no directed link
+// appears on two of them, which is what makes any single-link fault
+// absorbable by switching the flow onto a pre-synthesized alternate
+// with zero re-routing. Backups are deliberately NOT held to the
+// flow's zero-load latency budget: they are degraded-mode standbys, and
+// an island-crossing detour structurally pays at least one extra FIFO
+// crossing. Single-switch routes have no link to sever and need no
+// backups. k <= 0 always validates.
+func (t *Topology) ValidateSurvivable(k int) error {
+	if k <= 0 {
+		return nil
+	}
+	for ri := range t.Routes {
+		r := &t.Routes[ri]
+		if len(r.Links) == 0 {
+			continue // single-switch route: no link a fault could sever
+		}
+		if len(r.Backups) < k {
+			return fmt.Errorf("topology: flow %d->%d has %d backup route(s), survivability %d requires %d",
+				r.Flow.Src, r.Flow.Dst, len(r.Backups), k, k)
+		}
+		srcIsl := t.Spec.IslandOf[r.Flow.Src]
+		dstIsl := t.Spec.IslandOf[r.Flow.Dst]
+		owner := make(map[LinkID]int, len(r.Links))
+		for _, lid := range r.Links {
+			owner[lid] = -1
+		}
+		for bi := range r.Backups {
+			b := &r.Backups[bi]
+			if err := t.checkPath(r.Flow, b.Switches, b.Links); err != nil {
+				return err
+			}
+			if err := t.checkIslandDiscipline(r.Flow, b.Switches, srcIsl, dstIsl); err != nil {
+				return err
+			}
+			for _, lid := range b.Links {
+				if prev, ok := owner[lid]; ok {
+					with := "the primary route"
+					if prev >= 0 {
+						//noclint:ignore bannedcall error-path message formatting, not a cache key
+						with = fmt.Sprintf("backup %d", prev)
+					}
+					return fmt.Errorf("topology: flow %d->%d backup %d shares link %d with %s",
+						r.Flow.Src, r.Flow.Dst, bi, lid, with)
+				}
+				owner[lid] = bi
+			}
+		}
+	}
+	return nil
+}
+
+// checkIslandDiscipline verifies the island forward discipline (S→S,
+// S→M, S→D, M→M, M→D, D→D) on a switch walk: every switch lies in the
+// flow's source island, destination island or the intermediate NoC
+// island, and the walk never moves backward through that order. When
+// source and destination coincide every admissible move is legal,
+// mirroring the router's subgraph construction.
+func (t *Topology) checkIslandDiscipline(f soc.Flow, switches []SwitchID, srcIsl, dstIsl soc.IslandID) error {
+	mid := t.NoCIsland
+	prev := int8(0)
+	for _, sw := range switches {
+		isl := t.Switches[sw].Island
+		var rk int8
+		switch {
+		case isl == srcIsl:
+			rk = 0
+		case mid != soc.NoIsland && isl == mid:
+			rk = 1
+		case isl == dstIsl:
+			rk = 2
+		default:
+			return fmt.Errorf("topology: flow %d->%d route touches island %d outside its admissible set",
+				f.Src, f.Dst, isl)
+		}
+		if srcIsl == dstIsl {
+			rk = 0 // S == D: every admissible move is legal
+		}
+		if rk < prev {
+			return fmt.Errorf("topology: flow %d->%d route violates the island forward discipline at switch %d",
+				f.Src, f.Dst, sw)
+		}
+		prev = rk
 	}
 	return nil
 }

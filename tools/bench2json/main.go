@@ -122,6 +122,16 @@ type campaignSummary struct {
 	RecoverableFrac     float64 `json:"recoverable_frac"`
 }
 
+// surviveSummary condenses the survivability side of a campaign report
+// produced by a k>=1 run: how many of the composed link faults were
+// absorbed by a pre-synthesized backup with zero re-routing.
+type surviveSummary struct {
+	Survivability   int     `json:"survivability"`
+	LinkFaults      int     `json:"link_faults"`
+	ZeroReroute     int     `json:"zero_reroute"`
+	ZeroRerouteFrac float64 `json:"zero_reroute_frac"`
+}
+
 type record struct {
 	// GoMaxProcs is the widest GOMAXPROCS lane of the most recent write;
 	// NumCPU the runtime.NumCPU of the measuring machine; Lanes every
@@ -147,6 +157,9 @@ type record struct {
 	Prune *pruneSummary `json:"prune,omitempty"`
 	// Campaign holds the latest fault-campaign summary per design.
 	Campaign map[string]campaignSummary `json:"campaign,omitempty"`
+	// Survive holds the latest survivability summary per design, filled
+	// from campaign reports produced by k>=1 runs.
+	Survive map[string]surviveSummary `json:"survive,omitempty"`
 }
 
 func main() {
@@ -156,6 +169,7 @@ func main() {
 	requireProcs := flag.Int("require-procs", 0, "with -floor: fail unless the input has a GOMAXPROCS lane of at least this width")
 	campaignPath := flag.String("campaign", "", "fold a fault-campaign JSON report (nocsynth -campaign-json) into the record")
 	campaignFloor := flag.Float64("campaign-floor", 0, "fail unless the -campaign report's aggregate recoverability reaches this fraction")
+	surviveFloor := flag.Float64("survive-floor", 0, "fail unless the -campaign report came from a survivability>=1 run with no non-recoverable link fault and a zero-re-route fraction of at least this value")
 	cacheFloor := flag.Float64("cache-floor", 0, "fail unless the SynthesizeCached lanes on stdin show at least this cold/warm full-hit speedup")
 	pruneFloor := flag.Float64("prune-floor", 0, "fail unless the SynthesizePrune lanes on stdin show at least this speedup over the exhaustive sweep, with a nonzero pruned fraction")
 	flag.Parse()
@@ -216,12 +230,16 @@ func main() {
 		}
 	}
 	campDesign, campSum := "", campaignSummary{}
+	var survSum *surviveSummary
 	if *campaignPath != "" {
-		campDesign, campSum, err = loadCampaign(*campaignPath, *campaignFloor)
+		campDesign, campSum, survSum, err = loadCampaign(*campaignPath, *campaignFloor, *surviveFloor)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "bench2json:", err)
 			os.Exit(1)
 		}
+	} else if *surviveFloor > 0 {
+		fmt.Fprintln(os.Stderr, "bench2json: -survive-floor requires -campaign FILE")
+		os.Exit(1)
 	}
 	if *out == "" {
 		fmt.Printf("[checked %d benchmarks, no output file]\n", len(results))
@@ -280,6 +298,12 @@ func main() {
 			rec.Campaign = make(map[string]campaignSummary)
 		}
 		rec.Campaign[campDesign] = campSum
+		if survSum != nil {
+			if rec.Survive == nil {
+				rec.Survive = make(map[string]surviveSummary)
+			}
+			rec.Survive[campDesign] = *survSum
+		}
 	}
 
 	data, err := json.MarshalIndent(&rec, "", "  ")
@@ -322,13 +346,21 @@ func migrate(rec *record) {
 
 // loadCampaign reads a campaign report written by `nocsynth
 // -campaign-json`, verifies it (zero invariant violations always;
-// aggregate recoverability at least floor when floor > 0), and returns
-// its design name with the condensed summary.
-func loadCampaign(path string, floor float64) (string, campaignSummary, error) {
+// aggregate recoverability at least floor when floor > 0; the
+// survivability contract when surviveFloor > 0), and returns its design
+// name with the condensed summary. The survive summary is non-nil only
+// for reports produced by a survivability>=1 run.
+//
+// surviveFloor asserts the zero-re-route guarantee the -survive k
+// synthesis promises: the report must come from a k>=1 run, every
+// composed link fault must be recoverable (one non-recoverable fault is
+// a hard failure regardless of the fraction), and the fraction absorbed
+// with zero re-routing must reach the floor.
+func loadCampaign(path string, floor, surviveFloor float64) (string, campaignSummary, *surviveSummary, error) {
 	var sum campaignSummary
 	data, err := os.ReadFile(path)
 	if err != nil {
-		return "", sum, err
+		return "", sum, nil, err
 	}
 	// The shape mirrors fault.Campaign's JSON; only the aggregate fields
 	// are read, so the per-state detail can evolve independently.
@@ -339,12 +371,14 @@ func loadCampaign(path string, floor float64) (string, campaignSummary, error) {
 		InvariantViolations int               `json:"invariant_violations"`
 		LinkFaults          int               `json:"link_faults"`
 		Recovered           int               `json:"recovered"`
+		ZeroReroute         int               `json:"zero_reroute"`
+		Survivability       int               `json:"survivability"`
 	}
 	if err := json.Unmarshal(data, &rep); err != nil {
-		return "", sum, fmt.Errorf("%s: %w", path, err)
+		return "", sum, nil, fmt.Errorf("%s: %w", path, err)
 	}
 	if rep.Design == "" || len(rep.States) == 0 {
-		return "", sum, fmt.Errorf("%s: not a campaign report (no design or states)", path)
+		return "", sum, nil, fmt.Errorf("%s: not a campaign report (no design or states)", path)
 	}
 	sum = campaignSummary{
 		States:              len(rep.States),
@@ -356,15 +390,40 @@ func loadCampaign(path string, floor float64) (string, campaignSummary, error) {
 	if rep.LinkFaults > 0 {
 		sum.RecoverableFrac = round2(float64(rep.Recovered) / float64(rep.LinkFaults))
 	}
+	var surv *surviveSummary
+	if rep.Survivability >= 1 {
+		surv = &surviveSummary{
+			Survivability:   rep.Survivability,
+			LinkFaults:      rep.LinkFaults,
+			ZeroReroute:     rep.ZeroReroute,
+			ZeroRerouteFrac: 1,
+		}
+		if rep.LinkFaults > 0 {
+			surv.ZeroRerouteFrac = round2(float64(rep.ZeroReroute) / float64(rep.LinkFaults))
+		}
+	}
 	if rep.InvariantViolations != 0 {
-		return "", sum, fmt.Errorf("%s: %s violates the shutdown invariant in %d power state(s)",
+		return "", sum, nil, fmt.Errorf("%s: %s violates the shutdown invariant in %d power state(s)",
 			path, rep.Design, rep.InvariantViolations)
 	}
 	if floor > 0 && sum.RecoverableFrac < floor {
-		return "", sum, fmt.Errorf("%s: %s aggregate recoverability %.2f below the %.2f floor",
+		return "", sum, nil, fmt.Errorf("%s: %s aggregate recoverability %.2f below the %.2f floor",
 			path, rep.Design, sum.RecoverableFrac, floor)
 	}
-	return rep.Design, sum, nil
+	if surviveFloor > 0 {
+		switch {
+		case surv == nil:
+			return "", sum, nil, fmt.Errorf("%s: -survive-floor %.2f: report was not produced by a survivability>=1 run",
+				path, surviveFloor)
+		case rep.Recovered < rep.LinkFaults:
+			return "", sum, nil, fmt.Errorf("%s: %s has %d non-recoverable link fault(s) — a survivability>=1 design must absorb every single-link fault",
+				path, rep.Design, rep.LinkFaults-rep.Recovered)
+		case surv.ZeroRerouteFrac < surviveFloor:
+			return "", sum, nil, fmt.Errorf("%s: %s zero-re-route fraction %.2f below the %.2f floor (%d/%d faults needed re-routing)",
+				path, rep.Design, surv.ZeroRerouteFrac, surviveFloor, rep.LinkFaults-rep.ZeroReroute, rep.LinkFaults)
+		}
+	}
+	return rep.Design, sum, surv, nil
 }
 
 // parseBench extracts benchmark result lines from `go test -bench`

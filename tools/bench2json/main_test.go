@@ -232,7 +232,7 @@ func TestLoadCampaign(t *testing.T) {
 		"state_space": 16, "states": [{"mask":0},{"mask":1}],
 		"invariant_violations": 0, "link_faults": 40, "recovered": 30
 	}`)
-	design, sum, err := loadCampaign(path, 0.5)
+	design, sum, surv, err := loadCampaign(path, 0.5, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -242,7 +242,10 @@ func TestLoadCampaign(t *testing.T) {
 	if sum.States != 2 || sum.LinkFaults != 40 || sum.RecoverableFrac != 0.75 {
 		t.Fatalf("wrong summary: %+v", sum)
 	}
-	if _, _, err := loadCampaign(path, 0.9); err == nil {
+	if surv != nil {
+		t.Fatalf("k=0 report grew a survive summary: %+v", surv)
+	}
+	if _, _, _, err := loadCampaign(path, 0.9, 0); err == nil {
 		t.Fatal("recoverability 0.75 must fail floor 0.9")
 	}
 }
@@ -252,16 +255,16 @@ func TestLoadCampaignRejectsViolations(t *testing.T) {
 		"design": "bad", "states": [{"mask":0}],
 		"invariant_violations": 1, "link_faults": 1, "recovered": 1
 	}`)
-	if _, _, err := loadCampaign(path, 0); err == nil {
+	if _, _, _, err := loadCampaign(path, 0, 0); err == nil {
 		t.Fatal("a report with invariant violations must be rejected even without a floor")
 	}
 }
 
 func TestLoadCampaignRejectsGarbage(t *testing.T) {
-	if _, _, err := loadCampaign(writeCampaign(t, `{"current": {}}`), 0); err == nil {
+	if _, _, _, err := loadCampaign(writeCampaign(t, `{"current": {}}`), 0, 0); err == nil {
 		t.Fatal("a non-campaign JSON must be rejected")
 	}
-	if _, _, err := loadCampaign(filepath.Join(t.TempDir(), "missing.json"), 0); err == nil {
+	if _, _, _, err := loadCampaign(filepath.Join(t.TempDir(), "missing.json"), 0, 0); err == nil {
 		t.Fatal("a missing file must be rejected")
 	}
 }
@@ -286,5 +289,55 @@ func TestAssertFloor(t *testing.T) {
 	}
 	if err := assertFloor(single, 0.5); err == nil {
 		t.Fatal("gomaxprocs=1 data must not satisfy a floor by accident")
+	}
+}
+
+func TestLoadCampaignSurviveFloor(t *testing.T) {
+	// A k=1 report with full zero-reroute coverage passes the floor and
+	// yields a survive summary.
+	good := writeCampaign(t, `{
+		"design": "d26_media", "islands": 6, "shutdownable": 4,
+		"state_space": 16, "states": [{"mask":0}],
+		"invariant_violations": 0, "link_faults": 40, "recovered": 40,
+		"zero_reroute": 40, "survivability": 1
+	}`)
+	_, _, surv, err := loadCampaign(good, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if surv == nil || surv.Survivability != 1 || surv.ZeroRerouteFrac != 1 {
+		t.Fatalf("wrong survive summary: %+v", surv)
+	}
+
+	// A k=0 report must be rejected outright by any survive floor: it
+	// asserts nothing about backups.
+	plain := writeCampaign(t, `{
+		"design": "d26_media", "states": [{"mask":0}],
+		"invariant_violations": 0, "link_faults": 40, "recovered": 40
+	}`)
+	if _, _, _, err := loadCampaign(plain, 0, 0.1); err == nil {
+		t.Fatal("survive floor accepted a report without a survivability run")
+	}
+
+	// A single non-recoverable fault on a k=1 run is a hard failure,
+	// whatever the floor.
+	broken := writeCampaign(t, `{
+		"design": "d26_media", "states": [{"mask":0}],
+		"invariant_violations": 0, "link_faults": 40, "recovered": 39,
+		"zero_reroute": 39, "survivability": 1
+	}`)
+	if _, _, _, err := loadCampaign(broken, 0, 0.1); err == nil {
+		t.Fatal("survive floor accepted a k=1 run with a non-recoverable link fault")
+	}
+
+	// Zero-reroute coverage below the floor fails even when every fault
+	// was recovered somehow (re-routing is not the contract).
+	rerouted := writeCampaign(t, `{
+		"design": "d26_media", "states": [{"mask":0}],
+		"invariant_violations": 0, "link_faults": 40, "recovered": 40,
+		"zero_reroute": 20, "survivability": 1
+	}`)
+	if _, _, _, err := loadCampaign(rerouted, 0, 0.9); err == nil {
+		t.Fatal("survive floor 0.9 accepted 50% zero-reroute coverage")
 	}
 }
